@@ -1,0 +1,67 @@
+//! Ablation microbenchmarks for the design choices called out in
+//! DESIGN.md:
+//!
+//! * encoding pipeline stages (sparse → logical → physical),
+//! * physical integer codec (bit packing vs. varint) for both size and
+//!   kernel speed,
+//! * decode-tree construction with and without structural validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use toc_core::{logical_encode, DecodeTree, PhysicalCodec, TocBatch};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_linalg::SparseRows;
+
+fn bench_ablation(c: &mut Criterion) {
+    let ds = generate_preset(DatasetPreset::CensusLike, 250, 42);
+    let sparse = SparseRows::encode(&ds.x);
+    let logical = logical_encode(&sparse);
+    let bitpack = TocBatch::encode_with(&ds.x, PhysicalCodec::BitPack);
+    let varint = TocBatch::encode_with(&ds.x, PhysicalCodec::Varint);
+    let v: Vec<f64> = (0..ds.x.cols()).map(|i| (i % 7) as f64).collect();
+
+    // Report the size trade-off once, in the bench output.
+    println!(
+        "sizes: bitpack={}B varint={}B (DEN={}B)",
+        bitpack.size_bytes(),
+        varint.size_bytes(),
+        ds.x.den_size_bytes()
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+
+    // Pipeline stages.
+    group.bench_function("encode/sparse_only", |b| b.iter(|| SparseRows::encode(&ds.x)));
+    group.bench_function("encode/sparse_logical", |b| {
+        b.iter(|| logical_encode(&SparseRows::encode(&ds.x)))
+    });
+    group.bench_function("encode/full_bitpack", |b| {
+        b.iter(|| TocBatch::encode_with(&ds.x, PhysicalCodec::BitPack))
+    });
+    group.bench_function("encode/full_varint", |b| {
+        b.iter(|| TocBatch::encode_with(&ds.x, PhysicalCodec::Varint))
+    });
+    group.bench_function("encode/physical_only", |b| {
+        b.iter(|| TocBatch::from_logical(&logical, PhysicalCodec::BitPack))
+    });
+
+    // Kernel speed per physical codec.
+    group.bench_function("matvec/bitpack", |b| b.iter(|| bitpack.matvec(&v).unwrap()));
+    group.bench_function("matvec/varint", |b| b.iter(|| varint.matvec(&v).unwrap()));
+
+    // Decode-tree construction: validated vs trusted.
+    let view = bitpack.view();
+    group.bench_function("tree/build_validated", |b| {
+        b.iter(|| DecodeTree::build(&view).unwrap())
+    });
+    group.bench_function("tree/build_trusted", |b| b.iter(|| DecodeTree::build_trusted(&view)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

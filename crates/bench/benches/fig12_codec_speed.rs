@@ -1,0 +1,34 @@
+//! Criterion version of Figure 12: compression and decompression speed of
+//! Snappy*, Gzip* and TOC on 250-row mini-batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{MatrixBatch, Scheme};
+
+fn bench_codecs(c: &mut Criterion) {
+    let rows = 250usize;
+    for preset in
+        [DatasetPreset::CensusLike, DatasetPreset::ImagenetLike, DatasetPreset::Kdd99Like]
+    {
+        let ds = generate_preset(preset, rows, 42);
+        let mut group = c.benchmark_group(format!("fig12/{}", preset.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(400))
+            .warm_up_time(Duration::from_millis(100));
+        for scheme in [Scheme::Snappy, Scheme::Gzip, Scheme::Toc] {
+            group.bench_function(BenchmarkId::new("compress", scheme.name()), |b| {
+                b.iter(|| scheme.encode(&ds.x))
+            });
+            let encoded = scheme.encode(&ds.x);
+            group.bench_function(BenchmarkId::new("decompress", scheme.name()), |b| {
+                b.iter(|| encoded.decode())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion version of Figure 8: matrix-operation latency on compressed
+//! 250-row mini-batches. Three representative datasets (census-like =
+//! TOC's home turf, mnist-like = weak logical gains, deep-like = dense
+//! incompressible) × all eight schemes × five operation classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{MatrixBatch, Scheme};
+use toc_linalg::DenseMatrix;
+
+fn bench_ops(c: &mut Criterion) {
+    let rows = 250usize;
+    for preset in
+        [DatasetPreset::CensusLike, DatasetPreset::MnistLike, DatasetPreset::DeepLike]
+    {
+        let ds = generate_preset(preset, rows, 42);
+        let cols = ds.x.cols();
+        let v: Vec<f64> = (0..cols).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let w: Vec<f64> = (0..rows).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mr = DenseMatrix::from_vec(
+            cols,
+            20,
+            (0..cols * 20).map(|i| ((i % 11) as f64) * 0.25).collect(),
+        );
+        let ml = DenseMatrix::from_vec(
+            20,
+            rows,
+            (0..rows * 20).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect(),
+        );
+
+        let mut group = c.benchmark_group(format!("fig8/{}", preset.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(400))
+            .warm_up_time(Duration::from_millis(100));
+        for scheme in Scheme::PAPER_SET {
+            let batch = scheme.encode(&ds.x);
+            group.bench_function(BenchmarkId::new("A_mul_c", scheme.name()), |b| {
+                b.iter(|| {
+                    let mut bb = batch.clone();
+                    bb.scale(1.000001);
+                    bb
+                })
+            });
+            group.bench_function(BenchmarkId::new("A_mul_v", scheme.name()), |b| {
+                b.iter(|| batch.matvec(&v))
+            });
+            group.bench_function(BenchmarkId::new("v_mul_A", scheme.name()), |b| {
+                b.iter(|| batch.vecmat(&w))
+            });
+            group.bench_function(BenchmarkId::new("A_mul_M", scheme.name()), |b| {
+                b.iter(|| batch.matmat(&mr))
+            });
+            group.bench_function(BenchmarkId::new("M_mul_A", scheme.name()), |b| {
+                b.iter(|| batch.matmat_left(&ml))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

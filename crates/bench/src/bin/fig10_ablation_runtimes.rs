@@ -1,0 +1,51 @@
+//! Figure 10: ablation of TOC components in the end-to-end MGD loop —
+//! DEN vs TOC_SPARSE vs TOC_SPARSE_AND_LOGICAL vs TOC_FULL under the
+//! Figure 9 memory budget.
+//!
+//! Expected shape: each encoding component shifts the spill point further
+//! right and lowers the runtime at scale.
+
+use toc_bench::{arg, end_to_end, fmt_duration, Table, Workload};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{MatrixBatch, Scheme};
+
+fn main() {
+    let epochs: usize = arg("epochs", 2);
+    let seed: u64 = arg("seed", 42);
+    let mbps: f64 = arg("mbps", 150.0);
+    let max_rows: usize = arg("max-rows", 8000);
+    let sweep: Vec<usize> =
+        [1usize, 2, 4, 8].iter().map(|k| k * max_rows / 8).filter(|&r| r > 0).collect();
+    const VARIANTS: [Scheme; 4] =
+        [Scheme::Den, Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
+
+    let probe = generate_preset(DatasetPreset::ImagenetLike, max_rows / 2, seed);
+    let budget: usize = probe
+        .minibatches(250)
+        .iter()
+        .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
+        .sum::<usize>()
+        * 4;
+
+    println!("# Figure 10 — TOC ablation, end-to-end MGD runtimes (imagenet-like)\n");
+    for workload in [Workload::Nn, Workload::Lr] {
+        println!("## workload: {}", workload.name());
+        let mut table = Table::new(
+            std::iter::once("rows".to_string())
+                .chain(VARIANTS.iter().map(|s| s.name().to_string()))
+                .collect(),
+        );
+        for &rows in &sweep {
+            let ds = generate_preset(DatasetPreset::ImagenetLike, rows, seed);
+            let mut cells = vec![rows.to_string()];
+            for scheme in VARIANTS {
+                let r = end_to_end(&ds, scheme, workload, budget, epochs, (32, 16), mbps);
+                let marker = if r.spilled_batches > 0 { "*" } else { "" };
+                cells.push(format!("{}{}", fmt_duration(r.train_time), marker));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!("(* = spilled to disk)\n");
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 12: compression and decompression times of Snappy*, Gzip* and
+//! TOC on 250-row mini-batches from each dataset.
+//!
+//! Expected shape: TOC compresses faster than Gzip* but slower than
+//! Snappy*; TOC decompresses faster than both.
+
+use toc_bench::{arg, fmt_duration, time_avg, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{MatrixBatch, Scheme};
+
+fn main() {
+    let rows: usize = arg("rows", 250);
+    let iters: usize = arg("iters", 20);
+    let seed: u64 = arg("seed", 42);
+    const CODECS: [Scheme; 3] = [Scheme::Snappy, Scheme::Gzip, Scheme::Toc];
+    println!("# Figure 12 — compression / decompression time of a {rows}-row mini-batch\n");
+    let mut comp = Table::new(vec!["dataset", "Snappy*", "Gzip*", "TOC"]);
+    let mut decomp = Table::new(vec!["dataset", "Snappy*", "Gzip*", "TOC"]);
+    for preset in DatasetPreset::ALL {
+        let ds = generate_preset(preset, rows, seed);
+        let mut crow = vec![preset.name().to_string()];
+        let mut drow = vec![preset.name().to_string()];
+        for scheme in CODECS {
+            let c = time_avg(iters, || std::hint::black_box(scheme.encode(&ds.x)));
+            crow.push(fmt_duration(c));
+            let encoded = scheme.encode(&ds.x);
+            let d = time_avg(iters, || std::hint::black_box(encoded.decode()));
+            drow.push(fmt_duration(d));
+        }
+        comp.row(crow);
+        decomp.row(drow);
+    }
+    println!("## compression time");
+    comp.print();
+    println!("\n## decompression time");
+    decomp.print();
+}

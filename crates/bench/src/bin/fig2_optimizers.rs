@@ -1,0 +1,82 @@
+//! Figure 2: optimization efficiencies of BGD, SGD, and MGD with different
+//! mini-batch sizes — accuracy as a function of epochs for a one-hidden-
+//! layer neural network on the mnist-like dataset.
+//!
+//! Expected shape: MGD with a few hundred rows converges in the fewest
+//! epochs and is stabler than SGD; BGD (100% batches) converges slowest
+//! per epoch.
+
+use toc_bench::{arg, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+use toc_ml::mgd::{targets_for_nn, MemoryProvider};
+use toc_ml::models::NeuralNet;
+use toc_ml::BatchProvider;
+
+fn main() {
+    let rows: usize = arg("rows", 1500);
+    let epochs: usize = arg("epochs", 12);
+    let hidden: usize = arg("hidden", 32);
+    let seed: u64 = arg("seed", 42);
+    let ds = generate_preset(DatasetPreset::MnistLike, rows, seed);
+    let classes = ds.classes;
+
+    // Batch-size regimes of Figure 2. SGD (|B|=1) is epoch-equivalent but
+    // much slower per epoch, so it uses a reduced row count via --rows.
+    let variants: Vec<(String, usize)> = vec![
+        ("SGD".into(), 1),
+        ("MGD (250 rows)".into(), 250),
+        ("MGD-20%".into(), (rows / 5).max(1)),
+        ("MGD-50%".into(), rows / 2),
+        ("MGD-80%".into(), rows * 4 / 5),
+        ("BGD".into(), rows),
+    ];
+
+    let eval = Scheme::Den.encode(&ds.x);
+    let targets = targets_for_nn(&ds.labels, classes);
+
+    println!("# Figure 2 — optimizer efficiency (accuracy vs epochs), NN with one hidden layer\n");
+    let mut table = Table::new(
+        std::iter::once("epoch".to_string()).chain(variants.iter().map(|(n, _)| n.clone())).collect(),
+    );
+
+    // Train all variants in lockstep so rows are per-epoch.
+    let mut nets: Vec<NeuralNet> = variants
+        .iter()
+        .map(|_| NeuralNet::new(ds.x.cols(), &[hidden], classes, seed))
+        .collect();
+    let providers: Vec<MemoryProvider> = variants
+        .iter()
+        .map(|(_, bs)| {
+            let batches = ds
+                .minibatches(*bs)
+                .into_iter()
+                .map(|(x, y)| (Scheme::Toc.encode(&x), y))
+                .collect();
+            MemoryProvider { batches, features: ds.x.cols() }
+        })
+        .collect();
+
+    // A single fixed learning rate across variants, as in the paper's
+    // comparison: SGD becomes noisy/unstable, large batches make slow
+    // per-epoch progress, and MGD with a few hundred rows balances both.
+    let lr: f64 = arg("lr", 0.35);
+    let lrs: Vec<f64> = variants.iter().map(|_| lr).collect();
+
+    for epoch in 1..=epochs {
+        for ((nn, provider), lr) in nets.iter_mut().zip(&providers).zip(&lrs) {
+            for i in 0..provider.num_batches() {
+                provider.visit(i, &mut |batch, labels| {
+                    let t = targets_for_nn(labels, nn.outputs);
+                    nn.update_batch(batch, &t, *lr);
+                });
+            }
+        }
+        let mut cells = vec![epoch.to_string()];
+        for nn in nets.iter_mut() {
+            cells.push(format!("{:.3}", nn.accuracy(&eval, &targets)));
+        }
+        table.row(cells);
+    }
+    table.print();
+}

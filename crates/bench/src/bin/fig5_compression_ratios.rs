@@ -1,0 +1,34 @@
+//! Figure 5: compression ratios of all eight schemes on mini-batches of
+//! 50–250 rows across the six dataset presets.
+//!
+//! Expected shape (paper): TOC best on census/imagenet/kdd; Gzip best on
+//! mnist; CSR ≈ TOC on rcv1; nobody compresses deep1b.
+
+use toc_bench::{arg, compression_ratio, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let sizes: Vec<usize> = vec![50, 100, 150, 200, 250];
+    println!("# Figure 5 — compression ratios on mini-batches (higher is better)\n");
+    for preset in DatasetPreset::ALL {
+        println!("## dataset: {}", preset.name());
+        let ds = generate_preset(preset, *sizes.last().unwrap(), seed);
+        let mut table = Table::new(
+            std::iter::once("rows".to_string())
+                .chain(Scheme::PAPER_SET.iter().map(|s| s.name().to_string()))
+                .collect(),
+        );
+        for &rows in &sizes {
+            let batch = ds.x.slice_rows(0, rows);
+            let mut cells = vec![rows.to_string()];
+            for scheme in Scheme::PAPER_SET {
+                cells.push(format!("{:.1}", compression_ratio(&batch, scheme)));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

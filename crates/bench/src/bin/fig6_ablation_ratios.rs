@@ -1,0 +1,38 @@
+//! Figure 6: ablation of the TOC encoding components — compression ratios
+//! of TOC_SPARSE, TOC_SPARSE_AND_LOGICAL and TOC_FULL on varying-size
+//! mini-batches.
+//!
+//! Expected shape: each added component improves the ratio; the logical
+//! step's gain is large on kdd/census, small on mnist.
+
+use toc_bench::{arg, compression_ratio, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let sizes = [50usize, 100, 150, 200, 250];
+    const VARIANTS: [Scheme; 3] =
+        [Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
+    println!("# Figure 6 — TOC ablation compression ratios\n");
+    for preset in DatasetPreset::ALL {
+        println!("## dataset: {}", preset.name());
+        let ds = generate_preset(preset, *sizes.last().unwrap(), seed);
+        let mut table = Table::new(vec![
+            "rows".to_string(),
+            "TOC_SPARSE".to_string(),
+            "TOC_SPARSE_AND_LOGICAL".to_string(),
+            "TOC_FULL".to_string(),
+        ]);
+        for &rows in &sizes {
+            let batch = ds.x.slice_rows(0, rows);
+            let mut cells = vec![rows.to_string()];
+            for scheme in VARIANTS {
+                cells.push(format!("{:.1}", compression_ratio(&batch, scheme)));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 7: compression ratios on large mini-batches — the batch is a
+//! growing percentage of the whole dataset (100% = batch gradient
+//! descent).
+//!
+//! Expected shape: TOC becomes *more* competitive as batches grow (deeper
+//! dictionary reuse), overtaking everything at 100% on the
+//! moderate-sparsity datasets.
+
+use toc_bench::{arg, compression_ratio, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+fn main() {
+    let rows: usize = arg("rows", 4000);
+    let seed: u64 = arg("seed", 42);
+    let percents = [5usize, 10, 20, 40, 80, 100];
+    println!("# Figure 7 — compression ratios on large mini-batches ({rows} total rows)\n");
+    for preset in DatasetPreset::MODERATE {
+        println!("## dataset: {}", preset.name());
+        let ds = generate_preset(preset, rows, seed);
+        let mut table = Table::new(
+            std::iter::once("pct".to_string())
+                .chain(Scheme::PAPER_SET.iter().map(|s| s.name().to_string()))
+                .collect(),
+        );
+        for &pct in &percents {
+            let take = (rows * pct / 100).max(1);
+            let batch = ds.x.slice_rows(0, take);
+            let mut cells = vec![format!("{pct}%")];
+            for scheme in Scheme::PAPER_SET {
+                cells.push(format!("{:.1}", compression_ratio(&batch, scheme)));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

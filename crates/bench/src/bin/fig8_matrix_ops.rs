@@ -1,0 +1,80 @@
+//! Figure 8: average runtimes of the five matrix-operation classes on
+//! compressed 250-row mini-batches, per scheme and dataset.
+//!
+//! Expected shape: value-indexed schemes (DVI/CVI/TOC) make `A*c` nearly
+//! free; GC schemes are orders of magnitude slower on everything (full
+//! decompression per op); TOC is fastest on `A*M`/`M*A` for the
+//! moderate-sparsity datasets; CSR/DEN win on rcv1/deep1b.
+
+use std::time::Duration;
+use toc_bench::{arg, fmt_duration, time_avg, Table};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{AnyBatch, MatrixBatch, Scheme};
+use toc_linalg::DenseMatrix;
+
+const OPS: [&str; 5] = ["A*c", "A*v", "A*M", "v*A", "M*A"];
+
+fn run_op(batch: &AnyBatch, op: &str, v: &[f64], w: &[f64], mr: &DenseMatrix, ml: &DenseMatrix) {
+    match op {
+        "A*c" => {
+            let mut b = batch.clone();
+            b.scale(1.000001);
+        }
+        "A*v" => {
+            std::hint::black_box(batch.matvec(v));
+        }
+        "A*M" => {
+            std::hint::black_box(batch.matmat(mr));
+        }
+        "v*A" => {
+            std::hint::black_box(batch.vecmat(w));
+        }
+        "M*A" => {
+            std::hint::black_box(batch.matmat_left(ml));
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let rows: usize = arg("rows", 250);
+    let iters: usize = arg("iters", 30);
+    let seed: u64 = arg("seed", 42);
+    println!("# Figure 8 — matrix operation runtimes on compressed {rows}-row batches\n");
+    for preset in DatasetPreset::ALL {
+        let ds = generate_preset(preset, rows, seed);
+        let cols = ds.x.cols();
+        let v: Vec<f64> = (0..cols).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let w: Vec<f64> = (0..rows).map(|i| ((i % 5) as f64) - 2.0).collect();
+        // M has 20 columns/rows, per §5.2.
+        let mr = DenseMatrix::from_vec(
+            cols,
+            20,
+            (0..cols * 20).map(|i| ((i % 11) as f64) * 0.25).collect(),
+        );
+        let ml = DenseMatrix::from_vec(
+            20,
+            rows,
+            (0..rows * 20).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect(),
+        );
+        println!("## dataset: {} ({} cols)", preset.name(), cols);
+        let mut table = Table::new(
+            std::iter::once("scheme".to_string())
+                .chain(OPS.iter().map(|o| o.to_string()))
+                .collect(),
+        );
+        for scheme in Scheme::PAPER_SET {
+            let batch = scheme.encode(&ds.x);
+            let mut cells = vec![scheme.name().to_string()];
+            for op in OPS {
+                // CLA in SystemML does not support A*M (paper footnote);
+                // ours does, so no exclusions are needed.
+                let d: Duration = time_avg(iters, || run_op(&batch, op, &v, &w, &mr, &ml));
+                cells.push(fmt_duration(d));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

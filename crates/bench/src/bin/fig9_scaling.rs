@@ -1,0 +1,63 @@
+//! Figure 9: end-to-end MGD runtime as a function of dataset size
+//! (imagenet-like rows sweep) under a fixed memory budget — the spilling
+//! crossover plot.
+//!
+//! Expected shape: all schemes track each other while resident; once a
+//! scheme's footprint crosses the budget its curve bends up sharply; TOC
+//! bends last (or never, within the sweep).
+
+use toc_bench::{arg, end_to_end, fmt_duration, Table, Workload};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::{MatrixBatch, Scheme};
+
+/// The paper's end-to-end comparisons exclude CLA.
+const END_TO_END_SET: [Scheme; 7] = [
+    Scheme::Den,
+    Scheme::Csr,
+    Scheme::Cvi,
+    Scheme::Dvi,
+    Scheme::Snappy,
+    Scheme::Gzip,
+    Scheme::Toc,
+];
+
+fn main() {
+    let epochs: usize = arg("epochs", 2);
+    let seed: u64 = arg("seed", 42);
+    let mbps: f64 = arg("mbps", 150.0);
+    let max_rows: usize = arg("max-rows", 8000);
+    let sweep: Vec<usize> =
+        [1usize, 2, 4, 8].iter().map(|k| k * max_rows / 8).filter(|&r| r > 0).collect();
+
+    // Fixed budget: the TOC footprint at half the max scale — large sizes
+    // spill for the wide formats, never for TOC.
+    let probe = generate_preset(DatasetPreset::ImagenetLike, max_rows / 2, seed);
+    let budget: usize = probe
+        .minibatches(250)
+        .iter()
+        .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
+        .sum::<usize>()
+        * 4;
+
+    println!("# Figure 9 — MGD runtime vs dataset size (imagenet-like, budget {} KB)\n", budget / 1024);
+    for workload in [Workload::Nn, Workload::Lr] {
+        println!("## workload: {}", workload.name());
+        let mut table = Table::new(
+            std::iter::once("rows".to_string())
+                .chain(END_TO_END_SET.iter().map(|s| s.name().to_string()))
+                .collect(),
+        );
+        for &rows in &sweep {
+            let ds = generate_preset(DatasetPreset::ImagenetLike, rows, seed);
+            let mut cells = vec![rows.to_string()];
+            for scheme in END_TO_END_SET {
+                let r = end_to_end(&ds, scheme, workload, budget, epochs, (32, 16), mbps);
+                let marker = if r.spilled_batches > 0 { "*" } else { "" };
+                cells.push(format!("{}{}", fmt_duration(r.train_time), marker));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!("(* = spilled to disk)\n");
+    }
+}

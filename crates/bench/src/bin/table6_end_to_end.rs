@@ -1,0 +1,83 @@
+//! Table 6: end-to-end MGD runtimes for NN / LR / SVM on the
+//! imagenet-like and mnist-like datasets, at an in-memory scale and at an
+//! out-of-core scale.
+//!
+//! The paper's 15 GB machine is modeled by a memory budget set *between*
+//! the TOC footprint and the baseline footprints at the large scale, so
+//! TOC (and the GC schemes) stay resident while DEN/CSR/CVI/DVI spill —
+//! exactly the Imagenet25m/Mnist25m regime.
+//!
+//! Expected shape: small scale — CVI and TOC fastest; large scale — TOC
+//! clearly fastest, DEN worst, GC schemes resident but slowed by
+//! per-batch decompression.
+
+use toc_bench::{arg, end_to_end, fmt_duration, Table, Workload};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+/// Table 6/7 compare these rows (the paper's end-to-end tables exclude CLA).
+const END_TO_END_SET: [Scheme; 7] = [
+    Scheme::Den,
+    Scheme::Csr,
+    Scheme::Cvi,
+    Scheme::Dvi,
+    Scheme::Snappy,
+    Scheme::Gzip,
+    Scheme::Toc,
+];
+
+fn run_table(presets: &[DatasetPreset]) {
+    let small_rows: usize = arg("small-rows", 1500);
+    let large_rows: usize = arg("large-rows", 6000);
+    let epochs: usize = arg("epochs", 2);
+    let h1: usize = arg("hidden1", 32);
+    let h2: usize = arg("hidden2", 16);
+    let seed: u64 = arg("seed", 42);
+    let mbps: f64 = arg("mbps", 150.0);
+
+    for &preset in presets {
+        for (scale_name, rows) in [("small", small_rows), ("large", large_rows)] {
+            let ds = generate_preset(preset, rows, seed);
+            // Budget: small scale fits everything; large scale fits ~3x the
+            // TOC footprint (TOC and usually GC stay resident, LMC spills).
+            let budget = if scale_name == "small" {
+                usize::MAX
+            } else {
+                use toc_formats::MatrixBatch;
+                let toc_bytes: usize = ds
+                    .minibatches(250)
+                    .iter()
+                    .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
+                    .sum();
+                toc_bytes * 22 / 10
+            };
+            println!(
+                "## {}{} ({} rows, budget {})",
+                preset.name(),
+                scale_name,
+                rows,
+                if budget == usize::MAX { "unbounded".to_string() } else { format!("{} KB", budget / 1024) },
+            );
+            let mut table =
+                Table::new(vec!["scheme", "NN", "LR", "SVM", "spilled/total"]);
+            for scheme in END_TO_END_SET {
+                let mut cells = vec![scheme.name().to_string()];
+                let mut spill_info = String::new();
+                for workload in Workload::ALL {
+                    let r = end_to_end(&ds, scheme, workload, budget, epochs, (h1, h2), mbps);
+                    cells.push(fmt_duration(r.train_time));
+                    spill_info = format!("{}/{}", r.spilled_batches, r.total_batches);
+                }
+                cells.push(spill_info);
+                table.row(cells);
+            }
+            table.print();
+            println!();
+        }
+    }
+}
+
+fn main() {
+    println!("# Table 6 — end-to-end MGD runtimes (imagenet-like, mnist-like)\n");
+    run_table(&[DatasetPreset::ImagenetLike, DatasetPreset::MnistLike]);
+}

@@ -1,0 +1,64 @@
+//! Table 7: end-to-end MGD runtimes for NN / LR / SVM on the census-like
+//! and kdd99-like datasets (Appendix D.2). Same harness as Table 6.
+//!
+//! Expected shape: kdd99's extreme redundancy makes the TOC speedups the
+//! largest of the whole evaluation at the out-of-core scale (the paper
+//! reports up to 17.8x / 18.3x for LR / SVM).
+
+use toc_bench::{arg, end_to_end, fmt_duration, Table, Workload};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+/// Table 6/7 compare these rows (the paper's end-to-end tables exclude CLA).
+const END_TO_END_SET: [Scheme; 7] = [
+    Scheme::Den,
+    Scheme::Csr,
+    Scheme::Cvi,
+    Scheme::Dvi,
+    Scheme::Snappy,
+    Scheme::Gzip,
+    Scheme::Toc,
+];
+
+fn main() {
+    println!("# Table 7 — end-to-end MGD runtimes (census-like, kdd99-like)\n");
+    let small_rows: usize = arg("small-rows", 2000);
+    let large_rows: usize = arg("large-rows", 10000);
+    let epochs: usize = arg("epochs", 2);
+    let h1: usize = arg("hidden1", 32);
+    let h2: usize = arg("hidden2", 16);
+    let seed: u64 = arg("seed", 42);
+    let mbps: f64 = arg("mbps", 150.0);
+
+    for preset in [DatasetPreset::CensusLike, DatasetPreset::Kdd99Like] {
+        for (scale_name, rows) in [("small", small_rows), ("large", large_rows)] {
+            let ds = generate_preset(preset, rows, seed);
+            let budget = if scale_name == "small" {
+                usize::MAX
+            } else {
+                use toc_formats::MatrixBatch;
+                let toc_bytes: usize = ds
+                    .minibatches(250)
+                    .iter()
+                    .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
+                    .sum();
+                toc_bytes * 22 / 10
+            };
+            println!("## {}{} ({} rows)", preset.name(), scale_name, rows);
+            let mut table = Table::new(vec!["scheme", "NN", "LR", "SVM", "spilled/total"]);
+            for scheme in END_TO_END_SET {
+                let mut cells = vec![scheme.name().to_string()];
+                let mut spill_info = String::new();
+                for workload in Workload::ALL {
+                    let r = end_to_end(&ds, scheme, workload, budget, epochs, (h1, h2), mbps);
+                    cells.push(fmt_duration(r.train_time));
+                    spill_info = format!("{}/{}", r.spilled_batches, r.total_batches);
+                }
+                cells.push(spill_info);
+                table.row(cells);
+            }
+            table.print();
+            println!();
+        }
+    }
+}

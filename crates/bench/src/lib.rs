@@ -1,0 +1,248 @@
+#![forbid(unsafe_code)]
+//! # toc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (run with
+//! `cargo run -p toc-bench --release --bin <name> [-- --key=value ...]`),
+//! plus Criterion benches for the microbenchmark figures. This library
+//! holds the shared plumbing: timing, aligned table printing, command-line
+//! overrides, and the end-to-end MGD runner used by Tables 6–7 and
+//! Figures 9–10.
+
+use std::time::{Duration, Instant};
+use toc_data::store::{MiniBatchStore, StoreConfig};
+use toc_data::synth::Dataset;
+use toc_formats::Scheme;
+use toc_ml::mgd::{BatchProvider, MgdConfig, ModelSpec, Trainer};
+use toc_ml::LossKind;
+
+/// Time a closure once.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Average wall time of `f` over enough iterations to exceed ~20 ms
+/// (bounded by `max_iters`), after one warm-up call.
+pub fn time_avg<R>(max_iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut iters = 0usize;
+    let t0 = Instant::now();
+    while iters < max_iters && (iters < 3 || t0.elapsed() < Duration::from_millis(20)) {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    t0.elapsed() / iters.max(1) as u32
+}
+
+/// Parse `--name=value` from the process arguments, with a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    for a in std::env::args() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            if let Ok(parsed) = v.parse() {
+                return parsed;
+            }
+            eprintln!("warning: could not parse {a}, using default");
+        }
+    }
+    default
+}
+
+/// Minimal aligned-table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Human-friendly duration (matches the unit scales in the paper's plots).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1e6 {
+        format!("{:.1}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+/// Format a ratio with one decimal.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// The three end-to-end workloads of §5.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    Nn,
+    Lr,
+    Svm,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 3] = [Workload::Nn, Workload::Lr, Workload::Svm];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Nn => "NN",
+            Workload::Lr => "LR",
+            Workload::Svm => "SVM",
+        }
+    }
+
+    /// Model spec for a dataset with `classes` classes. The NN uses two
+    /// hidden layers (scaled down from the paper's 200/50 to keep the
+    /// harness fast; override with `--hidden1/--hidden2`).
+    pub fn spec(self, classes: usize, hidden: (usize, usize)) -> ModelSpec {
+        match self {
+            Workload::Nn => ModelSpec::NeuralNet {
+                hidden: vec![hidden.0, hidden.1],
+                outputs: if classes == 2 { 1 } else { classes },
+            },
+            Workload::Lr => {
+                if classes == 2 {
+                    ModelSpec::Linear(LossKind::Logistic)
+                } else {
+                    ModelSpec::OneVsRest { loss: LossKind::Logistic, classes }
+                }
+            }
+            Workload::Svm => {
+                if classes == 2 {
+                    ModelSpec::Linear(LossKind::Hinge)
+                } else {
+                    ModelSpec::OneVsRest { loss: LossKind::Hinge, classes }
+                }
+            }
+        }
+    }
+}
+
+/// Result of one end-to-end MGD run.
+pub struct EndToEndResult {
+    pub train_time: Duration,
+    pub spilled_batches: usize,
+    pub total_batches: usize,
+    pub encoded_bytes: usize,
+}
+
+/// Build a store for `scheme` and train `workload` on it (the Tables 6–7 /
+/// Figures 9–10 inner loop). `memory_budget` mimics the machine RAM of the
+/// paper's setups and `disk_mbps` the spill-storage bandwidth (0 = raw
+/// file IO only); training time includes the disk IO of spilled batches
+/// but not the one-time encoding cost, matching §5.3.
+pub fn end_to_end(
+    ds: &Dataset,
+    scheme: Scheme,
+    workload: Workload,
+    memory_budget: usize,
+    epochs: usize,
+    hidden: (usize, usize),
+    disk_mbps: f64,
+) -> EndToEndResult {
+    let mut config = StoreConfig::new(scheme, 250, memory_budget);
+    if disk_mbps > 0.0 {
+        config = config.with_disk_mbps(disk_mbps);
+    }
+    let store = MiniBatchStore::build(&ds.x, &ds.labels, &config).expect("store build");
+    let trainer = Trainer::new(MgdConfig { epochs, lr: 0.05, ..Default::default() });
+    let spec = workload.spec(ds.classes, hidden);
+    let report = trainer.train(&spec, &store, None);
+    EndToEndResult {
+        train_time: report.train_time,
+        spilled_batches: store.spilled_batches(),
+        total_batches: store.num_batches(),
+        encoded_bytes: store.total_bytes(),
+    }
+}
+
+/// Compression ratio of `scheme` on a dense batch (DEN bytes / encoded
+/// bytes), as defined in §5.1.
+pub fn compression_ratio(batch: &toc_linalg::DenseMatrix, scheme: Scheme) -> f64 {
+    use toc_formats::MatrixBatch;
+    let encoded = scheme.encode(batch);
+    batch.den_size_bytes() as f64 / encoded.size_bytes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toc_data::synth::{generate_preset, DatasetPreset};
+
+    #[test]
+    fn table_prints_aligned() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["1", "2"]);
+        t.print();
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+        assert_eq!(fmt_ratio(12.34), "12.3x");
+    }
+
+    #[test]
+    fn end_to_end_smoke() {
+        let ds = generate_preset(DatasetPreset::Kdd99Like, 500, 1);
+        let r = end_to_end(&ds, Scheme::Toc, Workload::Lr, usize::MAX, 2, (8, 4), 0.0);
+        assert_eq!(r.spilled_batches, 0);
+        assert_eq!(r.total_batches, 2);
+        assert!(r.train_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn workload_specs() {
+        assert!(matches!(Workload::Lr.spec(2, (8, 4)), ModelSpec::Linear(LossKind::Logistic)));
+        assert!(matches!(
+            Workload::Svm.spec(10, (8, 4)),
+            ModelSpec::OneVsRest { loss: LossKind::Hinge, classes: 10 }
+        ));
+        assert!(matches!(
+            Workload::Nn.spec(10, (8, 4)),
+            ModelSpec::NeuralNet { outputs: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn compression_ratio_sane() {
+        let ds = generate_preset(DatasetPreset::Kdd99Like, 250, 2);
+        assert!(compression_ratio(&ds.x, Scheme::Toc) > 10.0);
+        assert!((compression_ratio(&ds.x, Scheme::Den) - 1.0).abs() < 1e-9);
+    }
+}

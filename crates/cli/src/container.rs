@@ -1,0 +1,165 @@
+//! The `.tocz` container: a header plus one serialized batch per
+//! mini-batch, so whole datasets survive a compress/decompress roundtrip
+//! with tuple boundaries (and therefore trainability) intact.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   u32 = 0x544F435A ("TOCZ")
+//! version u8  = 1
+//! batches u32
+//! per batch: u32 byte length, then the tagged MatrixBatch bytes
+//! ```
+
+use std::path::Path;
+use toc_formats::{AnyBatch, FormatError, MatrixBatch, Scheme};
+use toc_linalg::DenseMatrix;
+
+const MAGIC: u32 = 0x544F_435A;
+const VERSION: u8 = 1;
+
+/// A compressed dataset: an ordered list of encoded mini-batches.
+pub struct Container {
+    pub batches: Vec<AnyBatch>,
+}
+
+impl Container {
+    /// Encode `m` into `batch_rows`-row batches with `scheme`.
+    pub fn encode(m: &DenseMatrix, scheme: Scheme, batch_rows: usize) -> Self {
+        let mut batches = Vec::new();
+        let mut start = 0;
+        while start < m.rows() {
+            let end = (start + batch_rows).min(m.rows());
+            batches.push(scheme.encode(&m.slice_rows(start, end)));
+            start = end;
+        }
+        Self { batches }
+    }
+
+    /// Decode all batches back into one dense matrix.
+    pub fn decode(&self) -> Result<DenseMatrix, String> {
+        let total_rows: usize = self.batches.iter().map(|b| b.rows()).sum();
+        let cols = self.batches.first().map(|b| b.cols()).unwrap_or(0);
+        let mut out = DenseMatrix::zeros(total_rows, cols);
+        let mut row = 0;
+        for b in &self.batches {
+            if b.cols() != cols {
+                return Err("inconsistent batch widths".into());
+            }
+            let dense = b.decode();
+            for r in 0..dense.rows() {
+                out.row_mut(row).copy_from_slice(dense.row(r));
+                row += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total encoded payload size (excluding container framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.batches.iter().map(|b| b.size_bytes()).sum()
+    }
+
+    /// Serialize to a `.tocz` file.
+    pub fn write(&self, path: &Path) -> Result<(), String> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.extend_from_slice(&(self.batches.len() as u32).to_le_bytes());
+        for b in &self.batches {
+            let bytes = b.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Load and validate a `.tocz` file.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let need = |n: usize, pos: usize| {
+            if bytes.len() < pos + n {
+                Err(FormatError::Corrupt("truncated container".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(9, 0)?;
+        if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MAGIC {
+            return Err(FormatError::Corrupt("bad container magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(FormatError::Corrupt("unsupported container version".into()));
+        }
+        let n = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let mut pos = 9usize;
+        let mut batches = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            need(4, pos)?;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(len, pos)?;
+            batches.push(Scheme::from_bytes(&bytes[pos..pos + len])?);
+            pos += len;
+        }
+        if pos != bytes.len() {
+            return Err(FormatError::Corrupt("trailing container bytes".into()));
+        }
+        Ok(Self { batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        let rows: Vec<Vec<f64>> = (0..130)
+            .map(|r| (0..12).map(|c| if (r + c) % 3 == 0 { (c % 4) as f64 } else { 0.0 }).collect())
+            .collect();
+        DenseMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn roundtrip_all_schemes() {
+        let m = sample();
+        for scheme in [Scheme::Toc, Scheme::Den, Scheme::Gzip, Scheme::Cla] {
+            let c = Container::encode(&m, scheme, 50);
+            assert_eq!(c.batches.len(), 3);
+            assert_eq!(c.decode().unwrap(), m, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = sample();
+        let p = std::env::temp_dir()
+            .join(format!("toc-container-{}.tocz", std::process::id()));
+        let c = Container::encode(&m, Scheme::Toc, 64);
+        c.write(&p).unwrap();
+        let back = Container::read(&p).unwrap();
+        assert_eq!(back.decode().unwrap(), m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_container_errors() {
+        let m = sample();
+        let c = Container::encode(&m, Scheme::Toc, 64);
+        let p = std::env::temp_dir()
+            .join(format!("toc-container-bad-{}.tocz", std::process::id()));
+        c.write(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(Container::from_bytes(&bytes).is_err());
+        bytes[0] ^= 1;
+        assert!(Container::from_bytes(&bytes).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

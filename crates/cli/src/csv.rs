@@ -1,0 +1,147 @@
+//! Minimal CSV reader/writer for numeric matrices.
+//!
+//! Deliberately small: comma-separated `f64` cells, optional header line
+//! (auto-detected: a first line with any non-numeric field is treated as a
+//! header), one matrix row per line.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use toc_linalg::DenseMatrix;
+
+/// Read a numeric CSV into a dense matrix. Returns `(matrix, header)`.
+pub fn read_matrix(path: &Path) -> Result<(DenseMatrix, Option<Vec<String>>), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    let mut rows: Vec<f64> = Vec::new();
+    let mut cols = 0usize;
+    let mut n_rows = 0usize;
+    let mut header: Option<Vec<String>> = None;
+    let mut first = true;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if first {
+            first = false;
+            if fields.iter().any(|f| f.parse::<f64>().is_err()) {
+                header = Some(fields.iter().map(|s| s.to_string()).collect());
+                cols = fields.len();
+                continue;
+            }
+            cols = fields.len();
+        }
+        if fields.len() != cols {
+            return Err(format!(
+                "row {} has {} fields, expected {cols}",
+                n_rows + 1,
+                fields.len()
+            ));
+        }
+        for f in &fields {
+            rows.push(
+                f.parse::<f64>().map_err(|e| format!("row {}: bad number {f:?}: {e}", n_rows + 1))?,
+            );
+        }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err("empty CSV".into());
+    }
+    Ok((DenseMatrix::from_vec(n_rows, cols, rows), header))
+}
+
+/// Write a dense matrix as CSV (optionally with a header).
+pub fn write_matrix(
+    path: &Path,
+    m: &DenseMatrix,
+    header: Option<&[String]>,
+) -> Result<(), String> {
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    let emit = |w: &mut BufWriter<std::fs::File>, s: &str| {
+        w.write_all(s.as_bytes()).map_err(|e| format!("write: {e}"))
+    };
+    if let Some(h) = header {
+        emit(&mut w, &h.join(","))?;
+        emit(&mut w, "\n")?;
+    }
+    let mut buf = String::new();
+    for r in 0..m.rows() {
+        buf.clear();
+        for (c, v) in m.row(r).iter().enumerate() {
+            if c > 0 {
+                buf.push(',');
+            }
+            // Shortest roundtrip formatting.
+            buf.push_str(&format!("{v}"));
+        }
+        buf.push('\n');
+        emit(&mut w, &buf)?;
+    }
+    w.flush().map_err(|e| format!("flush: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("toc-cli-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_without_header() {
+        let m = DenseMatrix::from_rows(vec![vec![1.5, 0.0, -2.25], vec![0.0, 3.0, 0.125]]);
+        let p = tmp("rt.csv");
+        write_matrix(&p, &m, None).unwrap();
+        let (back, header) = read_matrix(&p).unwrap();
+        assert_eq!(back, m);
+        assert!(header.is_none());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn roundtrip_with_header() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0, 2.0]]);
+        let p = tmp("hdr.csv");
+        let hdr = vec!["a".to_string(), "b".to_string()];
+        write_matrix(&p, &m, Some(&hdr)).unwrap();
+        let (back, header) = read_matrix(&p).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(header.unwrap(), hdr);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2,3\n4,5\n").unwrap();
+        assert!(read_matrix(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "1,2\n3,x\n").unwrap();
+        assert!(read_matrix(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = tmp("empty.csv");
+        std::fs::write(&p, "").unwrap();
+        assert!(read_matrix(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

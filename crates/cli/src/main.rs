@@ -1,0 +1,377 @@
+#![forbid(unsafe_code)]
+//! `toc` — command-line front end for tuple-oriented compression.
+//!
+//! ```text
+//! toc gen --preset census --rows 1000 data.csv     generate synthetic data
+//! toc compress data.csv data.tocz [--scheme toc]   CSV -> compressed batches
+//! toc decompress data.tocz back.csv                compressed -> CSV
+//! toc inspect data.tocz                            per-batch statistics
+//! toc bench data.csv                               compare all schemes
+//! toc train data.csv --model lr --epochs 10        MGD training (last column = label)
+//! ```
+
+mod container;
+mod csv;
+
+use container::Container;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use toc_formats::{MatrixBatch, Scheme};
+use toc_linalg::DenseMatrix;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; see `toc help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+toc — tuple-oriented compression for mini-batch SGD
+
+USAGE:
+  toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
+  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|toc>] [--batch-rows <n>]
+  toc decompress <in.tocz> <out.csv>
+  toc inspect <in.tocz>
+  toc bench <in.csv> [--batch-rows <n>]
+  toc train <in.csv> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
+            (the last CSV column is the ±1 label)
+";
+
+/// Fetch `--name value` from an argument list.
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All options take a value.
+            let _ = i;
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "den" => Scheme::Den,
+        "csr" => Scheme::Csr,
+        "cvi" => Scheme::Cvi,
+        "dvi" => Scheme::Dvi,
+        "cla" => Scheme::Cla,
+        "snappy" => Scheme::Snappy,
+        "gzip" => Scheme::Gzip,
+        "toc" => Scheme::Toc,
+        "toc-varint" => Scheme::TocVarint,
+        other => return Err(format!("unknown scheme {other:?}")),
+    })
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use toc_data::synth::{generate_preset, DatasetPreset};
+    let preset_name = opt(args, "--preset").ok_or("--preset required")?;
+    let preset = DatasetPreset::ALL
+        .into_iter()
+        .find(|p| p.name() == preset_name)
+        .ok_or_else(|| format!("unknown preset {preset_name:?}"))?;
+    let rows: usize =
+        opt(args, "--rows").ok_or("--rows required")?.parse().map_err(|e| format!("{e}"))?;
+    let seed: u64 = opt(args, "--seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
+    let out = positional(args);
+    let out: &Path = Path::new(out.first().ok_or("output path required")?);
+    let ds = generate_preset(preset, rows, seed);
+    // Emit features plus the label as the last column.
+    let mut m = DenseMatrix::zeros(ds.x.rows(), ds.x.cols() + 1);
+    for r in 0..ds.x.rows() {
+        m.row_mut(r)[..ds.x.cols()].copy_from_slice(ds.x.row(r));
+        m.set(r, ds.x.cols(), ds.labels[r]);
+    }
+    csv::write_matrix(out, &m, None)?;
+    println!(
+        "wrote {} rows x {} cols (+label) to {}",
+        ds.x.rows(),
+        ds.x.cols(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input, output] = pos[..] else {
+        return Err("usage: toc compress <in.csv> <out.tocz>".into());
+    };
+    let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
+    let batch_rows: usize =
+        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
+    let (m, _) = csv::read_matrix(Path::new(input))?;
+    let t0 = Instant::now();
+    let container = Container::encode(&m, scheme, batch_rows);
+    let elapsed = t0.elapsed();
+    container.write(Path::new(output))?;
+    let den = m.den_size_bytes();
+    let enc = container.payload_bytes();
+    println!(
+        "{}: {} rows x {} cols -> {} batches, {} -> {} bytes ({:.1}x) in {:.1?}",
+        scheme.name(),
+        m.rows(),
+        m.cols(),
+        container.batches.len(),
+        den,
+        enc,
+        den as f64 / enc as f64,
+        elapsed,
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input, output] = pos[..] else {
+        return Err("usage: toc decompress <in.tocz> <out.csv>".into());
+    };
+    let container = Container::read(Path::new(input))?;
+    let m = container.decode()?;
+    csv::write_matrix(Path::new(output), &m, None)?;
+    println!("decoded {} rows x {} cols to {}", m.rows(), m.cols(), output);
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input] = pos[..] else {
+        return Err("usage: toc inspect <in.tocz>".into());
+    };
+    let container = Container::read(Path::new(input))?;
+    println!("{}: {} batches", input, container.batches.len());
+    let mut total = 0usize;
+    let mut rows = 0usize;
+    for (i, b) in container.batches.iter().enumerate() {
+        total += b.size_bytes();
+        rows += b.rows();
+        if i < 8 {
+            let extra = if let toc_formats::AnyBatch::Toc(t) = b {
+                let s = t.toc().stats();
+                format!(
+                    " |I|={} uniq={} |D|={} nodes={}",
+                    s.first_layer_len, s.unique_values, s.codes_len, s.n_nodes
+                )
+            } else {
+                String::new()
+            };
+            println!("  batch {i}: {}x{} {} bytes{extra}", b.rows(), b.cols(), b.size_bytes());
+        }
+    }
+    if container.batches.len() > 8 {
+        println!("  ... ({} more)", container.batches.len() - 8);
+    }
+    let cols = container.batches.first().map(|b| b.cols()).unwrap_or(0);
+    let den = 16 * container.batches.len() + 8 * rows * cols;
+    println!("total: {rows} rows, {total} bytes encoded ({:.1}x vs DEN)", den as f64 / total as f64);
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input] = pos[..] else {
+        return Err("usage: toc bench <in.csv>".into());
+    };
+    let batch_rows: usize =
+        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
+    let (m, _) = csv::read_matrix(Path::new(input))?;
+    let batch = m.slice_rows(0, m.rows().min(batch_rows));
+    let den = batch.den_size_bytes();
+    let v: Vec<f64> = (0..batch.cols()).map(|i| (i % 5) as f64 * 0.5 - 1.0).collect();
+    println!(
+        "{}: first {} rows x {} cols (density {:.3})",
+        input,
+        batch.rows(),
+        batch.cols(),
+        batch.density()
+    );
+    println!("{:>8} {:>10} {:>8} {:>12} {:>12}", "scheme", "bytes", "ratio", "encode", "A*v");
+    for scheme in Scheme::PAPER_SET {
+        let t0 = Instant::now();
+        let encoded = scheme.encode(&batch);
+        let enc_time = t0.elapsed();
+        let _ = encoded.matvec(&v);
+        let t1 = Instant::now();
+        let iters = 10;
+        for _ in 0..iters {
+            std::hint::black_box(encoded.matvec(&v));
+        }
+        let op = t1.elapsed() / iters;
+        println!(
+            "{:>8} {:>10} {:>7.1}x {:>12.1?} {:>12.1?}",
+            scheme.name(),
+            encoded.size_bytes(),
+            den as f64 / encoded.size_bytes() as f64,
+            enc_time,
+            op,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    use toc_ml::mgd::{MemoryProvider, MgdConfig, ModelSpec, Trainer};
+    use toc_ml::LossKind;
+    let pos = positional(args);
+    let [input] = pos[..] else {
+        return Err("usage: toc train <in.csv>".into());
+    };
+    let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
+    let batch_rows: usize =
+        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
+    let epochs: usize = opt(args, "--epochs").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
+    let lr: f64 = opt(args, "--lr").map(|s| s.parse().unwrap_or(0.05)).unwrap_or(0.05);
+    let model = opt(args, "--model").unwrap_or_else(|| "lr".into());
+    let loss = match model.as_str() {
+        "lr" => LossKind::Logistic,
+        "svm" => LossKind::Hinge,
+        "linreg" => LossKind::Squared,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+
+    let (full, _) = csv::read_matrix(Path::new(input))?;
+    if full.cols() < 2 {
+        return Err("need at least one feature column plus the label column".into());
+    }
+    let d = full.cols() - 1;
+    let mut x = DenseMatrix::zeros(full.rows(), d);
+    let mut y = Vec::with_capacity(full.rows());
+    for r in 0..full.rows() {
+        x.row_mut(r).copy_from_slice(&full.row(r)[..d]);
+        y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
+    }
+
+    let mut batches = Vec::new();
+    let mut start = 0;
+    let t0 = Instant::now();
+    while start < x.rows() {
+        let end = (start + batch_rows).min(x.rows());
+        batches.push((scheme.encode(&x.slice_rows(start, end)), y[start..end].to_vec()));
+        start = end;
+    }
+    let encode_time = t0.elapsed();
+    let encoded_bytes: usize = batches.iter().map(|(b, _)| b.size_bytes()).sum();
+    let provider = MemoryProvider { batches, features: d };
+
+    let trainer = Trainer::new(MgdConfig { epochs, lr, ..Default::default() });
+    let mut report = trainer.train(&ModelSpec::Linear(loss), &provider, None);
+    let eval = Scheme::Den.encode(&x);
+    let err = report.model.error_rate(&eval, &y);
+    println!(
+        "{model} on {} rows x {d} features [{}]: encode {:.1?} ({} KB), train {:.1?} ({epochs} epochs), training error {:.2}%",
+        x.rows(),
+        scheme.name(),
+        encode_time,
+        encoded_bytes / 1024,
+        report.train_time,
+        err * 100.0,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(parse_scheme("toc").unwrap(), Scheme::Toc);
+        assert_eq!(parse_scheme("GZIP").unwrap(), Scheme::Gzip);
+        assert!(parse_scheme("zstd").is_err());
+    }
+
+    #[test]
+    fn opt_and_positional() {
+        let args: Vec<String> =
+            ["a.csv", "--scheme", "toc", "b.tocz"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(opt(&args, "--scheme").as_deref(), Some("toc"));
+        assert_eq!(positional(&args), vec!["a.csv", "b.tocz"]);
+    }
+
+    #[test]
+    fn end_to_end_compress_decompress() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv_in = dir.join(format!("toc-cli-e2e-{pid}.csv"));
+        let tocz = dir.join(format!("toc-cli-e2e-{pid}.tocz"));
+        let csv_out = dir.join(format!("toc-cli-e2e-{pid}-out.csv"));
+        let m = DenseMatrix::from_rows(
+            (0..80)
+                .map(|r| (0..6).map(|c| if (r + c) % 2 == 0 { 1.5 } else { 0.0 }).collect())
+                .collect(),
+        );
+        crate::csv::write_matrix(&csv_in, &m, None).unwrap();
+        cmd_compress(&[
+            csv_in.display().to_string(),
+            tocz.display().to_string(),
+            "--batch-rows".into(),
+            "32".into(),
+        ])
+        .unwrap();
+        cmd_inspect(&[tocz.display().to_string()]).unwrap();
+        cmd_decompress(&[tocz.display().to_string(), csv_out.display().to_string()]).unwrap();
+        let (back, _) = crate::csv::read_matrix(&csv_out).unwrap();
+        assert_eq!(back, m);
+        for p in [csv_in, tocz, csv_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gen_then_train() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("toc-cli-train-{pid}.csv"));
+        cmd_gen(&[
+            "--preset".into(),
+            "census".into(),
+            "--rows".into(),
+            "400".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        cmd_train(&[
+            csv.display().to_string(),
+            "--epochs".into(),
+            "4".into(),
+            "--lr".into(),
+            "0.1".into(),
+        ])
+        .unwrap();
+        cmd_bench(&[csv.display().to_string()]).unwrap();
+        std::fs::remove_file(csv).ok();
+    }
+}

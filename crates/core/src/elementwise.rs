@@ -1,0 +1,227 @@
+//! Sparse-safe element-wise operations and compressed aggregates.
+//!
+//! §4.2 presents `A .* c` and `A.^2` as the sparse-safe class: zeros stay
+//! zero, so only the unique-value array of the physical encoding needs
+//! rewriting — `O(|values|)` regardless of the matrix size. This module
+//! generalizes that to any zero-preserving map and adds the aggregate
+//! reductions ("more workloads that can execute directly on TOC outputs",
+//! §8 future work): row/column sums run in one `D`/`C'` scan by reusing
+//! the multiplication kernels with implicit all-ones vectors.
+
+use crate::batch::TocBatch;
+use crate::tree::DecodeTree;
+
+impl TocBatch {
+    /// Apply a zero-preserving function to every element (sparse-safe
+    /// element-wise op). The caller must ensure `f(0) == 0`; violating it
+    /// silently produces the sparse-unsafe semantics of applying `f` only
+    /// to the stored non-zeros. Only the unique-value array is rewritten.
+    pub fn map_sparse_safe(&mut self, f: impl Fn(f64) -> f64) {
+        self.rewrite_values(f);
+    }
+
+    /// `A.^2` (the paper's square example): sparse-safe in place.
+    pub fn square(&mut self) {
+        self.map_sparse_safe(|v| v * v);
+    }
+
+    /// `abs(A)`: sparse-safe in place.
+    pub fn abs(&mut self) {
+        self.map_sparse_safe(f64::abs);
+    }
+
+    /// Row sums (`A · 1`) with one scan of `C'` and `D`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let view = self.view();
+        let tree = DecodeTree::build_trusted(&view);
+        let n = tree.len();
+        // H[i] = sum of values of seq(i).
+        let mut h = vec![0.0f64; n];
+        for i in 1..n {
+            h[i] = tree.key_val[i] + h[tree.parent[i] as usize];
+        }
+        let mut out = vec![0.0f64; view.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let (s, e) = view.row_range(r);
+            let mut acc = 0.0;
+            view.for_each_code_in(s, e, |c| acc += h[c as usize]);
+            *o = acc;
+        }
+        out
+    }
+
+    /// Column sums (`1 · A`) with one scan of `D` and a backward scan of
+    /// `C'` (Algorithm 5 with an implicit all-ones vector).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let view = self.view();
+        let tree = DecodeTree::build_trusted(&view);
+        let n = tree.len();
+        let mut h = vec![0.0f64; n];
+        for r in 0..view.rows {
+            let (s, e) = view.row_range(r);
+            view.for_each_code_in(s, e, |c| h[c as usize] += 1.0);
+        }
+        let mut out = vec![0.0f64; view.cols];
+        for i in (1..n).rev() {
+            let w = h[i];
+            if w != 0.0 {
+                out[tree.key_col[i] as usize] += tree.key_val[i] * w;
+                h[tree.parent[i] as usize] += w;
+            }
+        }
+        out
+    }
+
+    /// Number of stored non-zeros per row, computed from `C'` depths.
+    pub fn nnz_per_row(&self) -> Vec<usize> {
+        let view = self.view();
+        let tree = DecodeTree::build_trusted(&view);
+        let n = tree.len();
+        let mut depth = vec![0usize; n];
+        for i in 1..n {
+            depth[i] = depth[tree.parent[i] as usize] + 1;
+        }
+        let mut out = vec![0usize; view.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let (s, e) = view.row_range(r);
+            let mut acc = 0usize;
+            view.for_each_code_in(s, e, |c| acc += depth[c as usize]);
+            *o = acc;
+        }
+        out
+    }
+
+    /// Squared Frobenius norm: one pass over `C'` via the `A.^2` identity
+    /// (sum of squares of stored values weighted by their occurrence
+    /// counts).
+    pub fn frobenius_sq(&self) -> f64 {
+        let view = self.view();
+        let tree = DecodeTree::build_trusted(&view);
+        let n = tree.len();
+        // Occurrence count per node, pushed down from codes.
+        let mut h = vec![0.0f64; n];
+        for r in 0..view.rows {
+            let (s, e) = view.row_range(r);
+            view.for_each_code_in(s, e, |c| h[c as usize] += 1.0);
+        }
+        let mut total = 0.0;
+        for i in (1..n).rev() {
+            let w = h[i];
+            if w != 0.0 {
+                total += tree.key_val[i] * tree.key_val[i] * w;
+                h[tree.parent[i] as usize] += w;
+            }
+        }
+        total
+    }
+
+    /// Column means (standardization workloads): `col_sums / rows`.
+    pub fn col_means(&self) -> Vec<f64> {
+        let rows = self.rows() as f64;
+        self.col_sums().into_iter().map(|s| s / rows).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toc_linalg::DenseMatrix;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![
+            vec![1.5, 0.0, -2.0, 1.5],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.5, -2.0, -2.0, 0.0],
+            vec![1.5, 0.0, -2.0, 1.5],
+        ])
+    }
+
+    #[test]
+    fn square_matches_dense() {
+        let a = sample();
+        let mut toc = TocBatch::encode(&a);
+        toc.square();
+        let want = DenseMatrix::from_vec(
+            a.rows(),
+            a.cols(),
+            a.data().iter().map(|v| v * v).collect(),
+        );
+        assert_eq!(toc.decode(), want);
+    }
+
+    #[test]
+    fn abs_matches_dense() {
+        let a = sample();
+        let mut toc = TocBatch::encode(&a);
+        toc.abs();
+        let want =
+            DenseMatrix::from_vec(a.rows(), a.cols(), a.data().iter().map(|v| v.abs()).collect());
+        assert_eq!(toc.decode(), want);
+    }
+
+    #[test]
+    fn row_and_col_sums_match_dense() {
+        let a = sample();
+        let toc = TocBatch::encode(&a);
+        let want_rows: Vec<f64> = (0..a.rows()).map(|r| a.row(r).iter().sum()).collect();
+        let want_cols = a.vecmat(&vec![1.0; a.rows()]);
+        assert_eq!(toc.row_sums(), want_rows);
+        let got_cols = toc.col_sums();
+        for (g, w) in got_cols.iter().zip(&want_cols) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nnz_per_row_matches() {
+        let a = sample();
+        let toc = TocBatch::encode(&a);
+        assert_eq!(toc.nnz_per_row(), vec![3, 0, 3, 3]);
+    }
+
+    #[test]
+    fn frobenius_matches_dense() {
+        let a = sample();
+        let toc = TocBatch::encode(&a);
+        let want: f64 = a.data().iter().map(|v| v * v).sum();
+        assert!((toc.frobenius_sq() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_means_match() {
+        let a = sample();
+        let toc = TocBatch::encode(&a);
+        let means = toc.col_means();
+        for (c, m) in means.iter().enumerate() {
+            let want: f64 = (0..a.rows()).map(|r| a.get(r, c)).sum::<f64>() / a.rows() as f64;
+            assert!((m - want).abs() < 1e-12, "col {c}");
+        }
+    }
+
+    #[test]
+    fn aggregates_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let rows = rng.gen_range(1..40);
+            let cols = rng.gen_range(1..30);
+            let mut a = DenseMatrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.gen::<f64>() < 0.4 {
+                        a.set(r, c, (rng.gen_range(1..5) as f64) * 0.5);
+                    }
+                }
+            }
+            let toc = TocBatch::encode(&a);
+            let want_fro: f64 = a.data().iter().map(|v| v * v).sum();
+            assert!((toc.frobenius_sq() - want_fro).abs() < 1e-9);
+            let want_rows: Vec<f64> = (0..rows).map(|r| a.row(r).iter().sum()).collect();
+            let got_rows = toc.row_sums();
+            for (g, w) in got_rows.iter().zip(&want_rows) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Logical encoding (§3.1): the LZW-inspired prefix-tree encoding algorithm
+//! (Algorithm 1) that turns a sparse-encoded table `B` into the encoded
+//! table `D` plus the first layer of the prefix tree `I`.
+//!
+//! Unlike LZW, tuple boundaries are preserved: each tuple is encoded
+//! separately (the dictionary is shared across tuples) and the compression
+//! unit is a whole column index:value pair, never a byte.
+
+use crate::hash::FxHashMap;
+use toc_linalg::sparse::{ColVal, SparseRows};
+
+/// Output of the logical encoding step: everything needed to run compressed
+/// kernels or to apply the physical encoding. Matches the paper's `(I, D)`
+/// with explicit row boundaries.
+#[derive(Clone, Debug)]
+pub struct LogicalEncoded {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// `I`: the unique column index:value pairs in first-occurrence order.
+    /// Tree node `i + 1` has key `first_layer[i]` (node 0 is the root).
+    pub first_layer: Vec<ColVal>,
+    /// `D`, concatenated: prefix-tree node indexes for all tuples.
+    pub codes: Vec<u32>,
+    /// Tuple start indexes into `codes`; length `rows + 1`, first element 0.
+    pub row_offsets: Vec<u32>,
+    /// Total prefix-tree node count (root + first layer + added nodes).
+    pub n_nodes: u32,
+}
+
+impl LogicalEncoded {
+    /// Codes of tuple `r`.
+    #[inline]
+    pub fn row_codes(&self, r: usize) -> &[u32] {
+        &self.codes[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize]
+    }
+}
+
+/// Dictionary key for a prefix-tree child: (parent node, column, value bits).
+/// Values are keyed by their IEEE-754 bit pattern so the scheme stays
+/// lossless for every representable double.
+type ChildKey = (u32, u32, u64);
+
+/// Algorithm 1 (`PrefixTreeEncode`): encode the sparse table `B`.
+///
+/// Phase I seeds the tree with every distinct column index:value pair as a
+/// child of the root. Phase II scans each tuple, repeatedly taking the
+/// longest prefix of the remaining tuple that exists in the tree
+/// (`LongestMatchFromTree`), emitting that node's index, and growing the
+/// tree by one node so later tuples (and later positions of this tuple) can
+/// reuse the extended sequence.
+///
+/// Runs in `O(|B|)` where `|B|` is the number of column index:value pairs.
+pub fn logical_encode(sparse: &SparseRows) -> LogicalEncoded {
+    let mut child: FxHashMap<ChildKey, u32> = FxHashMap::default();
+    let mut first_layer: Vec<ColVal> = Vec::new();
+
+    // Phase I: initialize the first layer with all unique pairs.
+    for p in sparse.pairs() {
+        let key: ChildKey = (0, p.col, p.val.to_bits());
+        child.entry(key).or_insert_with(|| {
+            first_layer.push(*p);
+            first_layer.len() as u32 // node indexes start at 1; 0 is the root
+        });
+    }
+
+    let mut next_idx = first_layer.len() as u32 + 1;
+    let mut codes: Vec<u32> = Vec::new();
+    let mut row_offsets: Vec<u32> = Vec::with_capacity(sparse.rows() + 1);
+    row_offsets.push(0);
+
+    // Phase II: encode each tuple with longest matches, growing the tree.
+    for r in 0..sparse.rows() {
+        let t = sparse.row(r);
+        let mut i = 0usize;
+        while i < t.len() {
+            // LongestMatchFromTree(t, i, C): the first element always
+            // matches thanks to phase I.
+            let mut n = child[&(0, t[i].col, t[i].val.to_bits())];
+            let mut j = i + 1;
+            while j < t.len() {
+                match child.get(&(n, t[j].col, t[j].val.to_bits())) {
+                    Some(&n2) => {
+                        n = n2;
+                        j += 1;
+                    }
+                    None => break,
+                }
+            }
+            codes.push(n);
+            if j < t.len() {
+                // Extend the tree with the sequence `seq(n) ++ t[j]`.
+                child.insert((n, t[j].col, t[j].val.to_bits()), next_idx);
+                next_idx += 1;
+            }
+            i = j;
+        }
+        row_offsets.push(codes.len() as u32);
+    }
+
+    LogicalEncoded {
+        rows: sparse.rows(),
+        cols: sparse.cols(),
+        first_layer,
+        codes,
+        row_offsets,
+        n_nodes: next_idx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toc_linalg::DenseMatrix;
+
+    /// The Figure 3 running example (columns are 0-based here, the paper is
+    /// 1-based).
+    fn fig3_matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![
+            vec![1.1, 2.0, 3.0, 1.4],
+            vec![1.1, 2.0, 3.0, 0.0],
+            vec![0.0, 1.1, 3.0, 1.4],
+            vec![1.1, 2.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn fig3_first_layer() {
+        let enc = logical_encode(&SparseRows::encode(&fig3_matrix()));
+        let expect = [
+            (0u32, 1.1),
+            (1, 2.0),
+            (2, 3.0),
+            (3, 1.4),
+            (1, 1.1), // R3's 2:1.1 (paper is 1-based)
+        ];
+        assert_eq!(enc.first_layer.len(), expect.len());
+        for (got, want) in enc.first_layer.iter().zip(expect) {
+            assert_eq!((got.col, got.val), want);
+        }
+    }
+
+    #[test]
+    fn fig3_encoded_table() {
+        // Table D in Figure 3: R1=[1,2,3,4], R2=[6,3], R3=[5,8], R4=[6].
+        let enc = logical_encode(&SparseRows::encode(&fig3_matrix()));
+        assert_eq!(enc.row_codes(0), &[1, 2, 3, 4]);
+        assert_eq!(enc.row_codes(1), &[6, 3]);
+        assert_eq!(enc.row_codes(2), &[5, 8]);
+        assert_eq!(enc.row_codes(3), &[6]);
+        // Tuple start indexes from Figure 3: 0 4 6 8 (9).
+        assert_eq!(enc.row_offsets, vec![0, 4, 6, 8, 9]);
+        // Nodes 0..=10 exist after encoding (Table 2 adds 6..=10).
+        assert_eq!(enc.n_nodes, 11);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DenseMatrix::zeros(3, 4);
+        let enc = logical_encode(&SparseRows::encode(&m));
+        assert!(enc.first_layer.is_empty());
+        assert!(enc.codes.is_empty());
+        assert_eq!(enc.row_offsets, vec![0, 0, 0, 0]);
+        assert_eq!(enc.n_nodes, 1);
+    }
+
+    #[test]
+    fn identical_rows_collapse_to_single_codes() {
+        // After warm-up, a repeated full row is a single code.
+        let rows: Vec<Vec<f64>> = (0..6).map(|_| vec![1.0, 2.0, 3.0, 4.0]).collect();
+        let enc = logical_encode(&SparseRows::encode(&DenseMatrix::from_rows(rows)));
+        // Row 0: [1] [2] [3] [4]; row 1: [1,2] [3,4]; row 2: [1,2,3] [4] or
+        // similar; eventually a row encodes as one code.
+        let last = enc.row_codes(5);
+        assert_eq!(last.len(), 1, "steady state should be a single code, got {last:?}");
+    }
+
+    #[test]
+    fn second_identical_row_reuses_grown_sequences() {
+        // Row 0 encodes its 6 distinct pairs as first-layer nodes 1..=6 and
+        // grows pair-chains 7..=11. Row 1 then matches two-pair sequences:
+        // [7, 9, 11].
+        let row = vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        let m = DenseMatrix::from_rows(vec![row.clone(), row]);
+        let enc = logical_encode(&SparseRows::encode(&m));
+        assert_eq!(enc.row_codes(0), &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(enc.row_codes(1), &[7, 9, 11]);
+    }
+
+    #[test]
+    fn codes_only_reference_nodes_completed_before_use() {
+        // Because columns strictly increase within a tuple, a node added
+        // while encoding a row can never be referenced later in the same
+        // row; every emitted code names a node that already exists, so
+        // code < counter at the moment of emission (the decoder in
+        // Algorithm 2 only needs code <= counter).
+        let mut rows = Vec::new();
+        for r in 0..40 {
+            rows.push(
+                (0..30)
+                    .map(|c| if (c + r) % 4 == 0 { ((c * r) % 5) as f64 + 1.0 } else { 0.0 })
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        let enc = logical_encode(&SparseRows::encode(&DenseMatrix::from_rows(rows)));
+        let mut counter = enc.first_layer.len() as u32 + 1;
+        for r in 0..enc.rows {
+            let codes = enc.row_codes(r);
+            for (j, &c) in codes.iter().enumerate() {
+                assert!(c >= 1 && c < counter, "row {r} code {j}");
+                if j + 1 < codes.len() {
+                    counter += 1; // a node is added after every non-final match
+                }
+            }
+        }
+        assert_eq!(counter, enc.n_nodes);
+    }
+
+    #[test]
+    fn distinct_values_in_same_column_get_distinct_nodes() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let enc = logical_encode(&SparseRows::encode(&m));
+        assert_eq!(enc.first_layer.len(), 2);
+        assert_eq!(enc.row_codes(0), &[1]);
+        assert_eq!(enc.row_codes(1), &[2]);
+    }
+
+    #[test]
+    fn linear_complexity_smoke() {
+        // 2000 identical sparse rows should produce ~1 code per row in the
+        // steady state and far fewer pairs in I than in B.
+        let row: Vec<f64> =
+            (0..50).map(|c| if c % 3 == 0 { (c % 7) as f64 + 1.0 } else { 0.0 }).collect();
+        let rows: Vec<Vec<f64>> = (0..2000).map(|_| row.clone()).collect();
+        let sparse = SparseRows::encode(&DenseMatrix::from_rows(rows));
+        let enc = logical_encode(&sparse);
+        assert!(enc.codes.len() < sparse.num_pairs() / 4);
+    }
+}

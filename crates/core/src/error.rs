@@ -1,0 +1,32 @@
+//! Error type for parsing and validating TOC physical buffers.
+
+/// Errors raised when reading untrusted TOC bytes or executing kernels with
+/// mismatched dimensions. Corrupt input must surface as an error, never a
+/// panic (failure-injection tests rely on this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TocError {
+    /// The buffer does not follow the TOC physical layout.
+    Corrupt(String),
+    /// An operand's dimensions do not match the encoded matrix.
+    Dimension { expected: usize, got: usize, what: &'static str },
+    /// The buffer uses an unsupported format version or codec id.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for TocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TocError::Corrupt(msg) => write!(f, "corrupt TOC buffer: {msg}"),
+            TocError::Dimension { expected, got, what } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, got {got}")
+            }
+            TocError::Unsupported(msg) => write!(f, "unsupported TOC feature: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TocError {}
+
+pub(crate) fn corrupt(msg: impl Into<String>) -> TocError {
+    TocError::Corrupt(msg.into())
+}

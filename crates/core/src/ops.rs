@@ -1,0 +1,353 @@
+//! Compressed matrix-operation execution (§4): kernels that run directly on
+//! the TOC output without decompressing the mini-batch.
+//!
+//! Every kernel scans the encoded table `D` and the decoding tree `C'` at
+//! most once, so runtime is `O(|I| + |D|)` (times the width of `M` for the
+//! matrix-matrix variants) instead of `O(nnz)` — the computational
+//! redundancy removed by compression is also removed from the compute.
+
+use crate::batch::TocView;
+use crate::tree::DecodeTree;
+use toc_linalg::sparse::{ColVal, SparseRows};
+use toc_linalg::DenseMatrix;
+
+/// Algorithm 4, `A · v`.
+///
+/// Dynamic programming over the tree: `H[i] = key_i · v + H[parent(i)]`
+/// evaluates `F(i) = seq(i) · v` for every node in one forward scan (node
+/// indexes are topologically ordered because children are created after
+/// their parents). The result row `r` is then the sum of `H` over the row's
+/// codes.
+pub fn matvec(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(v.len(), view.cols);
+    let n = tree.len();
+    let mut h = vec![0.0f64; n];
+    for i in 1..n {
+        h[i] = tree.key_val[i] * v[tree.key_col[i] as usize] + h[tree.parent[i] as usize];
+    }
+    let mut out = vec![0.0f64; view.rows];
+    for (r, o) in out.iter_mut().enumerate() {
+        let (s, e) = view.row_range(r);
+        let mut acc = 0.0;
+        view.for_each_code_in(s, e, |c| acc += h[c as usize]);
+        *o = acc;
+    }
+    out
+}
+
+/// Algorithm 5, `v · A`.
+///
+/// First scan `D` to accumulate `G(i) = Σ v[r]` over all occurrences of
+/// code `i`; then scan `C'` **backwards**, pushing each node's weight onto
+/// its parent so that every node's weight ends up multiplied into exactly
+/// the pairs of its sequence.
+pub fn vecmat(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(v.len(), view.rows);
+    let n = tree.len();
+    let mut h = vec![0.0f64; n];
+    for (r, &w) in v.iter().enumerate() {
+        let (s, e) = view.row_range(r);
+        view.for_each_code_in(s, e, |c| h[c as usize] += w);
+    }
+    let mut out = vec![0.0f64; view.cols];
+    for i in (1..n).rev() {
+        let w = h[i];
+        if w != 0.0 {
+            out[tree.key_col[i] as usize] += tree.key_val[i] * w;
+            h[tree.parent[i] as usize] += w;
+        }
+    }
+    out
+}
+
+/// Algorithm 7 (Appendix B.1), `A · M` with uncompressed `M` (`cols × p`).
+///
+/// `H` is `len(C') × p`: row `i` holds `seq(i) · M`. The innermost loop
+/// runs over `M`'s columns for cache-friendly sequential access.
+pub fn matmat(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(m.rows(), view.cols);
+    let p = m.cols();
+    let n = tree.len();
+    let mut h = vec![0.0f64; n * p];
+    for i in 1..n {
+        let key_val = tree.key_val[i];
+        let mrow = m.row(tree.key_col[i] as usize);
+        let parent = tree.parent[i] as usize;
+        // Split to satisfy the borrow checker: parent < i always.
+        let (head, tail) = h.split_at_mut(i * p);
+        let hp = &head[parent * p..parent * p + p];
+        let hi = &mut tail[..p];
+        for ((o, &mp), &pp) in hi.iter_mut().zip(mrow).zip(hp) {
+            *o = key_val * mp + pp;
+        }
+    }
+    let mut out = DenseMatrix::zeros(view.rows, p);
+    for r in 0..view.rows {
+        let (s, e) = view.row_range(r);
+        let orow = out.row_mut(r);
+        view.for_each_code_in(s, e, |c| {
+            let hrow = &h[c as usize * p..c as usize * p + p];
+            for (o, &x) in orow.iter_mut().zip(hrow) {
+                *o += x;
+            }
+        });
+    }
+    out
+}
+
+/// Algorithm 8 (Appendix B.2), `M · A` with uncompressed `M` (`p × rows`).
+///
+/// `H` is stored node-major (`len(C') × p`, i.e. transposed relative to the
+/// output) so that the `D` scan writes one contiguous stripe per code.
+pub fn matmat_left(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(m.cols(), view.rows);
+    let p = m.rows();
+    let n = tree.len();
+    let mut h = vec![0.0f64; n * p];
+    for r in 0..view.rows {
+        let (s, e) = view.row_range(r);
+        view.for_each_code_in(s, e, |code| {
+            let code = code as usize;
+            let stripe = &mut h[code * p..code * p + p];
+            for (q, sv) in stripe.iter_mut().enumerate() {
+                *sv += m.get(q, r);
+            }
+        });
+    }
+    let mut out = DenseMatrix::zeros(p, view.cols);
+    for i in (1..n).rev() {
+        let col = tree.key_col[i] as usize;
+        let key_val = tree.key_val[i];
+        let parent = tree.parent[i] as usize;
+        let (head, tail) = h.split_at_mut(i * p);
+        let hi = &tail[..p];
+        let hp = &mut head[parent * p..parent * p + p];
+        for q in 0..p {
+            let w = hi[q];
+            if w != 0.0 {
+                out.set(q, col, out.get(q, col) + key_val * w);
+                hp[q] += w;
+            }
+        }
+    }
+    out
+}
+
+/// Full decode to sparse rows (the core of Algorithm 6): backtrack every
+/// code through `C'` with a reusable scratch stack; total work is linear in
+/// the number of decoded pairs.
+pub fn decode_sparse(view: &TocView<'_>) -> SparseRows {
+    let tree = DecodeTree::build_trusted(view);
+    let mut pairs: Vec<ColVal> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(view.rows + 1);
+    offsets.push(0);
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    let mut row_codes: Vec<u32> = Vec::new();
+    for r in 0..view.rows {
+        let (s, e) = view.row_range(r);
+        row_codes.clear();
+        view.codes_into(s, e, &mut row_codes);
+        for &code in &row_codes {
+            scratch.clear();
+            let mut cur = code;
+            while cur != 0 {
+                scratch.push((tree.key_col[cur as usize], tree.key_val[cur as usize]));
+                cur = tree.parent[cur as usize];
+            }
+            for &(col, val) in scratch.iter().rev() {
+                pairs.push(ColVal { col, val });
+            }
+        }
+        offsets.push(pairs.len());
+    }
+    SparseRows::from_parts(view.rows, view.cols, pairs, offsets)
+}
+
+/// Partial decode: materialize only the selected rows (in the given
+/// order) as sparse rows, without touching the rest of the batch. Useful
+/// for sampling-style access patterns (e.g. shuffle-always MGD, §2.1.3):
+/// cost is one `C'` build plus work linear in the *selected* pairs.
+pub fn gather_rows(view: &TocView<'_>, rows: &[usize]) -> SparseRows {
+    let tree = DecodeTree::build_trusted(view);
+    let mut pairs: Vec<ColVal> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(rows.len() + 1);
+    offsets.push(0);
+    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    let mut row_codes: Vec<u32> = Vec::new();
+    for &r in rows {
+        assert!(r < view.rows, "row {r} out of range");
+        let (s, e) = view.row_range(r);
+        row_codes.clear();
+        view.codes_into(s, e, &mut row_codes);
+        for &code in &row_codes {
+            scratch.clear();
+            let mut cur = code;
+            while cur != 0 {
+                scratch.push((tree.key_col[cur as usize], tree.key_val[cur as usize]));
+                cur = tree.parent[cur as usize];
+            }
+            for &(col, val) in scratch.iter().rev() {
+                pairs.push(ColVal { col, val });
+            }
+        }
+        offsets.push(pairs.len());
+    }
+    SparseRows::from_parts(rows.len(), view.cols, pairs, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TocBatch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use toc_linalg::dense::max_abs_diff_vec;
+
+    fn random_redundant(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> DenseMatrix {
+        // A value pool plus repeated row motifs to exercise deep trees.
+        let pool: Vec<f64> = (0..5).map(|i| (i as f64) * 0.75 - 1.5).collect();
+        let motifs: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| {
+                        if rng.gen::<f64>() < density {
+                            pool[rng.gen_range(0..pool.len())]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let rows_data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.7 {
+                    motifs[rng.gen_range(0..motifs.len())].clone()
+                } else {
+                    (0..cols)
+                        .map(|_| {
+                            if rng.gen::<f64>() < density {
+                                pool[rng.gen_range(0..pool.len())]
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        DenseMatrix::from_rows(rows_data)
+    }
+
+    fn check_all_ops(a: &DenseMatrix) {
+        let toc = TocBatch::encode(a);
+        let v: Vec<f64> = (0..a.cols()).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let w: Vec<f64> = (0..a.rows()).map(|i| ((i * 11 % 5) as f64) - 2.0).collect();
+        assert!(max_abs_diff_vec(&toc.matvec(&v).unwrap(), &a.matvec(&v)) < 1e-9);
+        assert!(max_abs_diff_vec(&toc.vecmat(&w).unwrap(), &a.vecmat(&w)) < 1e-9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m_right = DenseMatrix::random(&mut rng, a.cols(), 7, -1.0, 1.0);
+        let m_left = DenseMatrix::random(&mut rng, 6, a.rows(), -1.0, 1.0);
+        assert!(toc.matmat(&m_right).unwrap().max_abs_diff(&a.matmat(&m_right)) < 1e-9);
+        assert!(
+            toc.matmat_left(&m_left).unwrap().max_abs_diff(&a.matmat_left(&m_left)) < 1e-9
+        );
+        assert_eq!(toc.decode(), *a);
+    }
+
+    #[test]
+    fn all_ops_match_dense_reference_across_sparsity() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for density in [0.05, 0.25, 0.5, 0.9] {
+            let a = random_redundant(&mut rng, 50, 30, density);
+            check_all_ops(&a);
+        }
+    }
+
+    #[test]
+    fn ops_on_fig3() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.1, 2.0, 3.0, 1.4],
+            vec![1.1, 2.0, 3.0, 0.0],
+            vec![0.0, 1.1, 3.0, 1.4],
+            vec![1.1, 2.0, 0.0, 0.0],
+        ]);
+        check_all_ops(&a);
+        // Hand-computed A·[1,1,1,1]: rows sums.
+        let toc = TocBatch::encode(&a);
+        let r = toc.matvec(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(max_abs_diff_vec(&r, &[7.5, 6.1, 5.5, 3.1]) < 1e-12);
+    }
+
+    #[test]
+    fn ops_on_all_zero_matrix() {
+        let a = DenseMatrix::zeros(10, 6);
+        check_all_ops(&a);
+    }
+
+    #[test]
+    fn ops_on_single_row_and_single_col() {
+        check_all_ops(&DenseMatrix::from_rows(vec![vec![1.0, 0.0, 2.0, 0.0, 2.0]]));
+        check_all_ops(&DenseMatrix::from_rows(vec![
+            vec![1.0],
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+        ]));
+    }
+
+    #[test]
+    fn ops_with_empty_rows_interleaved() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        check_all_ops(&a);
+    }
+
+    #[test]
+    fn matvec_uses_each_code_weight_once() {
+        // Two identical rows share codes; v·A must weight each row by its
+        // own coefficient.
+        let a = DenseMatrix::from_rows(vec![vec![2.0, 0.0, 1.0], vec![2.0, 0.0, 1.0]]);
+        let toc = TocBatch::encode(&a);
+        let out = toc.vecmat(&[10.0, 1.0]).unwrap();
+        assert_eq!(out, vec![22.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn dense_matrix_full_density_roundtrip_ops() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Fully dense with few distinct values (value-index heavy).
+        let mut a = DenseMatrix::zeros(20, 15);
+        for r in 0..20 {
+            for c in 0..15 {
+                a.set(r, c, ((r + c) % 3) as f64 + 0.5);
+            }
+        }
+        check_all_ops(&a);
+        let _ = rng.gen::<f64>();
+    }
+
+    #[test]
+    fn gather_rows_matches_dense_gather() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_redundant(&mut rng, 30, 18, 0.35);
+        let toc = TocBatch::encode(&a);
+        let idx = [7usize, 0, 29, 7, 15];
+        let got = gather_rows(&toc.view(), &idx).decode();
+        let want = a.gather_rows(&idx);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn decode_sparse_matches_direct_sparse_encoding() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let a = random_redundant(&mut rng, 35, 22, 0.3);
+        let toc = TocBatch::encode(&a);
+        assert_eq!(toc.decode_sparse(), SparseRows::encode(&a));
+    }
+}

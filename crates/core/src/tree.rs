@@ -1,0 +1,258 @@
+//! The decoding prefix tree `C'` (Algorithm 2, §4.1.2).
+//!
+//! `C'` is a simplified variant of the encoding tree `C`: every node keeps
+//! its key (a column index:value pair) and the index of its *parent*, but no
+//! child pointers. It is rebuilt from `(I, D)` by replaying the dictionary
+//! growth of Algorithm 1: for every adjacent code pair `(D[i][j],
+//! D[i][j+1])` a node was added whose parent is `D[i][j]` and whose key is
+//! the first pair of the sequence represented by `D[i][j+1]`.
+
+use crate::batch::TocView;
+use crate::error::{corrupt, TocError};
+
+/// Parent-pointer prefix tree used by all compressed kernels.
+///
+/// Stored as parallel arrays indexed by node id; id 0 is the root (its key
+/// slot is unused and holds `(0, 0.0)`). For node `i >= 1`:
+/// `seq(i) = seq(parent[i]) ++ (key_col[i], key_val[i])`.
+#[derive(Clone, Debug)]
+pub struct DecodeTree {
+    pub key_col: Vec<u32>,
+    pub key_val: Vec<f64>,
+    pub parent: Vec<u32>,
+}
+
+impl DecodeTree {
+    /// Number of nodes, root included (`len(C')` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Algorithm 2 (`BuildPrefixTree`): rebuild `C'` from the view's
+    /// `(I, D)`. Also validates that every code in `D` references a node
+    /// that exists at the time it is replayed, which makes this the
+    /// structural integrity check for untrusted buffers.
+    pub fn build(view: &TocView<'_>) -> Result<DecodeTree, TocError> {
+        Self::build_impl::<true>(view)
+    }
+
+    /// [`Self::build`] without per-code validation, for buffers that were
+    /// already validated once (every op on a `TocBatch` rebuilds `C'`, so
+    /// revalidating on each kernel call would tax the hot path).
+    pub fn build_trusted(view: &TocView<'_>) -> DecodeTree {
+        Self::build_impl::<false>(view).expect("trusted batch must replay")
+    }
+
+    fn build_impl<const VALIDATE: bool>(view: &TocView<'_>) -> Result<DecodeTree, TocError> {
+        let n_first = view.first_layer_len();
+        // Upper bound on node count: root + |I| + one node per adjacent
+        // code pair.
+        let mut nonempty = 0usize;
+        for r in 0..view.rows {
+            let (s, e) = view.row_range(r);
+            if e > s {
+                nonempty += 1;
+            }
+        }
+        let capacity = 1 + n_first + view.codes_len().saturating_sub(nonempty);
+
+        let mut key_col = Vec::with_capacity(capacity);
+        let mut key_val = Vec::with_capacity(capacity);
+        let mut parent = Vec::with_capacity(capacity);
+        // F: the *node index* of the first pair of each node's sequence
+        // (a first-layer node; 0 for the root). Keys of new nodes are then
+        // plain array reads instead of physical-layer lookups.
+        let mut first: Vec<u32> = Vec::with_capacity(capacity);
+
+        // Root.
+        key_col.push(0);
+        key_val.push(0.0);
+        parent.push(0);
+        first.push(0);
+
+        // Phase I: first layer.
+        for i in 0..n_first {
+            let p = view.first_layer(i);
+            key_col.push(p.col);
+            key_val.push(p.val);
+            parent.push(0);
+            first.push(i as u32 + 1);
+        }
+
+        // Phase II: replay D.
+        let mut idx_seq_num = n_first as u32 + 1;
+        let mut row_codes: Vec<u32> = Vec::new();
+        for r in 0..view.rows {
+            let (s, e) = view.row_range(r);
+            if e <= s {
+                continue;
+            }
+            row_codes.clear();
+            view.codes_into(s, e, &mut row_codes);
+            // Each code is validated as it is encountered; the final (or
+            // only) code of the row is checked after the pair loop.
+            let mut a = row_codes[0];
+            for j in 0..row_codes.len() - 1 {
+                let b = row_codes[j + 1];
+                if VALIDATE {
+                    if a == 0 || a >= idx_seq_num {
+                        return Err(corrupt(format!(
+                            "row {r}: code {a} references unknown node"
+                        )));
+                    }
+                    // `b` may reference the node being added right now (the
+                    // LZW self-reference pattern); Algorithm 2 sets F before
+                    // reading it, which the push order below reproduces.
+                    if b == 0 || b > idx_seq_num {
+                        return Err(corrupt(format!(
+                            "row {r}: code {b} references unknown node"
+                        )));
+                    }
+                }
+                parent.push(a);
+                first.push(first[a as usize]);
+                let key_node = first[b as usize] as usize;
+                let kc = key_col[key_node];
+                let kv = key_val[key_node];
+                key_col.push(kc);
+                key_val.push(kv);
+                idx_seq_num += 1;
+                a = b;
+            }
+            if VALIDATE {
+                let last = *row_codes.last().expect("non-empty row");
+                if last == 0 || last >= idx_seq_num {
+                    return Err(corrupt(format!("row {r}: trailing code {last} unknown")));
+                }
+            }
+        }
+
+        Ok(DecodeTree { key_col, key_val, parent })
+    }
+
+    /// Materialize the full sequence of node `n`, root-to-node order.
+    /// Used by the sparse-unsafe decode path (Algorithm 6) and tests.
+    pub fn sequence(&self, n: u32) -> Vec<(u32, f64)> {
+        let mut rev = Vec::new();
+        let mut cur = n;
+        while cur != 0 {
+            rev.push((self.key_col[cur as usize], self.key_val[cur as usize]));
+            cur = self.parent[cur as usize];
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Depth of node `n` (sequence length).
+    pub fn depth(&self, n: u32) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while cur != 0 {
+            d += 1;
+            cur = self.parent[cur as usize];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TocBatch;
+    use toc_linalg::DenseMatrix;
+
+    fn fig3_tree() -> DecodeTree {
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.1, 2.0, 3.0, 1.4],
+            vec![1.1, 2.0, 3.0, 0.0],
+            vec![0.0, 1.1, 3.0, 1.4],
+            vec![1.1, 2.0, 0.0, 0.0],
+        ]);
+        let toc = TocBatch::encode(&a);
+        DecodeTree::build(&toc.view()).unwrap()
+    }
+
+    #[test]
+    fn table4_parent_pointers() {
+        // Table 4 of the paper (1-based columns there; 0-based here):
+        // Index:      1  2  3  4  5  6  7  8  9  10
+        // ParentIdx:  0  0  0  0  0  1  2  3  6  5
+        let t = fig3_tree();
+        assert_eq!(t.len(), 11);
+        assert_eq!(&t.parent[1..], &[0, 0, 0, 0, 0, 1, 2, 3, 6, 5]);
+    }
+
+    #[test]
+    fn table4_keys() {
+        // Keys (paper): 1:1.1 2:2 3:3 4:1.4 2:1.1 | 2:2 3:3 4:1.4 3:3 3:3
+        let t = fig3_tree();
+        let keys: Vec<(u32, f64)> =
+            (1..11).map(|i| (t.key_col[i], t.key_val[i])).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0, 1.1),
+                (1, 2.0),
+                (2, 3.0),
+                (3, 1.4),
+                (1, 1.1),
+                (1, 2.0),
+                (2, 3.0),
+                (3, 1.4),
+                (2, 3.0),
+                (2, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequences_match_table2() {
+        // Node 9 represents [1:1.1, 2:2, 3:3]; node 10 is [2:1.1, 3:3].
+        let t = fig3_tree();
+        assert_eq!(t.sequence(9), vec![(0, 1.1), (1, 2.0), (2, 3.0)]);
+        assert_eq!(t.sequence(10), vec![(1, 1.1), (2, 3.0)]);
+        assert_eq!(t.sequence(6), vec![(0, 1.1), (1, 2.0)]);
+        assert_eq!(t.depth(9), 3);
+    }
+
+    #[test]
+    fn rebuild_matches_encoder_for_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..10 {
+            let rows = rng.gen_range(1..40);
+            let cols = rng.gen_range(1..30);
+            let mut m = DenseMatrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.gen::<f64>() < 0.4 {
+                        m.set(r, c, ((rng.gen_range(0..4) * 7) as f64) / 2.0 + 0.5);
+                    }
+                }
+            }
+            let toc = TocBatch::encode(&m);
+            let view = toc.view();
+            let tree = DecodeTree::build(&view).unwrap();
+            // Decoding each row's codes through the tree reproduces the
+            // sparse rows exactly.
+            let sparse = toc_linalg::SparseRows::encode(&m);
+            for r in 0..rows {
+                let (s, e) = view.row_range(r);
+                let mut pairs = Vec::new();
+                for k in s..e {
+                    pairs.extend(tree.sequence(view.code(k)));
+                }
+                let expect: Vec<(u32, f64)> =
+                    sparse.row(r).iter().map(|p| (p.col, p.val)).collect();
+                assert_eq!(pairs, expect, "row {r}");
+            }
+        }
+    }
+}

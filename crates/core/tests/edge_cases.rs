@@ -1,0 +1,134 @@
+//! Edge-case integration tests for the TOC core: degenerate shapes,
+//! zero-width multiplications, and extreme value regimes.
+
+use toc_core::{DecodeTree, TocBatch};
+use toc_linalg::DenseMatrix;
+
+#[test]
+fn one_by_one_matrices() {
+    for v in [0.0, 1.0, -3.5, f64::MIN_POSITIVE] {
+        let a = DenseMatrix::from_vec(1, 1, vec![v]);
+        let toc = TocBatch::encode(&a);
+        assert_eq!(toc.decode(), a);
+        assert_eq!(toc.matvec(&[2.0]).unwrap(), a.matvec(&[2.0]));
+    }
+}
+
+#[test]
+fn zero_width_right_operand() {
+    let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, 3.0]]);
+    let toc = TocBatch::encode(&a);
+    let m = DenseMatrix::zeros(2, 0);
+    let out = toc.matmat(&m).unwrap();
+    assert_eq!((out.rows(), out.cols()), (2, 0));
+}
+
+#[test]
+fn zero_height_left_operand() {
+    let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, 3.0]]);
+    let toc = TocBatch::encode(&a);
+    let m = DenseMatrix::zeros(0, 2);
+    let out = toc.matmat_left(&m).unwrap();
+    assert_eq!((out.rows(), out.cols()), (0, 2));
+}
+
+#[test]
+fn single_column_many_rows() {
+    let a = DenseMatrix::from_vec(1000, 1, (0..1000).map(|i| ((i % 3) as f64)).collect());
+    let toc = TocBatch::encode(&a);
+    assert_eq!(toc.decode(), a);
+    // One column means every tuple is at most one pair: the tree stays at
+    // depth <= 1 and D has exactly nnz codes.
+    let stats = toc.stats();
+    assert_eq!(stats.codes_len, a.nnz());
+    assert!(stats.first_layer_len <= 2);
+}
+
+#[test]
+fn wide_single_row() {
+    let a = DenseMatrix::from_vec(1, 5000, (0..5000).map(|i| ((i % 4) as f64) * 0.5).collect());
+    let toc = TocBatch::encode(&a);
+    assert_eq!(toc.decode(), a);
+    let v = vec![1.0; 5000];
+    let diff = (toc.matvec(&v).unwrap()[0] - a.matvec(&v)[0]).abs();
+    assert!(diff < 1e-6);
+}
+
+#[test]
+fn extreme_magnitudes_survive() {
+    let a = DenseMatrix::from_rows(vec![
+        vec![1e308, 1e-308, 0.0],
+        vec![1e308, 1e-308, -1e300],
+    ]);
+    let toc = TocBatch::encode(&a);
+    let back = toc.decode();
+    for (x, y) in a.data().iter().zip(back.data()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn nan_payloads_are_preserved() {
+    // NaNs are unusual in training data but must not be corrupted.
+    let nan1 = f64::from_bits(0x7FF8_0000_0000_0001);
+    let nan2 = f64::from_bits(0x7FF8_0000_0000_0002);
+    let a = DenseMatrix::from_rows(vec![vec![nan1, 1.0], vec![nan2, 1.0]]);
+    let toc = TocBatch::encode(&a);
+    let back = toc.decode();
+    assert_eq!(back.get(0, 0).to_bits(), nan1.to_bits());
+    assert_eq!(back.get(1, 0).to_bits(), nan2.to_bits());
+    // NaNs with different payloads must be distinct dictionary entries.
+    assert_eq!(toc.stats().unique_values, 3);
+}
+
+#[test]
+fn tree_depth_grows_linearly_with_repeats() {
+    // LZW-style growth: each re-occurrence of a sequence extends the
+    // longest match by roughly one pair, so k identical rows of n pairs
+    // yield a deepest node of depth ~k+1 (capped at n) and the per-row
+    // code count shrinks towards n / depth.
+    let row: Vec<f64> = (0..16).map(|i| (i % 2 + 1) as f64).collect();
+    let repeats = 6;
+    let rows: Vec<Vec<f64>> = (0..repeats).map(|_| row.clone()).collect();
+    let toc = TocBatch::encode(&DenseMatrix::from_rows(rows));
+    let view = toc.view();
+    let tree = DecodeTree::build(&view).unwrap();
+    let max_depth = (1..tree.len() as u32).map(|n| tree.depth(n)).max().unwrap();
+    assert!(
+        (repeats..=16).contains(&max_depth),
+        "expected linear depth growth, got {max_depth}"
+    );
+    // Later rows need fewer codes than the first (16 singles).
+    let (s0, e0) = view.row_range(0);
+    let (s5, e5) = view.row_range(repeats - 1);
+    assert_eq!(e0 - s0, 16);
+    assert!(e5 - s5 <= 6, "last row used {} codes", e5 - s5);
+}
+
+#[test]
+fn scale_then_serialize_roundtrip() {
+    let a = DenseMatrix::from_rows(vec![vec![1.5, 0.0, 2.5], vec![2.5, 1.5, 0.0]]);
+    let mut toc = TocBatch::encode(&a);
+    toc.scale(-0.5);
+    let restored = TocBatch::from_bytes(toc.to_bytes()).unwrap();
+    let mut want = a;
+    want.scale(-0.5);
+    assert_eq!(restored.decode(), want);
+}
+
+#[test]
+fn many_small_batches_are_independent() {
+    // Encoding shares nothing between batches: each buffer decodes alone.
+    let mut batches = Vec::new();
+    for k in 0..50 {
+        let a = DenseMatrix::from_vec(
+            4,
+            6,
+            (0..24).map(|i| ((i + k) % 5) as f64 * 0.25).collect(),
+        );
+        batches.push((TocBatch::encode(&a), a));
+    }
+    for (toc, a) in batches {
+        assert_eq!(toc.decode(), a);
+    }
+}

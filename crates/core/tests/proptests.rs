@@ -1,0 +1,156 @@
+//! Property-based tests for the TOC pipeline: lossless roundtrips and
+//! kernel-vs-oracle equality on arbitrary matrices across sparsity regimes.
+
+use proptest::prelude::*;
+use toc_core::{PhysicalCodec, TocBatch};
+use toc_linalg::dense::max_abs_diff_vec;
+use toc_linalg::DenseMatrix;
+
+/// Strategy: a matrix whose cells are drawn from a small value pool (TOC's
+/// target regime) with the given density.
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_rows, 1..=max_cols, 0.0f64..=1.0).prop_flat_map(|(rows, cols, density)| {
+        let pool = prop::collection::vec(-100.0f64..100.0, 1..6);
+        (
+            Just(rows),
+            Just(cols),
+            pool,
+            prop::collection::vec(0.0f64..1.0, rows * cols),
+            prop::collection::vec(0usize..5, rows * cols),
+            Just(density),
+        )
+            .prop_map(|(rows, cols, pool, coins, picks, density)| {
+                let data = coins
+                    .iter()
+                    .zip(&picks)
+                    .map(|(&coin, &pick)| {
+                        if coin < density {
+                            pool[pick % pool.len()]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                DenseMatrix::from_vec(rows, cols, data)
+            })
+    })
+}
+
+/// Matrices with fully arbitrary (possibly non-finite-free) doubles.
+fn wild_matrix_strategy() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..20, 1usize..20).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(
+            prop_oneof![
+                Just(0.0f64),
+                -1e300f64..1e300,
+                Just(-0.0f64),
+                Just(f64::MIN_POSITIVE),
+            ],
+            rows * cols,
+        )
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_lossless(a in matrix_strategy(40, 30)) {
+        let toc = TocBatch::encode(&a);
+        prop_assert_eq!(toc.decode(), a);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_wild_values(a in wild_matrix_strategy()) {
+        let toc = TocBatch::encode(&a);
+        let back = toc.decode();
+        // Bit-exact comparison, except that sparse encoding canonicalizes
+        // -0.0 to +0.0 (zeros are elided and re-materialized as +0.0).
+        for (x, y) in a.data().iter().zip(back.data()) {
+            if *x == 0.0 {
+                prop_assert_eq!(*y, 0.0);
+            } else {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn varint_codec_is_also_lossless(a in matrix_strategy(30, 20)) {
+        let toc = TocBatch::encode_with(&a, PhysicalCodec::Varint);
+        prop_assert_eq!(toc.decode(), a);
+    }
+
+    #[test]
+    fn serialization_roundtrip(a in matrix_strategy(25, 20)) {
+        let toc = TocBatch::encode(&a);
+        let restored = TocBatch::from_bytes(toc.to_bytes()).unwrap();
+        prop_assert_eq!(restored.decode(), a);
+    }
+
+    #[test]
+    fn matvec_matches_oracle(a in matrix_strategy(30, 25), seed in 0u64..1000) {
+        let v: Vec<f64> = (0..a.cols()).map(|i| ((i as u64 * 2654435761 + seed) % 17) as f64 - 8.0).collect();
+        let toc = TocBatch::encode(&a);
+        let got = toc.matvec(&v).unwrap();
+        let want = a.matvec(&v);
+        prop_assert!(max_abs_diff_vec(&got, &want) < 1e-6 * (1.0 + a.cols() as f64));
+    }
+
+    #[test]
+    fn vecmat_matches_oracle(a in matrix_strategy(30, 25), seed in 0u64..1000) {
+        let v: Vec<f64> = (0..a.rows())
+            .map(|i| ((i as u64).wrapping_mul(11400714819323198485).wrapping_add(seed) % 13) as f64 - 6.0)
+            .collect();
+        let toc = TocBatch::encode(&a);
+        let got = toc.vecmat(&v).unwrap();
+        let want = a.vecmat(&v);
+        prop_assert!(max_abs_diff_vec(&got, &want) < 1e-6 * (1.0 + a.rows() as f64));
+    }
+
+    #[test]
+    fn matmat_matches_oracle(a in matrix_strategy(20, 15), p in 1usize..8) {
+        let m = DenseMatrix::from_vec(
+            a.cols(), p,
+            (0..a.cols() * p).map(|i| ((i * 7919) % 23) as f64 * 0.25 - 2.5).collect(),
+        );
+        let toc = TocBatch::encode(&a);
+        let got = toc.matmat(&m).unwrap();
+        prop_assert!(got.max_abs_diff(&a.matmat(&m)) < 1e-6);
+    }
+
+    #[test]
+    fn matmat_left_matches_oracle(a in matrix_strategy(20, 15), p in 1usize..8) {
+        let m = DenseMatrix::from_vec(
+            p, a.rows(),
+            (0..a.rows() * p).map(|i| ((i * 104729) % 19) as f64 * 0.5 - 4.0).collect(),
+        );
+        let toc = TocBatch::encode(&a);
+        let got = toc.matmat_left(&m).unwrap();
+        prop_assert!(got.max_abs_diff(&a.matmat_left(&m)) < 1e-6);
+    }
+
+    #[test]
+    fn scale_commutes_with_decode(a in matrix_strategy(20, 15), c in -10.0f64..10.0) {
+        let mut toc = TocBatch::encode(&a);
+        toc.scale(c);
+        let mut want = a.clone();
+        want.scale(c);
+        prop_assert!(toc.decode().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = TocBatch::from_bytes(bytes);
+    }
+
+    #[test]
+    fn compressed_size_never_catastrophically_larger(a in matrix_strategy(30, 20)) {
+        // TOC may be larger than DEN on tiny or adversarial inputs, but
+        // must stay within a small constant factor of the sparse pair count.
+        let toc = TocBatch::encode(&a);
+        let bound = 64 + 16 * a.nnz() + 5 * a.rows() + a.rows() * a.cols();
+        prop_assert!(toc.size_bytes() <= bound, "{} > {}", toc.size_bytes(), bound);
+    }
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! # toc-data — synthetic datasets and the out-of-core mini-batch store
+//!
+//! [`synth`] generates datasets whose sparsity, distinct-value counts and
+//! cross-row redundancy match the profiles of the paper's six evaluation
+//! datasets (Table 5). [`store`] is the memory-budgeted batch store with
+//! real disk spill that reproduces the in-memory/out-of-core regimes of
+//! the end-to-end experiments (Tables 6–7, Figures 9–11).
+
+pub mod store;
+pub mod synth;
+
+pub use store::{MiniBatchStore, StoreConfig};
+pub use synth::{generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind};

@@ -1,0 +1,503 @@
+//! CLA (§5 method 5): a simplified re-implementation of Compressed Linear
+//! Algebra [Elgohary et al., VLDB 2016].
+//!
+//! CLA partitions the matrix into column groups, co-codes each group with a
+//! dictionary of distinct value-tuples (DDC — dense dictionary coding), and
+//! executes linear algebra directly on the compressed groups by
+//! precomputing per-dictionary-entry partial results. Columns that do not
+//! compress fall back to an uncompressed-column (UC) group.
+//!
+//! The two properties the paper contrasts with TOC are preserved:
+//! compressed execution without decompression, and an **explicit
+//! dictionary**, whose fixed cost is poorly amortized on small mini-batches
+//! (the reason CLA ratios trail TOC there — see Figure 5).
+
+use crate::wire::{put_f64s, put_u32, put_u32s, Rd};
+use crate::{FormatError, MatrixBatch, Scheme};
+use std::collections::HashMap;
+use toc_linalg::DenseMatrix;
+
+/// Max dictionary entries per co-coded group (keeps row indexes 1 byte and
+/// per-op precompute tables small, mirroring CLA's sample-based cutoffs).
+const DICT_CAP: usize = 256;
+/// Max columns co-coded into one group.
+const GROUP_CAP: usize = 16;
+
+fn idx_width(n: usize) -> usize {
+    match n.saturating_sub(1) {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        _ => 4,
+    }
+}
+
+/// One column group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Group {
+    /// Dense dictionary coding over `cols.len()` co-coded columns:
+    /// `dict` is `n_entries × cols.len()` row-major; `rowidx[r]` picks the
+    /// tuple for matrix row `r`.
+    Ddc { cols: Vec<u32>, dict: Vec<f64>, rowidx: Vec<u32> },
+    /// Uncompressed column fallback.
+    Uc { col: u32, values: Vec<f64> },
+}
+
+/// A CLA-encoded mini-batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClaBatch {
+    rows: usize,
+    cols: usize,
+    groups: Vec<Group>,
+}
+
+impl ClaBatch {
+    /// Greedy left-to-right co-coding: extend the current group with the
+    /// next column while the merged dictionary stays under the dictionary cap (256 entries).
+    pub fn encode(dense: &DenseMatrix) -> Self {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut groups: Vec<Group> = Vec::new();
+
+        let mut c = 0usize;
+        while c < cols {
+            // Seed a group with column c.
+            let mut map: HashMap<(u32, u64), u32> = HashMap::new();
+            let mut dict: Vec<f64> = Vec::new();
+            let mut rowidx: Vec<u32> = Vec::with_capacity(rows);
+            #[allow(clippy::needless_range_loop)] // r indexes both the matrix and rowidx
+            for r in 0..rows {
+                let bits = dense.get(r, c).to_bits();
+                let next = dict.len() as u32;
+                let id = *map.entry((0, bits)).or_insert_with(|| {
+                    dict.push(dense.get(r, c));
+                    next
+                });
+                rowidx.push(id);
+            }
+            let mut group_cols = vec![c as u32];
+            let mut n_entries = dict.len();
+
+            if n_entries > DICT_CAP && n_entries * 2 > rows {
+                // Incompressible column: UC fallback.
+                groups.push(Group::Uc {
+                    col: c as u32,
+                    values: (0..rows).map(|r| dense.get(r, c)).collect(),
+                });
+                c += 1;
+                continue;
+            }
+
+            // Try to extend with following columns.
+            let mut next_col = c + 1;
+            while next_col < cols && group_cols.len() < GROUP_CAP && n_entries <= DICT_CAP {
+                // Candidate dictionary: distinct (current entry, new value).
+                let mut cand: HashMap<(u32, u64), u32> = HashMap::new();
+                let mut cand_rowidx: Vec<u32> = Vec::with_capacity(rows);
+                let mut pairs: Vec<(u32, f64)> = Vec::new();
+                #[allow(clippy::needless_range_loop)] // r indexes the matrix and rowidx
+                for r in 0..rows {
+                    let v = dense.get(r, next_col);
+                    let key = (rowidx[r], v.to_bits());
+                    let next = pairs.len() as u32;
+                    let id = *cand.entry(key).or_insert_with(|| {
+                        pairs.push((rowidx[r], v));
+                        next
+                    });
+                    cand_rowidx.push(id);
+                }
+                if pairs.len() > DICT_CAP {
+                    break;
+                }
+                // Accept: rebuild the flattened dictionary.
+                let width = group_cols.len();
+                let mut new_dict = Vec::with_capacity(pairs.len() * (width + 1));
+                for &(old_id, v) in &pairs {
+                    let old = &dict[old_id as usize * width..(old_id as usize + 1) * width];
+                    new_dict.extend_from_slice(old);
+                    new_dict.push(v);
+                }
+                dict = new_dict;
+                rowidx = cand_rowidx;
+                group_cols.push(next_col as u32);
+                n_entries = pairs.len();
+                next_col += 1;
+            }
+
+            c = next_col;
+            groups.push(Group::Ddc { cols: group_cols, dict, rowidx });
+        }
+
+        Self { rows, cols, groups }
+    }
+
+    pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
+        let mut rd = Rd::new(body);
+        let rows = rd.u32()? as usize;
+        let cols = rd.u32()? as usize;
+        let n_groups = rd.u32()? as usize;
+        if n_groups > cols {
+            return Err(FormatError::Corrupt("too many CLA groups".into()));
+        }
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            match rd.u8()? {
+                0 => {
+                    let gcols = rd.u32s()?;
+                    let dict = rd.f64s()?;
+                    let rowidx = rd.u32s()?;
+                    let width = gcols.len().max(1);
+                    let n_entries = dict.len() / width;
+                    if gcols.is_empty()
+                        || dict.len() % width != 0
+                        || rowidx.len() != rows
+                        || gcols.iter().any(|&g| g as usize >= cols)
+                        || rowidx.iter().any(|&i| i as usize >= n_entries)
+                    {
+                        return Err(FormatError::Corrupt("bad DDC group".into()));
+                    }
+                    groups.push(Group::Ddc { cols: gcols, dict, rowidx });
+                }
+                1 => {
+                    let col = rd.u32()?;
+                    let values = rd.f64s()?;
+                    if col as usize >= cols || values.len() != rows {
+                        return Err(FormatError::Corrupt("bad UC group".into()));
+                    }
+                    groups.push(Group::Uc { col, values });
+                }
+                t => return Err(FormatError::Corrupt(format!("bad group tag {t}"))),
+            }
+        }
+        rd.done()?;
+        Ok(Self { rows, cols, groups })
+    }
+
+    /// Number of column groups (exposed for tests/inspection).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl MatrixBatch for ClaBatch {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn size_bytes(&self) -> usize {
+        let mut total = 16;
+        for g in &self.groups {
+            total += match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    8 + 4 * cols.len() + 8 * dict.len() + rowidx.len() * idx_width(dict.len() / cols.len().max(1))
+                }
+                Group::Uc { values, .. } => 8 + 8 * values.len(),
+            };
+        }
+        total
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    let width = cols.len();
+                    let n = dict.len() / width;
+                    // Precompute per-dictionary-entry dot products.
+                    let mut table = vec![0.0f64; n];
+                    for (i, t) in table.iter_mut().enumerate() {
+                        let tuple = &dict[i * width..(i + 1) * width];
+                        let mut acc = 0.0;
+                        for (j, &val) in tuple.iter().enumerate() {
+                            acc += val * v[cols[j] as usize];
+                        }
+                        *t = acc;
+                    }
+                    for (o, &i) in out.iter_mut().zip(rowidx) {
+                        *o += table[i as usize];
+                    }
+                }
+                Group::Uc { col, values } => {
+                    let x = v[*col as usize];
+                    if x != 0.0 {
+                        for (o, &val) in out.iter_mut().zip(values) {
+                            *o += val * x;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    let width = cols.len();
+                    let n = dict.len() / width;
+                    let mut acc = vec![0.0f64; n];
+                    for (&i, &w) in rowidx.iter().zip(v) {
+                        acc[i as usize] += w;
+                    }
+                    for (i, &a) in acc.iter().enumerate() {
+                        if a != 0.0 {
+                            let tuple = &dict[i * width..(i + 1) * width];
+                            for (j, &val) in tuple.iter().enumerate() {
+                                out[cols[j] as usize] += val * a;
+                            }
+                        }
+                    }
+                }
+                Group::Uc { col, values } => {
+                    let mut acc = 0.0;
+                    for (&val, &w) in values.iter().zip(v) {
+                        acc += val * w;
+                    }
+                    out[*col as usize] += acc;
+                }
+            }
+        }
+        out
+    }
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        let p = m.cols();
+        let mut out = DenseMatrix::zeros(self.rows, p);
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    let width = cols.len();
+                    let n = dict.len() / width;
+                    let mut table = vec![0.0f64; n * p];
+                    for i in 0..n {
+                        let tuple = &dict[i * width..(i + 1) * width];
+                        let trow = &mut table[i * p..(i + 1) * p];
+                        for (j, &val) in tuple.iter().enumerate() {
+                            if val == 0.0 {
+                                continue;
+                            }
+                            let mrow = m.row(cols[j] as usize);
+                            for (t, &b) in trow.iter_mut().zip(mrow) {
+                                *t += val * b;
+                            }
+                        }
+                    }
+                    for (r, &i) in rowidx.iter().enumerate() {
+                        let trow = &table[i as usize * p..(i as usize + 1) * p];
+                        let orow = out.row_mut(r);
+                        for (o, &t) in orow.iter_mut().zip(trow) {
+                            *o += t;
+                        }
+                    }
+                }
+                Group::Uc { col, values } => {
+                    let mrow = m.row(*col as usize).to_vec();
+                    for (r, &val) in values.iter().enumerate() {
+                        if val == 0.0 {
+                            continue;
+                        }
+                        let orow = out.row_mut(r);
+                        for (o, &b) in orow.iter_mut().zip(&mrow) {
+                            *o += val * b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        let p = m.rows();
+        let mut out = DenseMatrix::zeros(p, self.cols);
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    let width = cols.len();
+                    let n = dict.len() / width;
+                    // acc[i][q] = sum over rows with entry i of M[q][r].
+                    let mut acc = vec![0.0f64; n * p];
+                    for (r, &i) in rowidx.iter().enumerate() {
+                        let arow = &mut acc[i as usize * p..(i as usize + 1) * p];
+                        for (q, a) in arow.iter_mut().enumerate() {
+                            *a += m.get(q, r);
+                        }
+                    }
+                    for i in 0..n {
+                        let tuple = &dict[i * width..(i + 1) * width];
+                        let arow = &acc[i * p..(i + 1) * p];
+                        for (j, &val) in tuple.iter().enumerate() {
+                            if val == 0.0 {
+                                continue;
+                            }
+                            let col = cols[j] as usize;
+                            for (q, &a) in arow.iter().enumerate() {
+                                out.set(q, col, out.get(q, col) + val * a);
+                            }
+                        }
+                    }
+                }
+                Group::Uc { col, values } => {
+                    for q in 0..p {
+                        let mut accv = 0.0;
+                        let mrow = m.row(q);
+                        for (&val, &w) in values.iter().zip(mrow) {
+                            accv += val * w;
+                        }
+                        out.set(q, *col as usize, out.get(q, *col as usize) + accv);
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn scale(&mut self, c: f64) {
+        for g in &mut self.groups {
+            match g {
+                Group::Ddc { dict, .. } => {
+                    for v in dict {
+                        *v *= c;
+                    }
+                }
+                Group::Uc { values, .. } => {
+                    for v in values {
+                        *v *= c;
+                    }
+                }
+            }
+        }
+    }
+    fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    let width = cols.len();
+                    for (r, &i) in rowidx.iter().enumerate() {
+                        let tuple = &dict[i as usize * width..(i as usize + 1) * width];
+                        for (j, &val) in tuple.iter().enumerate() {
+                            out.set(r, cols[j] as usize, val);
+                        }
+                    }
+                }
+                Group::Uc { col, values } => {
+                    for (r, &val) in values.iter().enumerate() {
+                        out.set(r, *col as usize, val);
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![Scheme::Cla.tag()];
+        put_u32(&mut out, self.rows as u32);
+        put_u32(&mut out, self.cols as u32);
+        put_u32(&mut out, self.groups.len() as u32);
+        for g in &self.groups {
+            match g {
+                Group::Ddc { cols, dict, rowidx } => {
+                    out.push(0);
+                    put_u32s(&mut out, cols);
+                    put_f64s(&mut out, dict);
+                    put_u32s(&mut out, rowidx);
+                }
+                Group::Uc { col, values } => {
+                    out.push(1);
+                    put_u32(&mut out, *col);
+                    put_f64s(&mut out, values);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn redundant_matrix(rows: usize, cols: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, (((r % 5) * (c % 3)) % 4) as f64 * 0.5);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = redundant_matrix(40, 20);
+        let b = ClaBatch::encode(&a);
+        assert_eq!(b.decode(), a);
+        let restored = ClaBatch::from_body(&b.to_bytes()[1..]).unwrap();
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn co_coding_happens_on_redundant_columns() {
+        let a = redundant_matrix(100, 30);
+        let b = ClaBatch::encode(&a);
+        assert!(b.num_groups() < 30, "groups: {}", b.num_groups());
+        assert!(b.size_bytes() < a.den_size_bytes());
+    }
+
+    #[test]
+    fn uc_fallback_on_random_column() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = 600;
+        let mut m = DenseMatrix::zeros(rows, 2);
+        for r in 0..rows {
+            m.set(r, 0, rng.gen::<f64>()); // unique values -> UC
+            m.set(r, 1, (r % 3) as f64); // 3 distinct -> DDC
+        }
+        let b = ClaBatch::encode(&m);
+        assert!(b.groups.iter().any(|g| matches!(g, Group::Uc { .. })));
+        assert_eq!(b.decode(), m);
+    }
+
+    #[test]
+    fn kernels_match_dense() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = redundant_matrix(35, 18);
+        let v: Vec<f64> = (0..18).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let w: Vec<f64> = (0..35).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b = ClaBatch::encode(&a);
+        let tol = 1e-9;
+        assert!(toc_linalg::dense::max_abs_diff_vec(&b.matvec(&v), &a.matvec(&v)) < tol);
+        assert!(toc_linalg::dense::max_abs_diff_vec(&b.vecmat(&w), &a.vecmat(&w)) < tol);
+        let m = DenseMatrix::random(&mut rng, 18, 5, -1.0, 1.0);
+        assert!(b.matmat(&m).max_abs_diff(&a.matmat(&m)) < tol);
+        let ml = DenseMatrix::random(&mut rng, 4, 35, -1.0, 1.0);
+        assert!(b.matmat_left(&ml).max_abs_diff(&a.matmat_left(&ml)) < tol);
+    }
+
+    #[test]
+    fn scale_matches_dense() {
+        let a = redundant_matrix(20, 10);
+        let mut b = ClaBatch::encode(&a);
+        b.scale(0.25);
+        let mut want = a;
+        want.scale(0.25);
+        assert_eq!(b.decode(), want);
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0], vec![2.0], vec![1.0]]);
+        let b = ClaBatch::encode(&a);
+        assert_eq!(b.decode(), a);
+        assert_eq!(b.matvec(&[2.0]), a.matvec(&[2.0]));
+    }
+
+    #[test]
+    fn corrupt_body_errors() {
+        let b = ClaBatch::encode(&redundant_matrix(10, 5)).to_bytes();
+        assert!(ClaBatch::from_body(&b[1..b.len() - 2]).is_err());
+        assert!(ClaBatch::from_body(&[0, 0, 0]).is_err());
+    }
+}

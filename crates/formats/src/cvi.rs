@@ -1,0 +1,394 @@
+//! CVI and DVI (§5 methods 3–4): value indexing [Kourtis et al. 2008]
+//! layered over CSR and DEN respectively.
+//!
+//! Both replace raw `f64` cells by small indexes into a dictionary of
+//! distinct values, which makes the sparse-safe `A .* c` nearly free (only
+//! the dictionary is rewritten) and shrinks storage when a batch has few
+//! distinct values.
+
+use crate::wire::{put_f64s, put_u32, put_u32s, Rd};
+use crate::{FormatError, MatrixBatch, Scheme};
+use std::collections::HashMap;
+use toc_linalg::DenseMatrix;
+
+/// Bytes per index for a dictionary of `n` entries (same bit-packing width
+/// rule as the TOC physical layer).
+fn idx_width(n: usize) -> usize {
+    match n.saturating_sub(1) {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        0x1_0000..=0xFF_FFFF => 3,
+        _ => 4,
+    }
+}
+
+fn build_dict(values: impl Iterator<Item = f64>) -> (Vec<f64>, Vec<u32>) {
+    let mut map: HashMap<u64, u32> = HashMap::new();
+    let mut dict = Vec::new();
+    let mut idx = Vec::new();
+    for v in values {
+        let id = *map.entry(v.to_bits()).or_insert_with(|| {
+            dict.push(v);
+            dict.len() as u32 - 1
+        });
+        idx.push(id);
+    }
+    (dict, idx)
+}
+
+/// CVI: CSR structure with value-indexed cells (a.k.a. CSR-VI).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CviBatch {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<u32>,
+    col_idx: Vec<u32>,
+    validx: Vec<u32>,
+    dict: Vec<f64>,
+}
+
+impl CviBatch {
+    pub fn encode(dense: &DenseMatrix) -> Self {
+        let s = toc_linalg::SparseRows::encode(dense);
+        let (dict, validx) = build_dict(s.pairs().iter().map(|p| p.val));
+        Self {
+            rows: s.rows(),
+            cols: s.cols(),
+            offsets: s.offsets().iter().map(|&o| o as u32).collect(),
+            col_idx: s.pairs().iter().map(|p| p.col).collect(),
+            validx,
+            dict,
+        }
+    }
+
+    pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
+        let mut rd = Rd::new(body);
+        let rows = rd.u32()? as usize;
+        let cols = rd.u32()? as usize;
+        let offsets = rd.u32s()?;
+        let col_idx = rd.u32s()?;
+        let validx = rd.u32s()?;
+        let dict = rd.f64s()?;
+        rd.done()?;
+        if offsets.len() != rows + 1
+            || col_idx.len() != validx.len()
+            || offsets.last().copied().unwrap_or(1) as usize != validx.len()
+        {
+            return Err(FormatError::Corrupt("CVI section mismatch".into()));
+        }
+        if validx.iter().any(|&i| i as usize >= dict.len().max(1))
+            || col_idx.iter().any(|&c| c as usize >= cols)
+            || offsets.windows(2).any(|w| w[1] < w[0])
+        {
+            return Err(FormatError::Corrupt("CVI index out of range".into()));
+        }
+        Ok(Self { rows, cols, offsets, col_idx, validx, dict })
+    }
+
+    #[inline]
+    fn row_range(&self, r: usize) -> (usize, usize) {
+        (self.offsets[r] as usize, self.offsets[r + 1] as usize)
+    }
+}
+
+impl MatrixBatch for CviBatch {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn size_bytes(&self) -> usize {
+        16 + 4 * (self.rows + 1)
+            + self.col_idx.len() * (4 + idx_width(self.dict.len()))
+            + 8 * self.dict.len()
+            + 5
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let (s, e) = self.row_range(r);
+            let mut acc = 0.0;
+            for k in s..e {
+                acc += self.dict[self.validx[k] as usize] * v[self.col_idx[k] as usize];
+            }
+            *o = acc;
+        }
+        out
+    }
+    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (r, &w) in v.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let (s, e) = self.row_range(r);
+            for k in s..e {
+                out[self.col_idx[k] as usize] += w * self.dict[self.validx[k] as usize];
+            }
+        }
+        out
+    }
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, m.cols());
+        for r in 0..self.rows {
+            let (s, e) = self.row_range(r);
+            let orow = out.row_mut(r);
+            for k in s..e {
+                let val = self.dict[self.validx[k] as usize];
+                let mrow = m.row(self.col_idx[k] as usize);
+                for (o, &b) in orow.iter_mut().zip(mrow) {
+                    *o += val * b;
+                }
+            }
+        }
+        out
+    }
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(m.rows(), self.cols);
+        for q in 0..m.rows() {
+            let mrow = m.row(q);
+            let orow = out.row_mut(q);
+            for (r, &w) in mrow.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let (s, e) = self.row_range(r);
+                for k in s..e {
+                    orow[self.col_idx[k] as usize] += w * self.dict[self.validx[k] as usize];
+                }
+            }
+        }
+        out
+    }
+    fn scale(&mut self, c: f64) {
+        for v in &mut self.dict {
+            *v *= c;
+        }
+    }
+    fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (s, e) = self.row_range(r);
+            for k in s..e {
+                out.set(r, self.col_idx[k] as usize, self.dict[self.validx[k] as usize]);
+            }
+        }
+        out
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![Scheme::Cvi.tag()];
+        put_u32(&mut out, self.rows as u32);
+        put_u32(&mut out, self.cols as u32);
+        put_u32s(&mut out, &self.offsets);
+        put_u32s(&mut out, &self.col_idx);
+        put_u32s(&mut out, &self.validx);
+        put_f64s(&mut out, &self.dict);
+        out
+    }
+}
+
+/// DVI: dense grid of value indexes plus a dictionary (zeros included).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DviBatch {
+    rows: usize,
+    cols: usize,
+    validx: Vec<u32>,
+    dict: Vec<f64>,
+}
+
+impl DviBatch {
+    pub fn encode(dense: &DenseMatrix) -> Self {
+        let (dict, validx) = build_dict(dense.data().iter().copied());
+        Self { rows: dense.rows(), cols: dense.cols(), validx, dict }
+    }
+
+    pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
+        let mut rd = Rd::new(body);
+        let rows = rd.u32()? as usize;
+        let cols = rd.u32()? as usize;
+        let validx = rd.u32s()?;
+        let dict = rd.f64s()?;
+        rd.done()?;
+        if validx.len() != rows * cols || validx.iter().any(|&i| i as usize >= dict.len().max(1)) {
+            return Err(FormatError::Corrupt("DVI section mismatch".into()));
+        }
+        Ok(Self { rows, cols, validx, dict })
+    }
+}
+
+impl MatrixBatch for DviBatch {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn size_bytes(&self) -> usize {
+        16 + self.validx.len() * idx_width(self.dict.len()) + 8 * self.dict.len() + 5
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.validx[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (&idx, &x) in row.iter().zip(v) {
+                acc += self.dict[idx as usize] * x;
+            }
+            *o = acc;
+        }
+        out
+    }
+    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (r, &w) in v.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let row = &self.validx[r * self.cols..(r + 1) * self.cols];
+            for (o, &idx) in out.iter_mut().zip(row) {
+                *o += w * self.dict[idx as usize];
+            }
+        }
+        out
+    }
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, m.cols());
+        for r in 0..self.rows {
+            let row = &self.validx[r * self.cols..(r + 1) * self.cols];
+            let orow = out.row_mut(r);
+            for (k, &idx) in row.iter().enumerate() {
+                let val = self.dict[idx as usize];
+                if val == 0.0 {
+                    continue;
+                }
+                let mrow = m.row(k);
+                for (o, &b) in orow.iter_mut().zip(mrow) {
+                    *o += val * b;
+                }
+            }
+        }
+        out
+    }
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(m.rows(), self.cols);
+        for q in 0..m.rows() {
+            let mrow = m.row(q);
+            let orow = out.row_mut(q);
+            for (r, &w) in mrow.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &self.validx[r * self.cols..(r + 1) * self.cols];
+                for (o, &idx) in orow.iter_mut().zip(row) {
+                    *o += w * self.dict[idx as usize];
+                }
+            }
+        }
+        out
+    }
+    fn scale(&mut self, c: f64) {
+        for v in &mut self.dict {
+            *v *= c;
+        }
+    }
+    fn decode(&self) -> DenseMatrix {
+        let data = self.validx.iter().map(|&i| self.dict[i as usize]).collect();
+        DenseMatrix::from_vec(self.rows, self.cols, data)
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![Scheme::Dvi.tag()];
+        put_u32(&mut out, self.rows as u32);
+        put_u32(&mut out, self.cols as u32);
+        put_u32s(&mut out, &self.validx);
+        put_f64s(&mut out, &self.dict);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![
+            vec![1.5, 0.0, 2.5, 1.5],
+            vec![0.0, 1.5, 0.0, 0.0],
+            vec![2.5, 0.0, 1.5, 2.5],
+        ])
+    }
+
+    #[test]
+    fn idx_width_boundaries() {
+        assert_eq!(idx_width(0), 1);
+        assert_eq!(idx_width(1), 1);
+        assert_eq!(idx_width(256), 1);
+        assert_eq!(idx_width(257), 2);
+        assert_eq!(idx_width(65536), 2);
+        assert_eq!(idx_width(65537), 3);
+    }
+
+    #[test]
+    fn cvi_roundtrip_and_kernels() {
+        let a = sample();
+        let b = CviBatch::encode(&a);
+        assert_eq!(b.decode(), a);
+        let restored = CviBatch::from_body(&b.to_bytes()[1..]).unwrap();
+        assert_eq!(restored, b);
+        let v = [1.0, -1.0, 0.5, 2.0];
+        assert_eq!(b.matvec(&v), a.matvec(&v));
+        let w = [0.5, 1.0, -2.0];
+        assert_eq!(b.vecmat(&w), a.vecmat(&w));
+    }
+
+    #[test]
+    fn dvi_roundtrip_and_kernels() {
+        let a = sample();
+        let b = DviBatch::encode(&a);
+        assert_eq!(b.decode(), a);
+        let restored = DviBatch::from_body(&b.to_bytes()[1..]).unwrap();
+        assert_eq!(restored, b);
+        let v = [1.0, -1.0, 0.5, 2.0];
+        assert_eq!(b.matvec(&v), a.matvec(&v));
+        let w = [0.5, 1.0, -2.0];
+        assert_eq!(b.vecmat(&w), a.vecmat(&w));
+        let m = DenseMatrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        assert_eq!(b.matmat(&m), a.matmat(&m));
+        let ml = DenseMatrix::from_rows(vec![vec![1.0, 0.0, 1.0], vec![0.0, 2.0, 0.0]]);
+        assert_eq!(b.matmat_left(&ml), a.matmat_left(&ml));
+    }
+
+    #[test]
+    fn scale_only_touches_dict() {
+        let a = sample();
+        let mut cvi = CviBatch::encode(&a);
+        let mut dvi = DviBatch::encode(&a);
+        cvi.scale(3.0);
+        dvi.scale(3.0);
+        let mut want = a;
+        want.scale(3.0);
+        assert_eq!(cvi.decode(), want);
+        assert_eq!(dvi.decode(), want);
+    }
+
+    #[test]
+    fn dvi_smaller_than_den_with_few_values() {
+        let a = sample();
+        let dvi = DviBatch::encode(&a);
+        assert!(dvi.size_bytes() < a.den_size_bytes());
+    }
+
+    #[test]
+    fn corrupt_bodies_error() {
+        let a = sample();
+        let cb = CviBatch::encode(&a).to_bytes();
+        assert!(CviBatch::from_body(&cb[1..cb.len() - 3]).is_err());
+        let db = DviBatch::encode(&a).to_bytes();
+        assert!(DviBatch::from_body(&db[1..db.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+#![forbid(unsafe_code)]
+//! # toc-formats — every mini-batch encoding the paper compares
+//!
+//! A single [`MatrixBatch`] trait unifies the eight encoding schemes of the
+//! paper's evaluation (§5, "Compared Methods") plus the TOC ablation
+//! variants, so the MGD engine, the experiment harness and the correctness
+//! oracles are format-agnostic:
+//!
+//! | Scheme | Module | Compressed execution? |
+//! |--------|--------|----------------------|
+//! | DEN — dense IEEE-754 doubles            | [`den`] | n/a (uncompressed) |
+//! | CSR — compressed sparse row             | [`csr`] | yes |
+//! | CVI — CSR + value indexing              | [`cvi`] | yes |
+//! | DVI — DEN + value indexing              | [`cvi`] | yes |
+//! | CLA — co-coded column groups (simplified [Elgohary et al. 2016]) | [`cla`] | yes |
+//! | Snappy* — fast-LZ over DEN bytes        | [`gcform`] | no: full decompression first |
+//! | Gzip* — deflate over DEN bytes          | [`gcform`] | no: full decompression first |
+//! | TOC (full / ablations / varint)         | [`tocform`] | yes |
+
+pub mod cla;
+pub mod csr;
+pub mod cvi;
+pub mod den;
+pub mod gcform;
+pub mod tocform;
+
+use toc_linalg::DenseMatrix;
+
+/// Error from deserializing a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Malformed bytes.
+    Corrupt(String),
+    /// The buffer encodes a different scheme than requested.
+    WrongScheme { expected: &'static str, got: u8 },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Corrupt(m) => write!(f, "corrupt batch: {m}"),
+            FormatError::WrongScheme { expected, got } => {
+                write!(f, "wrong scheme tag {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<toc_core::TocError> for FormatError {
+    fn from(e: toc_core::TocError) -> Self {
+        FormatError::Corrupt(e.to_string())
+    }
+}
+
+impl From<toc_gc::GcError> for FormatError {
+    fn from(e: toc_gc::GcError) -> Self {
+        FormatError::Corrupt(e.to_string())
+    }
+}
+
+/// A mini-batch in some (possibly compressed) encoding, supporting the core
+/// matrix operations MGD needs (paper Table 1 / §4).
+pub trait MatrixBatch {
+    /// Matrix rows.
+    fn rows(&self) -> usize;
+    /// Matrix columns.
+    fn cols(&self) -> usize;
+    /// In-memory/on-disk footprint of the encoding, in bytes.
+    fn size_bytes(&self) -> usize;
+    /// `A · v`.
+    fn matvec(&self, v: &[f64]) -> Vec<f64>;
+    /// `v · A`.
+    fn vecmat(&self, v: &[f64]) -> Vec<f64>;
+    /// `A · M`.
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix;
+    /// `M · A`.
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix;
+    /// Sparse-safe element-wise `A .* c`, in place.
+    fn scale(&mut self, c: f64);
+    /// Full decode to dense (sparse-unsafe operations route through this).
+    fn decode(&self) -> DenseMatrix;
+    /// Serialize to bytes (scheme tag included).
+    fn to_bytes(&self) -> Vec<u8>;
+}
+
+/// The encoding schemes of the paper's evaluation, plus ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    Den,
+    Csr,
+    Cvi,
+    Dvi,
+    Cla,
+    Snappy,
+    Gzip,
+    Toc,
+    /// Ablation: sparse encoding only (Fig. 6/10 `TOC_SPARSE`).
+    TocSparse,
+    /// Ablation: sparse + logical encoding (Fig. 6/10
+    /// `TOC_SPARSE_AND_LOGICAL`).
+    TocSparseLogical,
+    /// Extension: TOC with the varint physical codec.
+    TocVarint,
+}
+
+impl Scheme {
+    /// The seven compared methods of §5 plus TOC, in the paper's order.
+    pub const PAPER_SET: [Scheme; 8] = [
+        Scheme::Den,
+        Scheme::Csr,
+        Scheme::Cvi,
+        Scheme::Dvi,
+        Scheme::Cla,
+        Scheme::Snappy,
+        Scheme::Gzip,
+        Scheme::Toc,
+    ];
+
+    /// The ablation set of Figures 6 and 10.
+    pub const ABLATION_SET: [Scheme; 3] =
+        [Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
+
+    /// Display name matching the paper's figures (`*` marks from-scratch
+    /// substitutes for Snappy/Gzip).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Den => "DEN",
+            Scheme::Csr => "CSR",
+            Scheme::Cvi => "CVI",
+            Scheme::Dvi => "DVI",
+            Scheme::Cla => "CLA",
+            Scheme::Snappy => "Snappy*",
+            Scheme::Gzip => "Gzip*",
+            Scheme::Toc => "TOC",
+            Scheme::TocSparse => "TOC_SPARSE",
+            Scheme::TocSparseLogical => "TOC_SPARSE_AND_LOGICAL",
+            Scheme::TocVarint => "TOC_VARINT",
+        }
+    }
+
+    /// Whether matrix ops run directly on the compressed representation
+    /// (LMC + TOC) or require full decompression first (GC).
+    pub fn compressed_execution(self) -> bool {
+        !matches!(self, Scheme::Snappy | Scheme::Gzip)
+    }
+
+    /// Encode a dense mini-batch with this scheme.
+    pub fn encode(self, dense: &DenseMatrix) -> AnyBatch {
+        match self {
+            Scheme::Den => AnyBatch::Den(den::DenBatch::encode(dense)),
+            Scheme::Csr => AnyBatch::Csr(csr::CsrBatch::encode(dense)),
+            Scheme::Cvi => AnyBatch::Cvi(cvi::CviBatch::encode(dense)),
+            Scheme::Dvi => AnyBatch::Dvi(cvi::DviBatch::encode(dense)),
+            Scheme::Cla => AnyBatch::Cla(cla::ClaBatch::encode(dense)),
+            Scheme::Snappy => AnyBatch::Gc(gcform::GcBatch::encode(dense, toc_gc::Codec::FastLz)),
+            Scheme::Gzip => AnyBatch::Gc(gcform::GcBatch::encode(dense, toc_gc::Codec::Deflate)),
+            Scheme::Toc => AnyBatch::Toc(tocform::TocFormat::encode(dense)),
+            Scheme::TocSparse => AnyBatch::TocSparse(tocform::TocSparse::encode(dense)),
+            Scheme::TocSparseLogical => {
+                AnyBatch::TocSparseLogical(tocform::TocSparseLogical::encode(dense))
+            }
+            Scheme::TocVarint => AnyBatch::Toc(tocform::TocFormat::encode_varint(dense)),
+        }
+    }
+
+    /// Deserialize a batch previously produced by
+    /// [`MatrixBatch::to_bytes`]. The scheme is identified by the tag byte.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AnyBatch, FormatError> {
+        let (&tag, body) = bytes
+            .split_first()
+            .ok_or_else(|| FormatError::Corrupt("empty buffer".into()))?;
+        Ok(match tag {
+            0 => AnyBatch::Den(den::DenBatch::from_body(body)?),
+            1 => AnyBatch::Csr(csr::CsrBatch::from_body(body)?),
+            2 => AnyBatch::Cvi(cvi::CviBatch::from_body(body)?),
+            3 => AnyBatch::Dvi(cvi::DviBatch::from_body(body)?),
+            4 => AnyBatch::Cla(cla::ClaBatch::from_body(body)?),
+            5 => AnyBatch::Gc(gcform::GcBatch::from_body(body, toc_gc::Codec::FastLz)?),
+            6 => AnyBatch::Gc(gcform::GcBatch::from_body(body, toc_gc::Codec::Deflate)?),
+            7 | 10 => AnyBatch::Toc(tocform::TocFormat::from_body(body)?),
+            8 => AnyBatch::TocSparse(tocform::TocSparse::from_body(body)?),
+            9 => AnyBatch::TocSparseLogical(tocform::TocSparseLogical::from_body(body)?),
+            got => return Err(FormatError::WrongScheme { expected: "any", got }),
+        })
+    }
+
+    /// Serialization tag byte (first byte of [`MatrixBatch::to_bytes`]).
+    pub fn tag(self) -> u8 {
+        match self {
+            Scheme::Den => 0,
+            Scheme::Csr => 1,
+            Scheme::Cvi => 2,
+            Scheme::Dvi => 3,
+            Scheme::Cla => 4,
+            Scheme::Snappy => 5,
+            Scheme::Gzip => 6,
+            Scheme::Toc => 7,
+            Scheme::TocSparse => 8,
+            Scheme::TocSparseLogical => 9,
+            Scheme::TocVarint => 10,
+        }
+    }
+}
+
+/// A batch in any scheme (enum dispatch over [`MatrixBatch`]).
+#[derive(Clone, Debug)]
+pub enum AnyBatch {
+    Den(den::DenBatch),
+    Csr(csr::CsrBatch),
+    Cvi(cvi::CviBatch),
+    Dvi(cvi::DviBatch),
+    Cla(cla::ClaBatch),
+    Gc(gcform::GcBatch),
+    Toc(tocform::TocFormat),
+    TocSparse(tocform::TocSparse),
+    TocSparseLogical(tocform::TocSparseLogical),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $e:expr) => {
+        match $self {
+            AnyBatch::Den($b) => $e,
+            AnyBatch::Csr($b) => $e,
+            AnyBatch::Cvi($b) => $e,
+            AnyBatch::Dvi($b) => $e,
+            AnyBatch::Cla($b) => $e,
+            AnyBatch::Gc($b) => $e,
+            AnyBatch::Toc($b) => $e,
+            AnyBatch::TocSparse($b) => $e,
+            AnyBatch::TocSparseLogical($b) => $e,
+        }
+    };
+}
+
+impl MatrixBatch for AnyBatch {
+    fn rows(&self) -> usize {
+        dispatch!(self, b => b.rows())
+    }
+    fn cols(&self) -> usize {
+        dispatch!(self, b => b.cols())
+    }
+    fn size_bytes(&self) -> usize {
+        dispatch!(self, b => b.size_bytes())
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        dispatch!(self, b => b.matvec(v))
+    }
+    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        dispatch!(self, b => b.vecmat(v))
+    }
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        dispatch!(self, b => b.matmat(m))
+    }
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        dispatch!(self, b => b.matmat_left(m))
+    }
+    fn scale(&mut self, c: f64) {
+        dispatch!(self, b => b.scale(c))
+    }
+    fn decode(&self) -> DenseMatrix {
+        dispatch!(self, b => b.decode())
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        dispatch!(self, b => b.to_bytes())
+    }
+}
+
+/// Shared wire-format helpers for the format implementations.
+pub(crate) mod wire {
+    use super::FormatError;
+
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
+        put_u32(buf, vals.len() as u32);
+        for v in vals {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+        put_u32(buf, vals.len() as u32);
+        for v in vals {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub struct Rd<'a> {
+        pub bytes: &'a [u8],
+        pub pos: usize,
+    }
+
+    impl<'a> Rd<'a> {
+        pub fn new(bytes: &'a [u8]) -> Self {
+            Self { bytes, pos: 0 }
+        }
+
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+            if self.bytes.len() - self.pos < n {
+                return Err(FormatError::Corrupt("truncated".into()));
+            }
+            let s = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub fn u8(&mut self) -> Result<u8, FormatError> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub fn u32(&mut self) -> Result<u32, FormatError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        pub fn f64s(&mut self) -> Result<Vec<f64>, FormatError> {
+            let n = self.u32()? as usize;
+            if n > self.bytes.len() / 8 + 1 {
+                return Err(FormatError::Corrupt("implausible f64 count".into()));
+            }
+            let raw = self.take(n * 8)?;
+            Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+        }
+
+        pub fn u32s(&mut self) -> Result<Vec<u32>, FormatError> {
+            let n = self.u32()? as usize;
+            if n > self.bytes.len() / 4 + 1 {
+                return Err(FormatError::Corrupt("implausible u32 count".into()));
+            }
+            let raw = self.take(n * 4)?;
+            Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+        }
+
+        pub fn rest(&mut self) -> &'a [u8] {
+            let s = &self.bytes[self.pos..];
+            self.pos = self.bytes.len();
+            s
+        }
+
+        pub fn done(&self) -> Result<(), FormatError> {
+            if self.pos != self.bytes.len() {
+                return Err(FormatError::Corrupt("trailing bytes".into()));
+            }
+            Ok(())
+        }
+    }
+}

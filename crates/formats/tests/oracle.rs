@@ -1,0 +1,168 @@
+//! Cross-format oracle tests: every scheme must (a) roundtrip losslessly,
+//! (b) agree with the dense reference on all five matrix operations, and
+//! (c) survive serialization.
+
+use proptest::prelude::*;
+use toc_formats::{AnyBatch, MatrixBatch, Scheme};
+use toc_linalg::dense::max_abs_diff_vec;
+use toc_linalg::DenseMatrix;
+
+const ALL_SCHEMES: [Scheme; 11] = [
+    Scheme::Den,
+    Scheme::Csr,
+    Scheme::Cvi,
+    Scheme::Dvi,
+    Scheme::Cla,
+    Scheme::Snappy,
+    Scheme::Gzip,
+    Scheme::Toc,
+    Scheme::TocSparse,
+    Scheme::TocSparseLogical,
+    Scheme::TocVarint,
+];
+
+fn pool_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> DenseMatrix {
+    // Deterministic synthetic matrix with a small value pool.
+    let pool = [0.5, 1.5, -2.0, 3.25];
+    let mut m = DenseMatrix::zeros(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if (next() % 1000) as f64 / 1000.0 < density {
+                m.set(r, c, pool[(next() % 4) as usize]);
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn every_scheme_roundtrips_and_matches_oracle() {
+    for (rows, cols, density) in [(30, 20, 0.3), (12, 8, 1.0), (25, 40, 0.05), (10, 3, 0.0)] {
+        let a = pool_matrix(rows, cols, density, 42);
+        let v: Vec<f64> = (0..cols).map(|i| (i % 5) as f64 - 2.0).collect();
+        let w: Vec<f64> = (0..rows).map(|i| (i % 3) as f64 * 0.5).collect();
+        let mr = pool_matrix(cols, 6, 0.8, 7);
+        let ml = pool_matrix(5, rows, 0.8, 9);
+        let want_mv = a.matvec(&v);
+        let want_vm = a.vecmat(&w);
+        let want_mm = a.matmat(&mr);
+        let want_mml = a.matmat_left(&ml);
+        for scheme in ALL_SCHEMES {
+            let b = scheme.encode(&a);
+            assert_eq!(b.rows(), rows, "{}", scheme.name());
+            assert_eq!(b.cols(), cols, "{}", scheme.name());
+            assert_eq!(b.decode(), a, "{} decode", scheme.name());
+            assert!(
+                max_abs_diff_vec(&b.matvec(&v), &want_mv) < 1e-9,
+                "{} matvec",
+                scheme.name()
+            );
+            assert!(
+                max_abs_diff_vec(&b.vecmat(&w), &want_vm) < 1e-9,
+                "{} vecmat",
+                scheme.name()
+            );
+            assert!(b.matmat(&mr).max_abs_diff(&want_mm) < 1e-9, "{} matmat", scheme.name());
+            assert!(
+                b.matmat_left(&ml).max_abs_diff(&want_mml) < 1e-9,
+                "{} matmat_left",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheme_serializes() {
+    let a = pool_matrix(20, 15, 0.4, 5);
+    for scheme in ALL_SCHEMES {
+        let b = scheme.encode(&a);
+        let bytes = b.to_bytes();
+        let restored = Scheme::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("{}: {e}", scheme.name());
+        });
+        assert_eq!(restored.decode(), a, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn scale_is_consistent_everywhere() {
+    let a = pool_matrix(15, 10, 0.5, 11);
+    let mut want = a.clone();
+    want.scale(-1.75);
+    for scheme in ALL_SCHEMES {
+        let mut b = scheme.encode(&a);
+        b.scale(-1.75);
+        assert!(b.decode().max_abs_diff(&want) < 1e-12, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn compression_ratio_ordering_on_redundant_batches() {
+    // A moderately sparse batch with heavy cross-row repetition, the TOC
+    // sweet spot: TOC must beat CSR/CVI/DVI and be competitive with GC.
+    let motifs: Vec<Vec<f64>> = (0..6)
+        .map(|k| {
+            (0..80)
+                .map(|c| if (c + k) % 4 == 0 { ((c % 3) as f64) + 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..250).map(|r| motifs[r % 6].clone()).collect();
+    let a = DenseMatrix::from_rows(rows);
+    let size = |s: Scheme| s.encode(&a).size_bytes() as f64;
+    let den = size(Scheme::Den);
+    let ratio = |s: Scheme| den / size(s);
+    assert!(ratio(Scheme::Toc) > ratio(Scheme::Csr), "TOC must beat CSR here");
+    assert!(ratio(Scheme::Toc) > ratio(Scheme::Cvi), "TOC must beat CVI here");
+    assert!(ratio(Scheme::Toc) > ratio(Scheme::Dvi), "TOC must beat DVI here");
+    assert!(ratio(Scheme::Toc) > 10.0, "TOC ratio {}", ratio(Scheme::Toc));
+}
+
+#[test]
+fn mismatched_tag_is_an_error() {
+    assert!(Scheme::from_bytes(&[]).is_err());
+    assert!(Scheme::from_bytes(&[99, 0, 0]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_all_schemes_roundtrip(
+        rows in 1usize..20,
+        cols in 1usize..16,
+        density in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let a = pool_matrix(rows, cols, density, seed);
+        for scheme in ALL_SCHEMES {
+            let b = scheme.encode(&a);
+            prop_assert_eq!(b.decode(), a.clone(), "{}", scheme.name());
+            prop_assert_eq!(b.size_bytes() > 0, true);
+        }
+    }
+
+    #[test]
+    fn prop_from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(b) = Scheme::from_bytes(&bytes) {
+            let _ = b.rows();
+            let _ = b.size_bytes();
+        }
+    }
+}
+
+#[test]
+fn anybatch_is_object_safe_through_trait() {
+    let a = pool_matrix(8, 6, 0.5, 1);
+    let batches: Vec<AnyBatch> = ALL_SCHEMES.iter().map(|s| s.encode(&a)).collect();
+    let total: usize = batches.iter().map(|b| b.size_bytes()).sum();
+    assert!(total > 0);
+}

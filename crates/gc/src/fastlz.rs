@@ -1,0 +1,187 @@
+//! A Snappy-class byte compressor: greedy LZ with a single-probe hash table,
+//! byte-aligned output, built for speed over ratio.
+//!
+//! Format (after an 8-byte original-length header), a sequence of ops:
+//!
+//! * `0xxxxxxx` — literal run: copy the next `x + 1` bytes (1..=128).
+//! * `1xxxxxxx o1 o2` — match: copy `x + MIN_MATCH` bytes (4..=131) from
+//!   `offset = u16le(o1, o2)` bytes back (1..=65535).
+
+use crate::GcError;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 131; // (0x7F) + MIN_MATCH
+const MAX_OFFSET: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 14;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+    let mut table = vec![0usize; 1 << HASH_BITS]; // position + 1; 0 = empty
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, input: &[u8], from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let run = (to - s).min(128);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[s..s + run]);
+            s += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let cand = table[h];
+        table[h] = i + 1;
+        if cand > 0 {
+            let cand = cand - 1;
+            let offset = i - cand;
+            if (1..=MAX_OFFSET).contains(&offset) && input[cand..cand + 4] == input[i..i + 4] {
+                // Extend the match.
+                let mut len = 4;
+                let max = (input.len() - i).min(MAX_MATCH);
+                while len < max && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                flush_literals(&mut out, input, lit_start, i);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                out.extend_from_slice(&(offset as u16).to_le_bytes());
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flush_literals(&mut out, input, lit_start, input.len());
+    out
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    if input.len() < 8 {
+        return Err(GcError::Corrupt("missing fastlz header"));
+    }
+    let expected = u64::from_le_bytes(input[..8].try_into().unwrap()) as usize;
+    let body = &input[8..];
+    // Cap the pre-allocation: `expected` comes from an untrusted header.
+    let mut out = Vec::with_capacity(expected.min(16 << 20));
+    let mut p = 0usize;
+    while p < body.len() {
+        let tag = body[p];
+        p += 1;
+        if tag & 0x80 == 0 {
+            let run = tag as usize + 1;
+            if p + run > body.len() {
+                return Err(GcError::Corrupt("literal run past end"));
+            }
+            out.extend_from_slice(&body[p..p + run]);
+            p += run;
+        } else {
+            let len = (tag & 0x7F) as usize + MIN_MATCH;
+            if p + 2 > body.len() {
+                return Err(GcError::Corrupt("truncated match offset"));
+            }
+            let offset = u16::from_le_bytes([body[p], body[p + 1]]) as usize;
+            p += 2;
+            if offset == 0 || offset > out.len() {
+                return Err(GcError::Corrupt("match offset out of range"));
+            }
+            // Byte-by-byte copy: offsets smaller than the length implement
+            // run-length repetition, as in every LZ format.
+            let start = out.len() - offset;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected {
+        return Err(GcError::Corrupt("fastlz output length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn overlapping_copy_rle() {
+        roundtrip(&vec![7u8; 5000]);
+        roundtrip(b"abcabcabcabcabcabcabcabcabc");
+    }
+
+    #[test]
+    fn long_literal_runs() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let row: Vec<u8> = (0..200).map(|i| (i % 17) as u8).collect();
+        let data: Vec<u8> = row.iter().cycle().take(100_000).copied().collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 5, "{} vs {}", c.len(), data.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn doubles_with_few_distinct_values() {
+        // Mimics a DEN-encoded mini-batch with a small value pool.
+        let vals = [1.5f64, 0.0, 2.25, 0.0, 0.0, 1.5];
+        let mut data = Vec::new();
+        for i in 0..20_000 {
+            data.extend_from_slice(&vals[i % vals.len()].to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        assert!(decompress(&[]).is_err());
+        let mut c = compress(b"hello world hello world hello world");
+        c.truncate(c.len() - 1);
+        assert!(decompress(&c).is_err());
+        // Bogus offset.
+        let bad = [&8u64.to_le_bytes()[..], &[0x80, 0xFF, 0xFF]].concat();
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for len in [1, 100, 1024, 66_000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            roundtrip(&data);
+        }
+    }
+}

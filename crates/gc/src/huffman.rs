@@ -1,0 +1,269 @@
+//! Length-limited canonical Huffman coding used by the deflate-like codec.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::GcError;
+
+/// Build Huffman code lengths for `freqs`, capped at `max_len` bits.
+///
+/// Classic heap-based Huffman followed by a Kraft-sum repair pass when the
+/// cap is exceeded (the resulting code stays prefix-free; optimality loss at
+/// depth 15 is negligible for these alphabets).
+pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match live.len() {
+        0 => return lengths,
+        1 => {
+            lengths[live[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap Huffman over (freq, node id); internal nodes get ids >= n.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut parent: Vec<usize> = vec![usize::MAX; n + live.len()];
+    let mut next_internal = n;
+    for &i in &live {
+        heap.push(Reverse((freqs[i], i)));
+    }
+    while heap.len() > 1 {
+        let Reverse((f1, a)) = heap.pop().unwrap();
+        let Reverse((f2, b)) = heap.pop().unwrap();
+        let id = next_internal;
+        next_internal += 1;
+        parent[a] = id;
+        parent[b] = id;
+        heap.push(Reverse((f1 + f2, id)));
+    }
+    let root = heap.pop().unwrap().0 .1;
+    for &i in &live {
+        let mut d = 0u32;
+        let mut cur = i;
+        while cur != root {
+            cur = parent[cur];
+            d += 1;
+        }
+        lengths[i] = d.min(max_len as u32) as u8;
+    }
+
+    // Kraft repair: the cap may have made the code over-full. Scale the
+    // Kraft sum by 2^max_len so it is integral.
+    let budget: u64 = 1u64 << max_len;
+    let kraft = |lengths: &[u8]| -> u64 {
+        lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (max_len - l)).sum()
+    };
+    let mut k = kraft(&lengths);
+    while k > budget {
+        // Deepen the least-frequent symbol that is not yet at the cap.
+        let mut best: Option<usize> = None;
+        for &i in &live {
+            if lengths[i] < max_len
+                && best.is_none_or(|b| {
+                    (freqs[i], i) < (freqs[b], b)
+                })
+            {
+                best = Some(i);
+            }
+        }
+        let b = best.expect("kraft repair always has a candidate");
+        k -= 1u64 << (max_len - lengths[b] - 1);
+        lengths[b] += 1;
+    }
+    lengths
+}
+
+/// Canonical Huffman encoder: per-symbol `(reversed code bits, length)`.
+///
+/// Codes are assigned in (length, symbol) order and written LSB-first via a
+/// bit reversal, so the decoder can consume them one bit at a time in
+/// MSB-first canonical order.
+pub struct Encoder {
+    code: Vec<u32>,
+    len: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        let mut bl_count = vec![0u32; max as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u32; max as usize + 2];
+        let mut code = 0u32;
+        for bits in 1..=max as usize {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                codes[sym] = c.reverse_bits() >> (32 - l as u32);
+            }
+        }
+        Self { code: codes, len: lengths.to_vec() }
+    }
+
+    /// Write symbol `sym` to the bit stream.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        debug_assert!(self.len[sym] > 0, "symbol {sym} has no code");
+        w.write_bits(self.code[sym], self.len[sym] as u32);
+    }
+
+    /// Code length of `sym` (0 = unused).
+    pub fn length(&self, sym: usize) -> u8 {
+        self.len[sym]
+    }
+}
+
+/// Canonical Huffman decoder (bit-at-a-time over per-length tables).
+pub struct Decoder {
+    max_len: u8,
+    /// `first_code[l]`: canonical code value of the first code of length l.
+    first_code: Vec<u32>,
+    /// `count[l]`: number of codes of length l.
+    count: Vec<u32>,
+    /// `offset[l]`: index of that first code's symbol in `symbols`.
+    offset: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+}
+
+impl Decoder {
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, GcError> {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        let mut count = vec![0u32; max as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Verify the Kraft inequality so decoding cannot run off the rails.
+        if max > 0 {
+            let mut kraft: u64 = 0;
+            for (l, &c) in count.iter().enumerate().skip(1) {
+                kraft += (c as u64) << (max as usize - l);
+            }
+            if kraft > 1u64 << max {
+                return Err(GcError::Corrupt("over-full Huffman code"));
+            }
+        }
+        let mut first_code = vec![0u32; max as usize + 1];
+        let mut offset = vec![0u32; max as usize + 1];
+        let mut code = 0u32;
+        let mut sym_off = 0u32;
+        for l in 1..=max as usize {
+            code = (code + if l > 1 { count[l - 1] } else { 0 }) << 1;
+            first_code[l] = code;
+            offset[l] = sym_off;
+            sym_off += count[l];
+        }
+        let mut symbols: Vec<u32> = Vec::with_capacity(sym_off as usize);
+        for l in 1..=max {
+            for (sym, &sl) in lengths.iter().enumerate() {
+                if sl == l {
+                    symbols.push(sym as u32);
+                }
+            }
+        }
+        Ok(Self { max_len: max, first_code, count, offset, symbols })
+    }
+
+    /// Decode one symbol.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u32, GcError> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()?;
+            let idx = code.wrapping_sub(self.first_code[l]);
+            if idx < self.count[l] {
+                return Ok(self.symbols[(self.offset[l] + idx) as usize]);
+            }
+        }
+        Err(GcError::Corrupt("invalid Huffman code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize], max_len: u8) {
+        let lengths = build_lengths(freqs, max_len);
+        assert!(lengths.iter().all(|&l| l <= max_len));
+        let enc = Encoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.write(&mut w, s);
+        }
+        let buf = w.finish();
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut r = BitReader::new(&buf);
+        for &s in stream {
+            assert_eq!(dec.read(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn simple_alphabet() {
+        let freqs = [45u64, 13, 12, 16, 9, 5];
+        let stream: Vec<usize> = (0..600).map(|i| i % 6).collect();
+        roundtrip_symbols(&freqs, &stream, 15);
+    }
+
+    #[test]
+    fn single_symbol_gets_length_one() {
+        let lengths = build_lengths(&[0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        roundtrip_symbols(&[0, 7, 0], &[1, 1, 1], 15);
+    }
+
+    #[test]
+    fn skewed_frequencies_hit_length_cap() {
+        // Fibonacci-like frequencies force deep trees; cap at 8.
+        let mut freqs = vec![0u64; 24];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs, 8);
+        assert!(lengths.iter().all(|&l| l > 0 && l <= 8));
+        // Kraft inequality must hold.
+        let kraft: u64 = lengths.iter().map(|&l| 1u64 << (8 - l)).sum();
+        assert!(kraft <= 1 << 8);
+        let stream: Vec<usize> = (0..500).map(|i| i % 24).collect();
+        roundtrip_symbols(&freqs, &stream, 8);
+    }
+
+    #[test]
+    fn lengths_are_optimal_for_uniform() {
+        let lengths = build_lengths(&[10, 10, 10, 10], 15);
+        assert_eq!(lengths, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn over_full_code_rejected() {
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(Decoder::from_lengths(&[1, 1]).is_ok());
+    }
+
+    #[test]
+    fn empty_freqs() {
+        let lengths = build_lengths(&[0, 0, 0], 15);
+        assert_eq!(lengths, vec![0, 0, 0]);
+        assert!(Decoder::from_lengths(&lengths).is_ok());
+    }
+}

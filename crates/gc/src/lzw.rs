@@ -1,0 +1,197 @@
+//! Classic byte-oriented LZW (Welch 1984), the scheme TOC is derived from.
+//!
+//! Included so tests and benches can contrast TOC against its ancestor: LZW
+//! compresses a blob of bytes with no knowledge of tuple or column
+//! boundaries (Table 3 of the paper), so nothing can be computed on its
+//! output without full decompression.
+//!
+//! Codes are emitted as 16-bit little-endian words; the dictionary is reset
+//! when it reaches 65536 entries (both sides perform the reset at the same
+//! point, keeping the streams in sync).
+
+use crate::GcError;
+use std::collections::HashMap;
+
+const MAX_DICT: u32 = u16::MAX as u32 + 1;
+
+/// Compress `input` with byte-LZW.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::with_capacity(8 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    if input.is_empty() {
+        return out;
+    }
+    // Dictionary: (prefix code, next byte) -> code. Codes 0..=255 are the
+    // single bytes themselves.
+    let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+    let mut next_code: u32 = 256;
+    let mut cur: u32 = input[0] as u32;
+    for &b in &input[1..] {
+        match dict.get(&(cur, b)) {
+            Some(&code) => cur = code,
+            None => {
+                out.extend_from_slice(&(cur as u16).to_le_bytes());
+                dict.insert((cur, b), next_code);
+                next_code += 1;
+                if next_code == MAX_DICT {
+                    dict.clear();
+                    next_code = 256;
+                }
+                cur = b as u32;
+            }
+        }
+    }
+    out.extend_from_slice(&(cur as u16).to_le_bytes());
+    out
+}
+
+/// Decompress an LZW stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    if input.len() < 8 {
+        return Err(GcError::Corrupt("missing LZW header"));
+    }
+    let expected_len = u64::from_le_bytes(input[..8].try_into().unwrap()) as usize;
+    let body = &input[8..];
+    if !body.len().is_multiple_of(2) {
+        return Err(GcError::Corrupt("odd LZW body length"));
+    }
+    // Cap the pre-allocation: `expected_len` comes from an untrusted header.
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len.min(16 << 20));
+    if body.is_empty() {
+        return if expected_len == 0 {
+            Ok(out)
+        } else {
+            Err(GcError::Corrupt("truncated LZW stream"))
+        };
+    }
+
+    // Dictionary as parent-pointer arrays (code -> (prefix, last byte)).
+    let mut parent: Vec<u32> = (0..256).collect();
+    let mut last: Vec<u8> = (0..=255).collect();
+    let mut first_byte: Vec<u8> = (0..=255).collect();
+
+    let read_code =
+        |i: usize| -> u32 { u16::from_le_bytes([body[2 * i], body[2 * i + 1]]) as u32 };
+    let n_codes = body.len() / 2;
+
+    let emit = |out: &mut Vec<u8>,
+                parent: &[u32],
+                last: &[u8],
+                code: u32|
+     -> Result<(), GcError> {
+        // Materialize the sequence for `code` by backtracking.
+        let start = out.len();
+        let mut cur = code;
+        loop {
+            out.push(last[cur as usize]);
+            if cur < 256 {
+                break;
+            }
+            cur = parent[cur as usize];
+        }
+        out[start..].reverse();
+        Ok(())
+    };
+
+    let mut prev = read_code(0);
+    if prev >= 256 {
+        return Err(GcError::Corrupt("first LZW code must be a literal"));
+    }
+    emit(&mut out, &parent, &last, prev)?;
+
+    for i in 1..n_codes {
+        let code = read_code(i);
+        let next_code = parent.len() as u32;
+        if code > next_code {
+            return Err(GcError::Corrupt("LZW code beyond dictionary"));
+        }
+        if code == next_code {
+            // KwKwK: the code being defined right now.
+            let fb = first_byte[prev as usize];
+            parent.push(prev);
+            last.push(fb);
+            first_byte.push(first_byte[prev as usize]);
+            emit(&mut out, &parent, &last, code)?;
+        } else {
+            emit(&mut out, &parent, &last, code)?;
+            parent.push(prev);
+            last.push(first_byte[code as usize]);
+            first_byte.push(first_byte[prev as usize]);
+        }
+        if parent.len() as u32 == MAX_DICT {
+            parent.truncate(256);
+            last.truncate(256);
+            first_byte.truncate(256);
+        }
+        prev = code;
+        if prev as usize >= parent.len() {
+            return Err(GcError::Corrupt("LZW stream desynchronized after reset"));
+        }
+    }
+
+    if out.len() != expected_len {
+        return Err(GcError::Corrupt("LZW output length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"aaaa");
+    }
+
+    #[test]
+    fn kwkwk_pattern() {
+        // The classic pathological input for LZW decoders.
+        roundtrip(b"abababababababab");
+        roundtrip(b"aaabaaabaaab");
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data: Vec<u8> = b"the quick brown fox ".iter().cycle().take(10_000).copied().collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 3, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn dictionary_reset_path() {
+        // Enough distinct digrams to overflow the 16-bit dictionary.
+        let mut data = Vec::new();
+        for i in 0..200_000u32 {
+            data.extend_from_slice(&(i as u16 ^ (i >> 3) as u16).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[1, 0, 0, 0, 0, 0, 0, 0]).is_err()); // missing body
+        let mut c = compress(b"hello hello hello");
+        c.truncate(c.len() - 1);
+        assert!(decompress(&c).is_err());
+    }
+}

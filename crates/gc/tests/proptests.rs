@@ -1,0 +1,56 @@
+//! Property tests: every codec must roundtrip arbitrary byte strings and
+//! never panic on arbitrary (corrupt) compressed input.
+
+use proptest::prelude::*;
+use toc_gc::Codec;
+
+const CODECS: [Codec; 3] = [Codec::FastLz, Codec::Deflate, Codec::Lzw];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..8192)) {
+        for codec in CODECS {
+            let c = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&c).unwrap(), data.clone(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(byte in any::<u8>(), len in 0usize..20_000) {
+        let data = vec![byte; len];
+        for codec in CODECS {
+            let c = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&c).unwrap(), data.clone());
+            if len > 1000 {
+                prop_assert!(c.len() < data.len() / 4, "{} ratio too weak", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_structured(motif in prop::collection::vec(any::<u8>(), 1..64), reps in 1usize..200) {
+        let data: Vec<u8> = motif.iter().cycle().take(motif.len() * reps).copied().collect();
+        for codec in CODECS {
+            let c = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&c).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        for codec in CODECS {
+            let _ = codec.decompress(&data);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(data in prop::collection::vec(any::<u8>(), 0..2048), frac in 0.0f64..1.0) {
+        for codec in CODECS {
+            let c = codec.compress(&data);
+            let cut = (c.len() as f64 * frac) as usize;
+            let _ = codec.decompress(&c[..cut]);
+        }
+    }
+}

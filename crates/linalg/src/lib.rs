@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Dense/sparse linear-algebra substrate.
+pub mod dense;
+pub mod sparse;
+pub use dense::DenseMatrix;
+pub use sparse::SparseRows;

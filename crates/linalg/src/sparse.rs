@@ -1,0 +1,212 @@
+//! Sparse row representation: each row is a list of `(column, value)` pairs
+//! with zeros elided. This is the paper's "sparse encoded table" (Figure 3 B)
+//! and also the logical content of the CSR baseline.
+
+use crate::dense::DenseMatrix;
+
+/// A single column index:value pair (the paper's compression unit).
+///
+/// Values are compared bit-exactly (`f64::to_bits`) everywhere in the
+/// workspace: compression must be lossless, and `-0.0`/`0.0`, NaN payloads
+/// etc. must survive a roundtrip unchanged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColVal {
+    /// Zero-based column index.
+    pub col: u32,
+    /// The (non-zero) cell value.
+    pub val: f64,
+}
+
+impl ColVal {
+    /// Bit-exact equality, used for dictionary keys.
+    #[inline]
+    pub fn bits_eq(&self, other: &ColVal) -> bool {
+        self.col == other.col && self.val.to_bits() == other.val.to_bits()
+    }
+}
+
+/// Sparse-row view of a matrix: zeros removed, each remaining cell stored as
+/// a [`ColVal`] pair, row boundaries preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseRows {
+    rows: usize,
+    cols: usize,
+    /// Concatenated pairs for all rows.
+    pairs: Vec<ColVal>,
+    /// `offsets[r]..offsets[r+1]` indexes `pairs` for row `r`.
+    offsets: Vec<usize>,
+}
+
+impl SparseRows {
+    /// Sparse-encode a dense matrix (the paper's "Step 1: Sparse Encoding").
+    pub fn encode(dense: &DenseMatrix) -> Self {
+        let mut pairs = Vec::with_capacity(dense.nnz());
+        let mut offsets = Vec::with_capacity(dense.rows() + 1);
+        offsets.push(0);
+        for r in 0..dense.rows() {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    pairs.push(ColVal { col: c as u32, val: v });
+                }
+            }
+            offsets.push(pairs.len());
+        }
+        Self { rows: dense.rows(), cols: dense.cols(), pairs, offsets }
+    }
+
+    /// Build directly from per-row pair lists (used by tests and decoders).
+    pub fn from_parts(rows: usize, cols: usize, pairs: Vec<ColVal>, offsets: Vec<usize>) -> Self {
+        assert_eq!(offsets.len(), rows + 1);
+        assert_eq!(*offsets.last().unwrap(), pairs.len());
+        Self { rows, cols, pairs, offsets }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying dense matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored pairs (the paper's `|B|`).
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Pairs of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[ColVal] {
+        &self.pairs[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// All pairs, concatenated row-major.
+    #[inline]
+    pub fn pairs(&self) -> &[ColVal] {
+        &self.pairs
+    }
+
+    /// Row offset table (len = rows + 1).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Decode back to dense (the inverse of [`SparseRows::encode`]).
+    pub fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for p in self.row(r) {
+                out.set(r, p.col as usize, p.val);
+            }
+        }
+        out
+    }
+
+    /// Reference CSR `A·v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in self.row(r) {
+                acc += p.val * v[p.col as usize];
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Reference CSR `v·A`.
+    pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (r, &w) in v.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            for p in self.row(r) {
+                out[p.col as usize] += w * p.val;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sparse_random(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<f64>() < density {
+                    m.set(r, c, rng.gen_range(-5.0..5.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn encode_elides_zeros_and_keeps_boundaries() {
+        // Figure 3 A/B worked example.
+        let a = DenseMatrix::from_rows(vec![
+            vec![1.1, 2.0, 3.0, 1.4],
+            vec![1.1, 2.0, 3.0, 0.0],
+            vec![0.0, 1.1, 3.0, 1.4],
+            vec![1.1, 2.0, 0.0, 0.0],
+        ]);
+        let s = SparseRows::encode(&a);
+        assert_eq!(s.row(1).len(), 3);
+        assert_eq!(s.row(2)[0], ColVal { col: 1, val: 1.1 });
+        assert_eq!(s.row(3).len(), 2);
+        assert_eq!(s.num_pairs(), 12);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for density in [0.05, 0.4, 1.0] {
+            let a = sparse_random(&mut rng, 17, 9, density);
+            assert_eq!(SparseRows::encode(&a).decode(), a);
+        }
+    }
+
+    #[test]
+    fn kernels_match_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = sparse_random(&mut rng, 20, 13, 0.3);
+        let s = SparseRows::encode(&a);
+        let v: Vec<f64> = (0..13).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let w: Vec<f64> = (0..20).map(|i| (i % 5) as f64).collect();
+        assert_eq!(s.matvec(&v), a.matvec(&v));
+        assert_eq!(s.vecmat(&w), a.vecmat(&w));
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let a = DenseMatrix::from_rows(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 0.0]]);
+        let s = SparseRows::encode(&a);
+        assert_eq!(s.row(0).len(), 0);
+        assert_eq!(s.row(2).len(), 0);
+        assert_eq!(s.decode(), a);
+    }
+
+    #[test]
+    fn negative_zero_survives() {
+        let a = DenseMatrix::from_rows(vec![vec![-0.0_f64, 2.0]]);
+        // -0.0 == 0.0 so it is elided; decode yields +0.0 which is == -0.0.
+        let s = SparseRows::encode(&a);
+        assert_eq!(s.num_pairs(), 1);
+        assert_eq!(s.decode().get(0, 0), 0.0);
+    }
+}

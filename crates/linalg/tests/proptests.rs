@@ -1,0 +1,79 @@
+//! Property tests for the linear-algebra substrate: algebraic identities
+//! that every downstream kernel comparison depends on.
+
+use proptest::prelude::*;
+use toc_linalg::dense::max_abs_diff_vec;
+use toc_linalg::{DenseMatrix, SparseRows};
+
+fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        prop::collection::vec(
+            prop_oneof![3 => Just(0.0f64), 2 => -50.0f64..50.0],
+            r * c,
+        )
+        .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_roundtrip(a in matrix(25, 25)) {
+        prop_assert_eq!(SparseRows::encode(&a).decode(), a);
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix(20, 20)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_linearity(a in matrix(15, 15), c in -3.0f64..3.0) {
+        let v: Vec<f64> = (0..a.cols()).map(|i| (i as f64) - 2.0).collect();
+        let scaled: Vec<f64> = v.iter().map(|x| c * x).collect();
+        let lhs = a.matvec(&scaled);
+        let rhs: Vec<f64> = a.matvec(&v).iter().map(|x| c * x).collect();
+        prop_assert!(max_abs_diff_vec(&lhs, &rhs) < 1e-6);
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec(a in matrix(15, 15)) {
+        let w: Vec<f64> = (0..a.rows()).map(|i| ((i % 4) as f64) - 1.5).collect();
+        let lhs = a.vecmat(&w);
+        let rhs = a.transpose().matvec(&w);
+        prop_assert!(max_abs_diff_vec(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn matmat_associates_with_matvec(a in matrix(10, 10)) {
+        // (A·M)·e_j == A·(M·e_j): check via an explicit M.
+        let m = DenseMatrix::from_vec(
+            a.cols(), 3,
+            (0..a.cols() * 3).map(|i| ((i % 5) as f64) * 0.5 - 1.0).collect(),
+        );
+        let prod = a.matmat(&m);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..m.rows()).map(|r| m.get(r, j)).collect();
+            let direct = a.matvec(&col);
+            let from_prod: Vec<f64> = (0..prod.rows()).map(|r| prod.get(r, j)).collect();
+            prop_assert!(max_abs_diff_vec(&direct, &from_prod) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_kernels_agree(a in matrix(20, 20)) {
+        let s = SparseRows::encode(&a);
+        let v: Vec<f64> = (0..a.cols()).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let w: Vec<f64> = (0..a.rows()).map(|i| ((i * 5 % 3) as f64) - 1.0).collect();
+        prop_assert!(max_abs_diff_vec(&s.matvec(&v), &a.matvec(&v)) < 1e-9);
+        prop_assert!(max_abs_diff_vec(&s.vecmat(&w), &a.vecmat(&w)) < 1e-9);
+    }
+
+    #[test]
+    fn density_bounds(a in matrix(15, 15)) {
+        let d = a.density();
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(a.nnz() == 0, d == 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Image-to-column (§6, "Advanced Neural Network"): replicate each sliding
+//! window of an image batch as a matrix row so that convolution becomes a
+//! matrix multiplication that can run on a TOC-compressed batch.
+//!
+//! The paper predicts *higher* TOC ratios on the replicated matrix because
+//! im2col duplicates pixels across rows — exactly the cross-row repeated
+//! subsequences the logical encoding exploits.
+
+use toc_linalg::DenseMatrix;
+
+/// Shape of a single-channel image batch stored one image per matrix row.
+#[derive(Clone, Copy, Debug)]
+pub struct ImageShape {
+    pub height: usize,
+    pub width: usize,
+}
+
+impl ImageShape {
+    /// Number of output positions for a `kh × kw` kernel at `stride`.
+    pub fn out_dims(&self, kh: usize, kw: usize, stride: usize) -> (usize, usize) {
+        assert!(kh <= self.height && kw <= self.width && stride >= 1);
+        ((self.height - kh) / stride + 1, (self.width - kw) / stride + 1)
+    }
+}
+
+/// Replicate sliding windows: input is `n × (h*w)` (one image per row);
+/// output is `(n * out_h * out_w) × (kh*kw)` with one window per row.
+pub fn im2col(
+    images: &DenseMatrix,
+    shape: ImageShape,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> DenseMatrix {
+    assert_eq!(images.cols(), shape.height * shape.width, "image shape mismatch");
+    let (oh, ow) = shape.out_dims(kh, kw, stride);
+    let mut out = DenseMatrix::zeros(images.rows() * oh * ow, kh * kw);
+    let mut orow = 0usize;
+    for img in 0..images.rows() {
+        let pixels = images.row(img);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let dst = out.row_mut(orow);
+                orow += 1;
+                let y0 = oy * stride;
+                let x0 = ox * stride;
+                for ky in 0..kh {
+                    let src = &pixels[(y0 + ky) * shape.width + x0..][..kw];
+                    dst[ky * kw..(ky + 1) * kw].copy_from_slice(src);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct (nested-loop) convolution reference for testing: returns
+/// `(n * out_h * out_w) × n_kernels`, matching `im2col(...).matmat(kernels)`.
+pub fn conv_direct(
+    images: &DenseMatrix,
+    shape: ImageShape,
+    kernels: &DenseMatrix, // (kh*kw) × n_kernels
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> DenseMatrix {
+    let (oh, ow) = shape.out_dims(kh, kw, stride);
+    let nk = kernels.cols();
+    let mut out = DenseMatrix::zeros(images.rows() * oh * ow, nk);
+    let mut orow = 0usize;
+    for img in 0..images.rows() {
+        let pixels = images.row(img);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for k in 0..nk {
+                    let mut acc = 0.0;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let p = pixels[(oy * stride + ky) * shape.width + ox * stride + kx];
+                            acc += p * kernels.get(ky * kw + kx, k);
+                        }
+                    }
+                    out.set(orow, k, acc);
+                }
+                orow += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toc_formats::{MatrixBatch, Scheme};
+
+    fn toy_images(n: usize, shape: ImageShape) -> DenseMatrix {
+        // Blocky images from a 3-value palette: lots of repeated windows.
+        let mut m = DenseMatrix::zeros(n, shape.height * shape.width);
+        for img in 0..n {
+            for y in 0..shape.height {
+                for x in 0..shape.width {
+                    let v = (((x / 3) + (y / 3) + img) % 3) as f64 * 0.5;
+                    m.set(img, y * shape.width + x, v);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn out_dims() {
+        let s = ImageShape { height: 8, width: 10 };
+        assert_eq!(s.out_dims(3, 3, 1), (6, 8));
+        assert_eq!(s.out_dims(2, 2, 2), (4, 5));
+    }
+
+    #[test]
+    fn im2col_matmul_equals_direct_convolution() {
+        let shape = ImageShape { height: 9, width: 9 };
+        let images = toy_images(4, shape);
+        let kernels = DenseMatrix::from_vec(
+            9,
+            2,
+            (0..18).map(|i| ((i % 5) as f64) * 0.25 - 0.5).collect(),
+        );
+        let cols = im2col(&images, shape, 3, 3, 1);
+        let via_mm = cols.matmat(&kernels);
+        let direct = conv_direct(&images, shape, &kernels, 3, 3, 1);
+        assert!(via_mm.max_abs_diff(&direct) < 1e-12);
+    }
+
+    #[test]
+    fn convolution_runs_on_compressed_batch() {
+        let shape = ImageShape { height: 12, width: 12 };
+        let images = toy_images(6, shape);
+        let kernels =
+            DenseMatrix::from_vec(9, 3, (0..27).map(|i| ((i % 4) as f64) - 1.5).collect());
+        let cols = im2col(&images, shape, 3, 3, 1);
+        let toc = Scheme::Toc.encode(&cols);
+        let got = toc.matmat(&kernels);
+        let want = conv_direct(&images, shape, &kernels, 3, 3, 1);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn replication_raises_toc_ratio() {
+        // §6: the replicated matrix compresses better than the raw images.
+        let shape = ImageShape { height: 16, width: 16 };
+        let images = toy_images(8, shape);
+        let cols = im2col(&images, shape, 4, 4, 1);
+        let ratio = |m: &DenseMatrix| {
+            m.den_size_bytes() as f64 / Scheme::Toc.encode(m).size_bytes() as f64
+        };
+        assert!(
+            ratio(&cols) > ratio(&images),
+            "im2col ratio {} vs raw {}",
+            ratio(&cols),
+            ratio(&images)
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Loss functions for the generalized ERM setting (§2.1.1).
+//!
+//! Binary labels are encoded as `y ∈ {-1, +1}` throughout; `f` denotes the
+//! model's decision value `xᵀh`.
+
+/// Loss families used by the paper's three model classes (§5.3): logistic
+/// loss for Logistic regression, hinge loss for SVM, squared loss for
+/// Linear regression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean squared loss: `0.5 (f - y)²`.
+    Squared,
+    /// Logistic loss: `ln(1 + exp(-y f))`.
+    Logistic,
+    /// Hinge loss: `max(0, 1 - y f)`.
+    Hinge,
+}
+
+impl LossKind {
+    /// Loss value for one example.
+    #[inline]
+    pub fn loss(self, f: f64, y: f64) -> f64 {
+        match self {
+            LossKind::Squared => 0.5 * (f - y) * (f - y),
+            LossKind::Logistic => {
+                // Numerically stable ln(1 + e^{-yf}).
+                let m = -y * f;
+                if m > 0.0 {
+                    m + (1.0 + (-m).exp()).ln()
+                } else {
+                    (1.0 + m.exp()).ln()
+                }
+            }
+            LossKind::Hinge => (1.0 - y * f).max(0.0),
+        }
+    }
+
+    /// Derivative of the loss w.r.t. the decision value `f`.
+    #[inline]
+    pub fn dloss(self, f: f64, y: f64) -> f64 {
+        match self {
+            LossKind::Squared => f - y,
+            LossKind::Logistic => -y * sigmoid(-y * f),
+            LossKind::Hinge => {
+                if y * f < 1.0 {
+                    -y
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// In-place softmax over a slice (used by the NN's multi-class output).
+pub fn softmax_inplace(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_dloss(kind: LossKind, f: f64, y: f64) -> f64 {
+        let eps = 1e-6;
+        (kind.loss(f + eps, y) - kind.loss(f - eps, y)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        for kind in [LossKind::Squared, LossKind::Logistic, LossKind::Hinge] {
+            for f in [-3.0f64, -0.5, 0.3, 2.0] {
+                for y in [-1.0f64, 1.0] {
+                    if kind == LossKind::Hinge && (1.0 - y * f).abs() < 1e-4 {
+                        continue; // kink
+                    }
+                    let num = numeric_dloss(kind, f, y);
+                    let ana = kind.dloss(f, y);
+                    assert!(
+                        (num - ana).abs() < 1e-5,
+                        "{kind:?} f={f} y={y}: {num} vs {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_loss_is_stable_for_large_margins() {
+        let l = LossKind::Logistic.loss(1e4, -1.0);
+        assert!(l.is_finite() && l > 9_000.0);
+        let l2 = LossKind::Logistic.loss(1e4, 1.0);
+        assert!((0.0..1e-6).contains(&l2));
+    }
+
+    #[test]
+    fn hinge_zero_beyond_margin() {
+        assert_eq!(LossKind::Hinge.loss(2.0, 1.0), 0.0);
+        assert_eq!(LossKind::Hinge.dloss(2.0, 1.0), 0.0);
+        assert_eq!(LossKind::Hinge.dloss(0.5, 1.0), -1.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0 && sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut row = [1.0, 2.0, 3.0, 4.0];
+        softmax_inplace(&mut row);
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(row.windows(2).all(|w| w[0] < w[1]));
+        // Stability with huge logits.
+        let mut big = [1e300, 1e300, 0.0];
+        softmax_inplace(&mut big);
+        assert!(big.iter().all(|v| v.is_finite()));
+    }
+}

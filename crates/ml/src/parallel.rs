@@ -1,0 +1,161 @@
+//! Synchronous data-parallel NN training (the "classical way" of Dean et
+//! al. the paper cites for its NN workloads, §5.3): each round, `workers`
+//! threads compute gradients for distinct mini-batches against the same
+//! snapshot of the weights; the averaged update is then applied once.
+
+use crate::mgd::{targets_for_nn, BatchProvider, MgdConfig};
+use crate::models::NeuralNet;
+use std::time::{Duration, Instant};
+use toc_linalg::DenseMatrix;
+
+/// Train `nn` with synchronous data parallelism. Returns total train time.
+pub fn train_nn_parallel(
+    nn: &mut NeuralNet,
+    data: &(dyn BatchProvider + Sync),
+    config: &MgdConfig,
+    workers: usize,
+) -> Duration {
+    assert!(workers >= 1);
+    let mut train_time = Duration::ZERO;
+    for _ in 0..config.epochs {
+        let t0 = Instant::now();
+        let mut next = 0usize;
+        while next < data.num_batches() {
+            let round: Vec<usize> =
+                (next..(next + workers).min(data.num_batches())).collect();
+            next += round.len();
+
+            // Each worker computes the weight delta its mini-batch induces
+            // on a private replica of the current weights.
+            let deltas: Vec<(Vec<DenseMatrix>, Vec<Vec<f64>>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = round
+                    .iter()
+                    .map(|&idx| {
+                        let mut replica = nn.clone();
+                        let lr = config.lr;
+                        scope.spawn(move || {
+                            let mut out = None;
+                            data.visit(idx, &mut |batch, labels| {
+                                let targets = targets_for_nn(labels, replica.outputs);
+                                let before_w: Vec<DenseMatrix> = replica.weights.clone();
+                                let before_b: Vec<Vec<f64>> = replica.biases.clone();
+                                replica.update_batch(batch, &targets, lr);
+                                let dw: Vec<DenseMatrix> = replica
+                                    .weights
+                                    .iter()
+                                    .zip(&before_w)
+                                    .map(|(after, before)| {
+                                        let data = after
+                                            .data()
+                                            .iter()
+                                            .zip(before.data())
+                                            .map(|(a, b)| a - b)
+                                            .collect();
+                                        DenseMatrix::from_vec(after.rows(), after.cols(), data)
+                                    })
+                                    .collect();
+                                let db: Vec<Vec<f64>> = replica
+                                    .biases
+                                    .iter()
+                                    .zip(&before_b)
+                                    .map(|(after, before)| {
+                                        after.iter().zip(before).map(|(a, b)| a - b).collect()
+                                    })
+                                    .collect();
+                                out = Some((dw, db));
+                            });
+                            out.expect("provider must call the visitor")
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+
+            // Apply the averaged deltas.
+            let k = deltas.len() as f64;
+            for (dw, db) in deltas {
+                for (l, d) in dw.into_iter().enumerate() {
+                    let w = nn.weights[l].data_mut();
+                    for (wv, dv) in w.iter_mut().zip(d.data()) {
+                        *wv += dv / k;
+                    }
+                }
+                for (l, d) in db.into_iter().enumerate() {
+                    for (bv, dv) in nn.biases[l].iter_mut().zip(&d) {
+                        *bv += dv / k;
+                    }
+                }
+            }
+        }
+        train_time += t0.elapsed();
+    }
+    train_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgd::MemoryProvider;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use toc_formats::Scheme;
+    use toc_linalg::DenseMatrix;
+
+    fn provider(n: usize, d: usize, rows: usize) -> (MemoryProvider, DenseMatrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let truth: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut x = DenseMatrix::zeros(n, d);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut f = 0.0;
+            #[allow(clippy::needless_range_loop)] // c indexes x, truth in lockstep
+            for c in 0..d {
+                let v = if rng.gen::<f64>() < 0.5 { (rng.gen_range(1..4) as f64) * 0.5 } else { 0.0 };
+                x.set(r, c, v);
+                f += v * truth[c];
+            }
+            y.push(if f >= 0.0 { 1.0 } else { -1.0 });
+        }
+        let mut batches = Vec::new();
+        let mut s = 0;
+        while s < n {
+            let e = (s + rows).min(n);
+            batches.push((Scheme::Toc.encode(&x.slice_rows(s, e)), y[s..e].to_vec()));
+            s = e;
+        }
+        (MemoryProvider { batches, features: d }, x, y)
+    }
+
+    #[test]
+    fn parallel_training_learns() {
+        let (p, x, y) = provider(400, 8, 40);
+        let mut nn = NeuralNet::new(8, &[16], 1, 4);
+        let config = MgdConfig { epochs: 60, lr: 0.6, ..Default::default() };
+        train_nn_parallel(&mut nn, &p, &config, 4);
+        let eval = Scheme::Den.encode(&x);
+        let targets = targets_for_nn(&y, 1);
+        let acc = nn.accuracy(&eval, &targets);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        // workers = 1 must equal plain sequential MGD exactly.
+        let (p, _, _) = provider(100, 6, 25);
+        let config = MgdConfig { epochs: 3, lr: 0.4, ..Default::default() };
+        let mut a = NeuralNet::new(6, &[8], 1, 7);
+        let mut b = a.clone();
+        train_nn_parallel(&mut a, &p, &config, 1);
+        for _ in 0..config.epochs {
+            for i in 0..p.num_batches() {
+                p.visit(i, &mut |batch, labels| {
+                    let t = targets_for_nn(labels, 1);
+                    b.update_batch(batch, &t, config.lr);
+                });
+            }
+        }
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert!(wa.max_abs_diff(wb) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! §6 extension: run a convolution on a TOC-compressed batch via
+//! image-to-column replication.
+//!
+//! im2col replicates each sliding window as a matrix row; convolution then
+//! becomes `A · K` — a right multiplication that executes directly on the
+//! compressed batch. The paper predicts *higher* compression ratios on the
+//! replicated matrix (duplicated pixels = repeated subsequences), which
+//! this example verifies.
+//!
+//! ```text
+//! cargo run --release --example cnn_im2col
+//! ```
+
+use toc_repro::formats::MatrixBatch;
+use toc_repro::ml::im2col::{conv_direct, im2col, ImageShape};
+use toc_repro::prelude::*;
+
+fn main() {
+    // A batch of 16 synthetic 24x24 "images" with blocky 3-level structure.
+    let shape = ImageShape { height: 24, width: 24 };
+    let n_images = 16;
+    let mut images = DenseMatrix::zeros(n_images, shape.height * shape.width);
+    for img in 0..n_images {
+        for y in 0..shape.height {
+            for x in 0..shape.width {
+                let v = (((x / 4) + (y / 4) + img) % 3) as f64 * 0.5;
+                images.set(img, y * shape.width + x, v);
+            }
+        }
+    }
+
+    // 3 classic 3x3 kernels, stored as a 9 x 3 matrix (kernel cells x
+    // kernels) so convolution is `im2col(images) · kernels`.
+    let kernels = {
+        let sobel_x = [1.0, 0.0, -1.0, 2.0, 0.0, -2.0, 1.0, 0.0, -1.0];
+        let sobel_y = [1.0, 2.0, 1.0, 0.0, 0.0, 0.0, -1.0, -2.0, -1.0];
+        let blur = [0.25, 0.25, 0.25, 0.25, 0.0, 0.25, 0.25, 0.25, 0.25];
+        let mut m = DenseMatrix::zeros(9, 3);
+        for i in 0..9 {
+            m.set(i, 0, sobel_x[i]);
+            m.set(i, 1, sobel_y[i]);
+            m.set(i, 2, blur[i]);
+        }
+        m
+    };
+
+    // Replicate windows and compress.
+    let cols = im2col(&images, shape, 3, 3, 1);
+    let raw_ratio =
+        images.den_size_bytes() as f64 / Scheme::Toc.encode(&images).size_bytes() as f64;
+    let toc = Scheme::Toc.encode(&cols);
+    let col_ratio = cols.den_size_bytes() as f64 / toc.size_bytes() as f64;
+    println!("im2col: {} windows x {} cells", cols.rows(), cols.cols());
+    println!("TOC ratio on raw images:      {raw_ratio:.1}x");
+    println!("TOC ratio on im2col matrix:   {col_ratio:.1}x  (replication helps, as §6 predicts)");
+    assert!(col_ratio > raw_ratio);
+
+    // Convolution on the compressed batch = one A·K right multiplication.
+    let feature_maps = toc.matmat(&kernels);
+    let reference = conv_direct(&images, shape, &kernels, 3, 3, 1);
+    let diff = feature_maps.max_abs_diff(&reference);
+    println!("conv(compressed) vs direct convolution: max |diff| = {diff:.2e}");
+    assert!(diff < 1e-9);
+    println!("convolution on TOC batch  ✓");
+}

@@ -1,0 +1,49 @@
+//! Compare all eight encoding schemes on a 250-row mini-batch from each of
+//! the six dataset presets: compressed size, ratio, and `A·v` latency.
+//!
+//! This is the "test TOC on a mini-batch sample and figure out if TOC is
+//! suitable for the dataset" workflow the paper recommends (§5.1).
+//!
+//! ```text
+//! cargo run --release --example compression_explorer
+//! ```
+
+use std::time::Instant;
+use toc_repro::data::synth::generate_preset;
+use toc_repro::formats::MatrixBatch;
+use toc_repro::prelude::*;
+
+fn main() {
+    for preset in DatasetPreset::ALL {
+        let ds = generate_preset(preset, 250, 42);
+        let den_bytes = ds.x.den_size_bytes();
+        println!(
+            "## {} — 250 x {} (density {:.3}, DEN {} KB)",
+            preset.name(),
+            ds.x.cols(),
+            ds.x.density(),
+            den_bytes / 1024
+        );
+        println!("{:>8} {:>10} {:>8} {:>12}", "scheme", "bytes", "ratio", "A·v");
+        let v: Vec<f64> = (0..ds.x.cols()).map(|i| (i % 5) as f64 * 0.5 - 1.0).collect();
+        for scheme in Scheme::PAPER_SET {
+            let batch = scheme.encode(&ds.x);
+            // Warm up, then time a handful of matvecs.
+            let _ = batch.matvec(&v);
+            let iters = 20;
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(batch.matvec(&v));
+            }
+            let per_op = t0.elapsed() / iters;
+            println!(
+                "{:>8} {:>10} {:>7.1}x {:>12.1?}",
+                scheme.name(),
+                batch.size_bytes(),
+                den_bytes as f64 / batch.size_bytes() as f64,
+                per_op,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: compress a mini-batch with TOC and run matrix operations
+//! directly on the compressed bytes.
+//!
+//! Walks the paper's Figure 3 running example end to end:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use toc_repro::prelude::*;
+
+fn main() {
+    // The 4x4 matrix of Figure 3.
+    let batch = DenseMatrix::from_rows(vec![
+        vec![1.1, 2.0, 3.0, 1.4],
+        vec![1.1, 2.0, 3.0, 0.0],
+        vec![0.0, 1.1, 3.0, 1.4],
+        vec![1.1, 2.0, 0.0, 0.0],
+    ]);
+
+    // --- Compress -----------------------------------------------------
+    let toc = TocBatch::encode(&batch);
+    let stats = toc.stats();
+    println!("encoded {}x{} matrix into {} bytes", batch.rows(), batch.cols(), toc.size_bytes());
+    println!(
+        "  first layer |I| = {}, unique values = {}, codes |D| = {}, tree nodes = {}",
+        stats.first_layer_len, stats.unique_values, stats.codes_len, stats.n_nodes
+    );
+
+    // --- Lossless roundtrip --------------------------------------------
+    assert_eq!(toc.decode(), batch);
+    println!("decode(encode(A)) == A  ✓");
+
+    // --- Decompression-free matrix operations ---------------------------
+    // Right multiplication, A·v (Algorithm 4).
+    let v = [1.0, 1.0, 1.0, 1.0];
+    let av = toc.matvec(&v).unwrap();
+    assert_eq!(av, batch.matvec(&v));
+    println!("A·1 = {av:?}");
+
+    // Left multiplication, v·A (Algorithm 5).
+    let w = [1.0, 0.0, 0.0, 1.0];
+    let va = toc.vecmat(&w).unwrap();
+    assert_eq!(va, batch.vecmat(&w));
+    println!("[1,0,0,1]·A = {va:?}");
+
+    // Sparse-safe scaling, A.*c (Algorithm 3): rewrites only the 4 unique
+    // values, no matter how large the matrix is.
+    let mut scaled = toc.clone();
+    scaled.scale(10.0);
+    println!("(A .* 10)[0,0] = {}", scaled.decode().get(0, 0));
+
+    // --- The same API works through the format-agnostic layer -----------
+    let any = Scheme::Toc.encode(&batch);
+    println!(
+        "through MatrixBatch: {} bytes vs DEN {} bytes (ratio {:.1}x)",
+        any.size_bytes(),
+        batch.den_size_bytes(),
+        batch.den_size_bytes() as f64 / any.size_bytes() as f64
+    );
+
+    // Serialization: a TocBatch *is* its physical bytes.
+    let bytes = toc.to_bytes();
+    let restored = TocBatch::from_bytes(bytes).unwrap();
+    assert_eq!(restored, toc);
+    println!("serialize/deserialize  ✓");
+}

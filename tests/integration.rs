@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through compression, the out-of-core store, and MGD training.
+
+use toc_repro::data::store::StoreConfig;
+use toc_repro::data::synth::{generate_preset, DatasetPreset};
+use toc_repro::formats::MatrixBatch;
+use toc_repro::ml::mgd::{BatchProvider, ModelSpec, TrainedModel};
+use toc_repro::prelude::*;
+
+/// Training with any encoding must produce the same model as training with
+/// DEN: compression is lossless and the kernels are exact (up to fp
+/// reassociation).
+#[test]
+fn training_parity_across_all_schemes_through_the_store() {
+    let ds = generate_preset(DatasetPreset::CensusLike, 800, 3);
+    let reference = train_weights(&ds, Scheme::Den, usize::MAX);
+    for scheme in [
+        Scheme::Csr,
+        Scheme::Cvi,
+        Scheme::Dvi,
+        Scheme::Cla,
+        Scheme::Snappy,
+        Scheme::Gzip,
+        Scheme::Toc,
+        Scheme::TocVarint,
+    ] {
+        let got = train_weights(&ds, scheme, usize::MAX);
+        let max_diff = reference
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-8, "{}: max weight diff {max_diff}", scheme.name());
+    }
+}
+
+/// Spilling to disk must not change the trained model at all: the bytes
+/// read back are identical to the bytes written.
+#[test]
+fn spilled_training_is_bit_identical_to_resident_training() {
+    let ds = generate_preset(DatasetPreset::Kdd99Like, 1000, 9);
+    let resident = train_weights(&ds, Scheme::Toc, usize::MAX);
+    let spilled = train_weights(&ds, Scheme::Toc, 0);
+    assert_eq!(resident, spilled);
+}
+
+fn train_weights(
+    ds: &toc_repro::data::synth::Dataset,
+    scheme: Scheme,
+    budget: usize,
+) -> Vec<f64> {
+    let store = MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 100, budget))
+        .expect("store");
+    let trainer = Trainer::new(MgdConfig { epochs: 3, lr: 0.1, ..Default::default() });
+    let report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &store, None);
+    match report.model {
+        TrainedModel::Linear(m) => m.w,
+        _ => unreachable!(),
+    }
+}
+
+/// Every preset's batches survive store spill bit-exactly for every scheme.
+#[test]
+fn store_roundtrip_is_bit_exact_for_all_presets() {
+    for preset in DatasetPreset::ALL {
+        // Keep the sparse/dense extremes small: their batches are big.
+        let rows = 300;
+        let ds = generate_preset(preset, rows, 17);
+        for scheme in [Scheme::Toc, Scheme::Gzip, Scheme::Cla] {
+            let store =
+                MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 100, 0))
+                    .expect("store");
+            for i in 0..store.num_batches() {
+                store.visit(i, &mut |b, _| {
+                    let want = ds.x.slice_rows(i * 100, ((i + 1) * 100).min(rows));
+                    assert_eq!(b.decode(), want, "{} {}", preset.name(), scheme.name());
+                });
+            }
+        }
+    }
+}
+
+/// The NN trains through compressed batches and reaches a sane error on a
+/// learnable multiclass task.
+#[test]
+fn nn_multiclass_end_to_end() {
+    let ds = generate_preset(DatasetPreset::MnistLike, 600, 5);
+    let store =
+        MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(Scheme::Toc, 100, usize::MAX))
+            .expect("store");
+    let trainer = Trainer::new(MgdConfig { epochs: 12, lr: 0.3, ..Default::default() });
+    let spec = ModelSpec::NeuralNet { hidden: vec![32], outputs: ds.classes };
+    let mut report = trainer.train(&spec, &store, None);
+    let eval = Scheme::Den.encode(&ds.x);
+    let err = report.model.error_rate(&eval, &ds.labels);
+    // 10 classes, random = 0.9 error; require clear learning.
+    assert!(err < 0.45, "error {err}");
+}
+
+/// MGD epoch-wise error must improve over a recorded curve (Figure 11
+/// machinery).
+#[test]
+fn error_curve_improves() {
+    let ds = generate_preset(DatasetPreset::ImagenetLike, 500, 21);
+    let store =
+        MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(Scheme::Toc, 125, usize::MAX))
+            .expect("store");
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 10,
+        lr: 0.05,
+        record_curve: true,
+        ..Default::default()
+    });
+    let eval = Scheme::Den.encode(&ds.x);
+    let report = trainer.train(
+        &ModelSpec::Linear(LossKind::Hinge),
+        &store,
+        Some((&eval, &ds.labels)),
+    );
+    assert_eq!(report.curve.len(), 10);
+    let first = report.curve[0].error_rate;
+    let last = report.curve[9].error_rate;
+    assert!(last <= first, "curve went {first} -> {last}");
+    assert!(report.curve.windows(2).all(|w| w[1].elapsed >= w[0].elapsed));
+}
+
+/// Umbrella prelude exposes the advertised API surface.
+#[test]
+fn prelude_api_surface() {
+    let m = DenseMatrix::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]);
+    let toc = TocBatch::encode(&m);
+    assert_eq!(toc.decode(), m);
+    let any: AnyBatch = Scheme::Toc.encode(&m);
+    assert_eq!(any.rows(), 2);
+    let _cfg = MgdConfig::default();
+    let _lin = LinearModel::new(2, LossKind::Squared);
+    let _nn = NeuralNet::new(2, &[4], 1, 0);
+}
+
+/// Corrupt spill data must surface as an error, not a panic, when loaded
+/// through the deserialization layer.
+#[test]
+fn corrupt_serialized_batches_error() {
+    let ds = generate_preset(DatasetPreset::CensusLike, 100, 2);
+    for scheme in [Scheme::Toc, Scheme::Gzip, Scheme::Cla, Scheme::Cvi] {
+        let bytes = scheme.encode(&ds.x).to_bytes();
+        // Truncations.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let _ = toc_repro::formats::Scheme::from_bytes(&bytes[..cut]);
+        }
+        // Bit flips in the header region.
+        for i in 1..bytes.len().min(24) {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            if let Ok(batch) = toc_repro::formats::Scheme::from_bytes(&b) {
+                let _ = batch.size_bytes();
+            }
+        }
+    }
+}
+
+/// The compression-ratio landscape that drives every result in the paper
+/// (asserted here so regressions in any layer show up as a test failure).
+#[test]
+fn figure5_landscape_holds() {
+    let ratios = |preset: DatasetPreset| {
+        let ds = generate_preset(preset, 250, 42);
+        let den = ds.x.den_size_bytes() as f64;
+        move |s: Scheme| den / s.encode(&ds.x).size_bytes() as f64
+    };
+    // TOC wins against all LMC baselines on the moderate presets.
+    for preset in DatasetPreset::MODERATE {
+        let r = ratios(preset);
+        for lmc in [Scheme::Csr, Scheme::Cvi, Scheme::Dvi, Scheme::Cla] {
+            assert!(
+                r(Scheme::Toc) > r(lmc),
+                "{}: TOC {:.1} vs {} {:.1}",
+                preset.name(),
+                r(Scheme::Toc),
+                lmc.name(),
+                r(lmc)
+            );
+        }
+    }
+    // Gzip-class beats TOC on mnist-like (the paper's stated exception).
+    let r = ratios(DatasetPreset::MnistLike);
+    assert!(r(Scheme::Gzip) > r(Scheme::Toc));
+    // CSR is the right choice on rcv1-like; TOC is within 40%.
+    let r = ratios(DatasetPreset::Rcv1Like);
+    assert!(r(Scheme::Csr) >= r(Scheme::Toc) * 0.95);
+    // Nothing compresses deep-like meaningfully.
+    let r = ratios(DatasetPreset::DeepLike);
+    for s in Scheme::PAPER_SET {
+        assert!(r(s) < 1.5, "{}", s.name());
+    }
+}
