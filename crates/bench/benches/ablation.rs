@@ -35,7 +35,9 @@ fn bench_ablation(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(100));
 
     // Pipeline stages.
-    group.bench_function("encode/sparse_only", |b| b.iter(|| SparseRows::encode(&ds.x)));
+    group.bench_function("encode/sparse_only", |b| {
+        b.iter(|| SparseRows::encode(&ds.x))
+    });
     group.bench_function("encode/sparse_logical", |b| {
         b.iter(|| logical_encode(&SparseRows::encode(&ds.x)))
     });
@@ -58,7 +60,9 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("tree/build_validated", |b| {
         b.iter(|| DecodeTree::build(&view).unwrap())
     });
-    group.bench_function("tree/build_trusted", |b| b.iter(|| DecodeTree::build_trusted(&view)));
+    group.bench_function("tree/build_trusted", |b| {
+        b.iter(|| DecodeTree::build_trusted(&view))
+    });
 
     group.finish();
 }

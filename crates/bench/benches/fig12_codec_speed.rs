@@ -8,9 +8,11 @@ use toc_formats::{MatrixBatch, Scheme};
 
 fn bench_codecs(c: &mut Criterion) {
     let rows = 250usize;
-    for preset in
-        [DatasetPreset::CensusLike, DatasetPreset::ImagenetLike, DatasetPreset::Kdd99Like]
-    {
+    for preset in [
+        DatasetPreset::CensusLike,
+        DatasetPreset::ImagenetLike,
+        DatasetPreset::Kdd99Like,
+    ] {
         let ds = generate_preset(preset, rows, 42);
         let mut group = c.benchmark_group(format!("fig12/{}", preset.name()));
         group

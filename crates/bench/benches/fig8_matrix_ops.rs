@@ -11,9 +11,11 @@ use toc_linalg::DenseMatrix;
 
 fn bench_ops(c: &mut Criterion) {
     let rows = 250usize;
-    for preset in
-        [DatasetPreset::CensusLike, DatasetPreset::MnistLike, DatasetPreset::DeepLike]
-    {
+    for preset in [
+        DatasetPreset::CensusLike,
+        DatasetPreset::MnistLike,
+        DatasetPreset::DeepLike,
+    ] {
         let ds = generate_preset(preset, rows, 42);
         let cols = ds.x.cols();
         let v: Vec<f64> = (0..cols).map(|i| ((i % 7) as f64) - 3.0).collect();
@@ -26,7 +28,9 @@ fn bench_ops(c: &mut Criterion) {
         let ml = DenseMatrix::from_vec(
             20,
             rows,
-            (0..rows * 20).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect(),
+            (0..rows * 20)
+                .map(|i| ((i % 13) as f64) * 0.5 - 3.0)
+                .collect(),
         );
 
         let mut group = c.benchmark_group(format!("fig8/{}", preset.name()));

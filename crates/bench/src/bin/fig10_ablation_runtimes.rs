@@ -14,10 +14,17 @@ fn main() {
     let seed: u64 = arg("seed", 42);
     let mbps: f64 = arg("mbps", 150.0);
     let max_rows: usize = arg("max-rows", 8000);
-    let sweep: Vec<usize> =
-        [1usize, 2, 4, 8].iter().map(|k| k * max_rows / 8).filter(|&r| r > 0).collect();
-    const VARIANTS: [Scheme; 4] =
-        [Scheme::Den, Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|k| k * max_rows / 8)
+        .filter(|&r| r > 0)
+        .collect();
+    const VARIANTS: [Scheme; 4] = [
+        Scheme::Den,
+        Scheme::TocSparse,
+        Scheme::TocSparseLogical,
+        Scheme::Toc,
+    ];
 
     let probe = generate_preset(DatasetPreset::ImagenetLike, max_rows / 2, seed);
     let budget: usize = probe

@@ -39,12 +39,25 @@ fn main() {
         .iter()
         .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
         .sum::<usize>()
-        * 22 / 10;
+        * 22
+        / 10;
 
     println!("# Figure 11 — test error vs training time (mnist-like, {rows} rows)\n");
     for (wl_name, spec) in [
-        ("LR", ModelSpec::OneVsRest { loss: LossKind::Logistic, classes: ds.classes }),
-        ("NN", ModelSpec::NeuralNet { hidden: vec![32, 16], outputs: ds.classes }),
+        (
+            "LR",
+            ModelSpec::OneVsRest {
+                loss: LossKind::Logistic,
+                classes: ds.classes,
+            },
+        ),
+        (
+            "NN",
+            ModelSpec::NeuralNet {
+                hidden: vec![32, 16],
+                outputs: ds.classes,
+            },
+        ),
     ] {
         println!("## workload: {wl_name}");
         let mut table = Table::new(vec!["scheme", "epoch", "time", "error%"]);
@@ -64,7 +77,11 @@ fn main() {
             let report = trainer.train(&spec, &store, Some((&eval_batch, &eval_ds.labels)));
             for point in &report.curve {
                 table.row(vec![
-                    format!("{}{}", scheme.name(), if store.spilled_batches() > 0 { "*" } else { "" }),
+                    format!(
+                        "{}{}",
+                        scheme.name(),
+                        if store.spilled_batches() > 0 { "*" } else { "" }
+                    ),
                     point.epoch.to_string(),
                     format!("{:.2}s", point.elapsed.as_secs_f64()),
                     format!("{:.1}", point.error_rate * 100.0),

@@ -37,7 +37,9 @@ fn main() {
 
     println!("# Figure 2 — optimizer efficiency (accuracy vs epochs), NN with one hidden layer\n");
     let mut table = Table::new(
-        std::iter::once("epoch".to_string()).chain(variants.iter().map(|(n, _)| n.clone())).collect(),
+        std::iter::once("epoch".to_string())
+            .chain(variants.iter().map(|(n, _)| n.clone()))
+            .collect(),
     );
 
     // Train all variants in lockstep so rows are per-epoch.
@@ -53,7 +55,10 @@ fn main() {
                 .into_iter()
                 .map(|(x, y)| (Scheme::Toc.encode(&x), y))
                 .collect();
-            MemoryProvider { batches, features: ds.x.cols() }
+            MemoryProvider {
+                batches,
+                features: ds.x.cols(),
+            }
         })
         .collect();
 

@@ -12,8 +12,7 @@ use toc_formats::Scheme;
 fn main() {
     let seed: u64 = arg("seed", 42);
     let sizes = [50usize, 100, 150, 200, 250];
-    const VARIANTS: [Scheme; 3] =
-        [Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
+    const VARIANTS: [Scheme; 3] = [Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
     println!("# Figure 6 — TOC ablation compression ratios\n");
     for preset in DatasetPreset::ALL {
         println!("## dataset: {}", preset.name());

@@ -55,7 +55,9 @@ fn main() {
         let ml = DenseMatrix::from_vec(
             20,
             rows,
-            (0..rows * 20).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect(),
+            (0..rows * 20)
+                .map(|i| ((i % 13) as f64) * 0.5 - 3.0)
+                .collect(),
         );
         println!("## dataset: {} ({} cols)", preset.name(), cols);
         let mut table = Table::new(

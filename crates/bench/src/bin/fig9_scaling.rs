@@ -26,8 +26,11 @@ fn main() {
     let seed: u64 = arg("seed", 42);
     let mbps: f64 = arg("mbps", 150.0);
     let max_rows: usize = arg("max-rows", 8000);
-    let sweep: Vec<usize> =
-        [1usize, 2, 4, 8].iter().map(|k| k * max_rows / 8).filter(|&r| r > 0).collect();
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|k| k * max_rows / 8)
+        .filter(|&r| r > 0)
+        .collect();
 
     // Fixed budget: the TOC footprint at half the max scale — large sizes
     // spill for the wide formats, never for TOC.
@@ -39,7 +42,10 @@ fn main() {
         .sum::<usize>()
         * 4;
 
-    println!("# Figure 9 — MGD runtime vs dataset size (imagenet-like, budget {} KB)\n", budget / 1024);
+    println!(
+        "# Figure 9 — MGD runtime vs dataset size (imagenet-like, budget {} KB)\n",
+        budget / 1024
+    );
     for workload in [Workload::Nn, Workload::Lr] {
         println!("## workload: {}", workload.name());
         let mut table = Table::new(

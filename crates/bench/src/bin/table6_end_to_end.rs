@@ -56,10 +56,13 @@ fn run_table(presets: &[DatasetPreset]) {
                 preset.name(),
                 scale_name,
                 rows,
-                if budget == usize::MAX { "unbounded".to_string() } else { format!("{} KB", budget / 1024) },
+                if budget == usize::MAX {
+                    "unbounded".to_string()
+                } else {
+                    format!("{} KB", budget / 1024)
+                },
             );
-            let mut table =
-                Table::new(vec!["scheme", "NN", "LR", "SVM", "spilled/total"]);
+            let mut table = Table::new(vec!["scheme", "NN", "LR", "SVM", "spilled/total"]);
             for scheme in END_TO_END_SET {
                 let mut cells = vec![scheme.name().to_string()];
                 let mut spill_info = String::new();

@@ -57,7 +57,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
@@ -81,7 +84,10 @@ impl Table {
             println!("{}", s.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }
@@ -137,14 +143,20 @@ impl Workload {
                 if classes == 2 {
                     ModelSpec::Linear(LossKind::Logistic)
                 } else {
-                    ModelSpec::OneVsRest { loss: LossKind::Logistic, classes }
+                    ModelSpec::OneVsRest {
+                        loss: LossKind::Logistic,
+                        classes,
+                    }
                 }
             }
             Workload::Svm => {
                 if classes == 2 {
                     ModelSpec::Linear(LossKind::Hinge)
                 } else {
-                    ModelSpec::OneVsRest { loss: LossKind::Hinge, classes }
+                    ModelSpec::OneVsRest {
+                        loss: LossKind::Hinge,
+                        classes,
+                    }
                 }
             }
         }
@@ -178,7 +190,11 @@ pub fn end_to_end(
         config = config.with_disk_mbps(disk_mbps);
     }
     let store = MiniBatchStore::build(&ds.x, &ds.labels, &config).expect("store build");
-    let trainer = Trainer::new(MgdConfig { epochs, lr: 0.05, ..Default::default() });
+    let trainer = Trainer::new(MgdConfig {
+        epochs,
+        lr: 0.05,
+        ..Default::default()
+    });
     let spec = workload.spec(ds.classes, hidden);
     let report = trainer.train(&spec, &store, None);
     EndToEndResult {
@@ -228,10 +244,16 @@ mod tests {
 
     #[test]
     fn workload_specs() {
-        assert!(matches!(Workload::Lr.spec(2, (8, 4)), ModelSpec::Linear(LossKind::Logistic)));
+        assert!(matches!(
+            Workload::Lr.spec(2, (8, 4)),
+            ModelSpec::Linear(LossKind::Logistic)
+        ));
         assert!(matches!(
             Workload::Svm.spec(10, (8, 4)),
-            ModelSpec::OneVsRest { loss: LossKind::Hinge, classes: 10 }
+            ModelSpec::OneVsRest {
+                loss: LossKind::Hinge,
+                classes: 10
+            }
         ));
         assert!(matches!(
             Workload::Nn.spec(10, (8, 4)),

@@ -76,8 +76,7 @@ impl Container {
 
     /// Load and validate a `.tocz` file.
     pub fn read(path: &Path) -> Result<Self, String> {
-        let bytes =
-            std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
         Self::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
     }
 
@@ -121,7 +120,17 @@ mod tests {
 
     fn sample() -> DenseMatrix {
         let rows: Vec<Vec<f64>> = (0..130)
-            .map(|r| (0..12).map(|c| if (r + c) % 3 == 0 { (c % 4) as f64 } else { 0.0 }).collect())
+            .map(|r| {
+                (0..12)
+                    .map(|c| {
+                        if (r + c) % 3 == 0 {
+                            (c % 4) as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         DenseMatrix::from_rows(rows)
     }
@@ -139,8 +148,7 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let m = sample();
-        let p = std::env::temp_dir()
-            .join(format!("toc-container-{}.tocz", std::process::id()));
+        let p = std::env::temp_dir().join(format!("toc-container-{}.tocz", std::process::id()));
         let c = Container::encode(&m, Scheme::Toc, 64);
         c.write(&p).unwrap();
         let back = Container::read(&p).unwrap();
@@ -152,8 +160,7 @@ mod tests {
     fn corrupt_container_errors() {
         let m = sample();
         let c = Container::encode(&m, Scheme::Toc, 64);
-        let p = std::env::temp_dir()
-            .join(format!("toc-container-bad-{}.tocz", std::process::id()));
+        let p = std::env::temp_dir().join(format!("toc-container-bad-{}.tocz", std::process::id()));
         c.write(&p).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();
         bytes.truncate(bytes.len() - 3);

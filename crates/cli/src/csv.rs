@@ -20,7 +20,9 @@ pub fn read_matrix(path: &Path) -> Result<(DenseMatrix, Option<Vec<String>>), St
     let mut first = true;
     loop {
         line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
         if n == 0 {
             break;
         }
@@ -47,7 +49,8 @@ pub fn read_matrix(path: &Path) -> Result<(DenseMatrix, Option<Vec<String>>), St
         }
         for f in &fields {
             rows.push(
-                f.parse::<f64>().map_err(|e| format!("row {}: bad number {f:?}: {e}", n_rows + 1))?,
+                f.parse::<f64>()
+                    .map_err(|e| format!("row {}: bad number {f:?}: {e}", n_rows + 1))?,
             );
         }
         n_rows += 1;
@@ -59,11 +62,7 @@ pub fn read_matrix(path: &Path) -> Result<(DenseMatrix, Option<Vec<String>>), St
 }
 
 /// Write a dense matrix as CSV (optionally with a header).
-pub fn write_matrix(
-    path: &Path,
-    m: &DenseMatrix,
-    header: Option<&[String]>,
-) -> Result<(), String> {
+pub fn write_matrix(path: &Path, m: &DenseMatrix, header: Option<&[String]>) -> Result<(), String> {
     let file =
         std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
     let mut w = BufWriter::new(file);

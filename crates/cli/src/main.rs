@@ -14,7 +14,7 @@ mod container;
 mod csv;
 
 use container::Container;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use toc_formats::{MatrixBatch, Scheme};
@@ -59,7 +59,10 @@ USAGE:
 
 /// Fetch `--name value` from an argument list.
 fn opt(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -103,9 +106,13 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         .into_iter()
         .find(|p| p.name() == preset_name)
         .ok_or_else(|| format!("unknown preset {preset_name:?}"))?;
-    let rows: usize =
-        opt(args, "--rows").ok_or("--rows required")?.parse().map_err(|e| format!("{e}"))?;
-    let seed: u64 = opt(args, "--seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
+    let rows: usize = opt(args, "--rows")
+        .ok_or("--rows required")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().unwrap_or(42))
+        .unwrap_or(42);
     let out = positional(args);
     let out: &Path = Path::new(out.first().ok_or("output path required")?);
     let ds = generate_preset(preset, rows, seed);
@@ -131,8 +138,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         return Err("usage: toc compress <in.csv> <out.tocz>".into());
     };
     let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
-    let batch_rows: usize =
-        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
+    let batch_rows: usize = opt(args, "--batch-rows")
+        .map(|s| s.parse().unwrap_or(250))
+        .unwrap_or(250);
     let (m, _) = csv::read_matrix(Path::new(input))?;
     let t0 = Instant::now();
     let container = Container::encode(&m, scheme, batch_rows);
@@ -162,7 +170,12 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let container = Container::read(Path::new(input))?;
     let m = container.decode()?;
     csv::write_matrix(Path::new(output), &m, None)?;
-    println!("decoded {} rows x {} cols to {}", m.rows(), m.cols(), output);
+    println!(
+        "decoded {} rows x {} cols to {}",
+        m.rows(),
+        m.cols(),
+        output
+    );
     Ok(())
 }
 
@@ -188,7 +201,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             } else {
                 String::new()
             };
-            println!("  batch {i}: {}x{} {} bytes{extra}", b.rows(), b.cols(), b.size_bytes());
+            println!(
+                "  batch {i}: {}x{} {} bytes{extra}",
+                b.rows(),
+                b.cols(),
+                b.size_bytes()
+            );
         }
     }
     if container.batches.len() > 8 {
@@ -196,7 +214,10 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     }
     let cols = container.batches.first().map(|b| b.cols()).unwrap_or(0);
     let den = 16 * container.batches.len() + 8 * rows * cols;
-    println!("total: {rows} rows, {total} bytes encoded ({:.1}x vs DEN)", den as f64 / total as f64);
+    println!(
+        "total: {rows} rows, {total} bytes encoded ({:.1}x vs DEN)",
+        den as f64 / total as f64
+    );
     Ok(())
 }
 
@@ -205,12 +226,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let [input] = pos[..] else {
         return Err("usage: toc bench <in.csv>".into());
     };
-    let batch_rows: usize =
-        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
+    let batch_rows: usize = opt(args, "--batch-rows")
+        .map(|s| s.parse().unwrap_or(250))
+        .unwrap_or(250);
     let (m, _) = csv::read_matrix(Path::new(input))?;
     let batch = m.slice_rows(0, m.rows().min(batch_rows));
     let den = batch.den_size_bytes();
-    let v: Vec<f64> = (0..batch.cols()).map(|i| (i % 5) as f64 * 0.5 - 1.0).collect();
+    let v: Vec<f64> = (0..batch.cols())
+        .map(|i| (i % 5) as f64 * 0.5 - 1.0)
+        .collect();
     println!(
         "{}: first {} rows x {} cols (density {:.3})",
         input,
@@ -218,7 +242,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         batch.cols(),
         batch.density()
     );
-    println!("{:>8} {:>10} {:>8} {:>12} {:>12}", "scheme", "bytes", "ratio", "encode", "A*v");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12} {:>12}",
+        "scheme", "bytes", "ratio", "encode", "A*v"
+    );
     for scheme in Scheme::PAPER_SET {
         let t0 = Instant::now();
         let encoded = scheme.encode(&batch);
@@ -250,10 +277,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         return Err("usage: toc train <in.csv>".into());
     };
     let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
-    let batch_rows: usize =
-        opt(args, "--batch-rows").map(|s| s.parse().unwrap_or(250)).unwrap_or(250);
-    let epochs: usize = opt(args, "--epochs").map(|s| s.parse().unwrap_or(10)).unwrap_or(10);
-    let lr: f64 = opt(args, "--lr").map(|s| s.parse().unwrap_or(0.05)).unwrap_or(0.05);
+    let batch_rows: usize = opt(args, "--batch-rows")
+        .map(|s| s.parse().unwrap_or(250))
+        .unwrap_or(250);
+    let epochs: usize = opt(args, "--epochs")
+        .map(|s| s.parse().unwrap_or(10))
+        .unwrap_or(10);
+    let lr: f64 = opt(args, "--lr")
+        .map(|s| s.parse().unwrap_or(0.05))
+        .unwrap_or(0.05);
     let model = opt(args, "--model").unwrap_or_else(|| "lr".into());
     let loss = match model.as_str() {
         "lr" => LossKind::Logistic,
@@ -279,14 +311,24 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let t0 = Instant::now();
     while start < x.rows() {
         let end = (start + batch_rows).min(x.rows());
-        batches.push((scheme.encode(&x.slice_rows(start, end)), y[start..end].to_vec()));
+        batches.push((
+            scheme.encode(&x.slice_rows(start, end)),
+            y[start..end].to_vec(),
+        ));
         start = end;
     }
     let encode_time = t0.elapsed();
     let encoded_bytes: usize = batches.iter().map(|(b, _)| b.size_bytes()).sum();
-    let provider = MemoryProvider { batches, features: d };
+    let provider = MemoryProvider {
+        batches,
+        features: d,
+    };
 
-    let trainer = Trainer::new(MgdConfig { epochs, lr, ..Default::default() });
+    let trainer = Trainer::new(MgdConfig {
+        epochs,
+        lr,
+        ..Default::default()
+    });
     let mut report = trainer.train(&ModelSpec::Linear(loss), &provider, None);
     let eval = Scheme::Den.encode(&x);
     let err = report.model.error_rate(&eval, &y);
@@ -315,8 +357,10 @@ mod tests {
 
     #[test]
     fn opt_and_positional() {
-        let args: Vec<String> =
-            ["a.csv", "--scheme", "toc", "b.tocz"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["a.csv", "--scheme", "toc", "b.tocz"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(opt(&args, "--scheme").as_deref(), Some("toc"));
         assert_eq!(positional(&args), vec!["a.csv", "b.tocz"]);
     }
@@ -330,7 +374,11 @@ mod tests {
         let csv_out = dir.join(format!("toc-cli-e2e-{pid}-out.csv"));
         let m = DenseMatrix::from_rows(
             (0..80)
-                .map(|r| (0..6).map(|c| if (r + c) % 2 == 0 { 1.5 } else { 0.0 }).collect())
+                .map(|r| {
+                    (0..6)
+                        .map(|c| if (r + c) % 2 == 0 { 1.5 } else { 0.0 })
+                        .collect()
+                })
                 .collect(),
         );
         crate::csv::write_matrix(&csv_in, &m, None).unwrap();

@@ -1,0 +1,277 @@
+#![forbid(unsafe_code)]
+//! Offline shim for the subset of `criterion` this workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`] with `sample_size` /
+//! `measurement_time` / `warm_up_time`, [`BenchmarkId`], `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Bench targets must set `harness = false` (they do). Each benchmark is
+//! warmed up, then timed in batches until the measurement budget is spent;
+//! the mean per-iteration wall time is printed. No statistics, plots, or
+//! baselines — enough to compare kernels and catch order-of-magnitude
+//! regressions offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            measurement_time,
+            warm_up_time,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Named benchmark id (`BenchmarkId::new("op", param)` prints as
+/// `op/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        mode: Mode::WarmUp,
+        budget: warm_up,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut b = Bencher {
+        mode: Mode::Measure {
+            min_iters: sample_size as u64,
+        },
+        budget: measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!("{label:<55} {:>12}  ({} iters)", fmt_time(mean), b.iters);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+enum Mode {
+    WarmUp,
+    Measure { min_iters: u64 },
+}
+
+/// Passed to the benchmark closure; `iter` runs the routine repeatedly.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp => {
+                let t0 = Instant::now();
+                while t0.elapsed() < self.budget {
+                    black_box(f());
+                    self.iters += 1;
+                    if self.iters >= 1_000_000 {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { min_iters } => {
+                let t0 = Instant::now();
+                loop {
+                    black_box(f());
+                    self.iters += 1;
+                    let elapsed = t0.elapsed();
+                    if (elapsed >= self.budget && self.iters >= min_iters.min(10))
+                        || self.iters >= 10_000_000
+                    {
+                        self.elapsed = elapsed;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("noop", "x"), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -68,7 +68,13 @@ pub struct TocBatch {
 
 impl std::fmt::Debug for TocBatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TocBatch({}x{}, {} bytes)", self.rows, self.cols, self.bytes.len())
+        write!(
+            f,
+            "TocBatch({}x{}, {} bytes)",
+            self.rows,
+            self.cols,
+            self.bytes.len()
+        )
     }
 }
 
@@ -127,7 +133,11 @@ impl TocBatch {
         write_ints(&mut bytes, &logical.codes);
         write_ints(&mut bytes, &logical.row_offsets);
 
-        Self { bytes, rows: logical.rows, cols: logical.cols }
+        Self {
+            bytes,
+            rows: logical.rows,
+            cols: logical.cols,
+        }
     }
 
     /// Number of matrix rows.
@@ -149,6 +159,15 @@ impl TocBatch {
     /// The raw physical buffer.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// The physical integer codec this batch was encoded with (stored in
+    /// the buffer header, so it survives serialization).
+    pub fn codec(&self) -> PhysicalCodec {
+        match self.bytes.get(5) {
+            Some(1) => PhysicalCodec::Varint,
+            _ => PhysicalCodec::BitPack,
+        }
     }
 
     /// Serialize (the batch *is* its physical bytes).
@@ -188,8 +207,8 @@ impl TocBatch {
     /// Rewrite the unique-value array in place with `f` (the shared core
     /// of all sparse-safe element-wise operations).
     pub(crate) fn rewrite_values(&mut self, f: impl Fn(f64) -> f64) {
-        let (start, count) = locate_values_section(&self.bytes)
-            .expect("internally produced TocBatch must parse");
+        let (start, count) =
+            locate_values_section(&self.bytes).expect("internally produced TocBatch must parse");
         for i in 0..count {
             let off = start + 8 * i;
             let v = f64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
@@ -217,7 +236,11 @@ impl TocBatch {
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, TocError> {
         let view = self.view();
         if v.len() != view.cols {
-            return Err(TocError::Dimension { expected: view.cols, got: v.len(), what: "A·v" });
+            return Err(TocError::Dimension {
+                expected: view.cols,
+                got: v.len(),
+                what: "A·v",
+            });
         }
         let tree = crate::tree::DecodeTree::build_trusted(&view);
         Ok(crate::ops::matvec(&view, &tree, v))
@@ -227,7 +250,11 @@ impl TocBatch {
     pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>, TocError> {
         let view = self.view();
         if v.len() != view.rows {
-            return Err(TocError::Dimension { expected: view.rows, got: v.len(), what: "v·A" });
+            return Err(TocError::Dimension {
+                expected: view.rows,
+                got: v.len(),
+                what: "v·A",
+            });
         }
         let tree = crate::tree::DecodeTree::build_trusted(&view);
         Ok(crate::ops::vecmat(&view, &tree, v))
@@ -237,7 +264,11 @@ impl TocBatch {
     pub fn matmat(&self, m: &DenseMatrix) -> Result<DenseMatrix, TocError> {
         let view = self.view();
         if m.rows() != view.cols {
-            return Err(TocError::Dimension { expected: view.cols, got: m.rows(), what: "A·M" });
+            return Err(TocError::Dimension {
+                expected: view.cols,
+                got: m.rows(),
+                what: "A·M",
+            });
         }
         let tree = crate::tree::DecodeTree::build_trusted(&view);
         Ok(crate::ops::matmat(&view, &tree, m))
@@ -262,6 +293,95 @@ impl TocBatch {
         self.decode().add_scalar(c)
     }
 
+    /// `A · v` into caller-owned buffers: rebuilds `C'` and runs the kernel
+    /// entirely inside `ws`, performing no heap allocation in steady state.
+    pub fn matvec_into(
+        &self,
+        v: &[f64],
+        out: &mut Vec<f64>,
+        ws: &mut KernelScratch,
+    ) -> Result<(), TocError> {
+        let view = self.view();
+        if v.len() != view.cols {
+            return Err(TocError::Dimension {
+                expected: view.cols,
+                got: v.len(),
+                what: "A·v",
+            });
+        }
+        crate::tree::DecodeTree::build_trusted_into(&view, &mut ws.tree, &mut ws.tree_scratch);
+        crate::ops::matvec_into(&view, &ws.tree, v, &mut ws.h, out);
+        Ok(())
+    }
+
+    /// `v · A` into caller-owned buffers (see [`Self::matvec_into`]).
+    pub fn vecmat_into(
+        &self,
+        v: &[f64],
+        out: &mut Vec<f64>,
+        ws: &mut KernelScratch,
+    ) -> Result<(), TocError> {
+        let view = self.view();
+        if v.len() != view.rows {
+            return Err(TocError::Dimension {
+                expected: view.rows,
+                got: v.len(),
+                what: "v·A",
+            });
+        }
+        crate::tree::DecodeTree::build_trusted_into(&view, &mut ws.tree, &mut ws.tree_scratch);
+        crate::ops::vecmat_into(&view, &ws.tree, v, &mut ws.h, out);
+        Ok(())
+    }
+
+    /// `A · M` into caller-owned buffers (see [`Self::matvec_into`]).
+    pub fn matmat_into(
+        &self,
+        m: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut KernelScratch,
+    ) -> Result<(), TocError> {
+        let view = self.view();
+        if m.rows() != view.cols {
+            return Err(TocError::Dimension {
+                expected: view.cols,
+                got: m.rows(),
+                what: "A·M",
+            });
+        }
+        crate::tree::DecodeTree::build_trusted_into(&view, &mut ws.tree, &mut ws.tree_scratch);
+        crate::ops::matmat_into(&view, &ws.tree, m, &mut ws.h, out);
+        Ok(())
+    }
+
+    /// `M · A` into caller-owned buffers (see [`Self::matvec_into`]).
+    pub fn matmat_left_into(
+        &self,
+        m: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut KernelScratch,
+    ) -> Result<(), TocError> {
+        let view = self.view();
+        if m.cols() != view.rows {
+            return Err(TocError::Dimension {
+                expected: view.rows,
+                got: m.cols(),
+                what: "M·A",
+            });
+        }
+        crate::tree::DecodeTree::build_trusted_into(&view, &mut ws.tree, &mut ws.tree_scratch);
+        crate::ops::matmat_left_into(&view, &ws.tree, m, &mut ws.h, out);
+        Ok(())
+    }
+
+    /// Full decode into a caller-owned dense matrix (see
+    /// [`Self::matvec_into`]).
+    pub fn decode_into(&self, out: &mut DenseMatrix, ws: &mut KernelScratch) {
+        let view = self.view();
+        crate::tree::DecodeTree::build_trusted_into(&view, &mut ws.tree, &mut ws.tree_scratch);
+        crate::ops::decode_into(&view, &ws.tree, &mut ws.stack, &mut ws.row_codes, out);
+    }
+
     /// Encoding statistics, for inspection and ablation reporting.
     pub fn stats(&self) -> TocStats {
         let view = self.view();
@@ -283,6 +403,23 @@ impl TocBatch {
         }
     }
 }
+
+/// Reusable scratch for the zero-allocation TOC kernel entry points
+/// (`TocBatch::{matvec,vecmat,matmat,matmat_left,decode}_into`): holds the
+/// decode tree `C'`, its rebuild scratch, the per-kernel `H`/`G`
+/// accumulator, and the decode backtracking buffers. One instance serves
+/// any number of batches of any shape; buffers grow to the high-water mark
+/// and are reused thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct KernelScratch {
+    tree: DecodeTree,
+    tree_scratch: crate::tree::TreeScratch,
+    h: Vec<f64>,
+    stack: Vec<(u32, f64)>,
+    row_codes: Vec<u32>,
+}
+
+use crate::tree::DecodeTree;
 
 /// Summary statistics of a compressed batch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -343,7 +480,10 @@ impl TocView<'_> {
     /// Code range `[start, end)` of tuple `r`.
     #[inline]
     pub fn row_range(&self, r: usize) -> (usize, usize) {
-        (self.offsets.get(r) as usize, self.offsets.get(r + 1) as usize)
+        (
+            self.offsets.get(r) as usize,
+            self.offsets.get(r + 1) as usize,
+        )
     }
 
     /// Visit codes `start..end` with a single width dispatch (hot path of
@@ -384,7 +524,15 @@ fn parse_view(bytes: &[u8]) -> Result<TocView<'_>, TocError> {
     if cur.remaining() != 0 {
         return Err(corrupt("trailing bytes"));
     }
-    Ok(TocView { rows, cols, i_cols, i_validx, values, codes, offsets })
+    Ok(TocView {
+        rows,
+        cols,
+        i_cols,
+        i_validx,
+        values,
+        codes,
+        offsets,
+    })
 }
 
 fn validate_view(view: &TocView<'_>) -> Result<(), TocError> {
@@ -451,7 +599,13 @@ mod tests {
         ])
     }
 
-    fn random_sparse(rng: &mut StdRng, rows: usize, cols: usize, density: f64, pool: usize) -> DenseMatrix {
+    fn random_sparse(
+        rng: &mut StdRng,
+        rows: usize,
+        cols: usize,
+        density: f64,
+        pool: usize,
+    ) -> DenseMatrix {
         let vals: Vec<f64> = (0..pool).map(|_| rng.gen_range(-4.0..4.0)).collect();
         let mut m = DenseMatrix::zeros(rows, cols);
         for r in 0..rows {
@@ -574,8 +728,14 @@ mod tests {
     #[test]
     fn dimension_mismatch_errors() {
         let toc = TocBatch::encode(&fig3());
-        assert!(matches!(toc.matvec(&[1.0; 3]), Err(TocError::Dimension { .. })));
-        assert!(matches!(toc.vecmat(&[1.0; 5]), Err(TocError::Dimension { .. })));
+        assert!(matches!(
+            toc.matvec(&[1.0; 3]),
+            Err(TocError::Dimension { .. })
+        ));
+        assert!(matches!(
+            toc.vecmat(&[1.0; 5]),
+            Err(TocError::Dimension { .. })
+        ));
     }
 
     #[test]
@@ -583,10 +743,18 @@ mod tests {
         // 250 rows drawn from 4 distinct row patterns: TOC should be far
         // smaller than DEN and also smaller than raw CSR pairs.
         let patterns: Vec<Vec<f64>> = vec![
-            (0..60).map(|c| if c % 3 == 0 { 1.5 } else { 0.0 }).collect(),
-            (0..60).map(|c| if c % 4 == 0 { 2.5 } else { 0.0 }).collect(),
-            (0..60).map(|c| if c % 5 == 0 { 1.5 } else { 0.0 }).collect(),
-            (0..60).map(|c| if c % 6 == 0 { 3.5 } else { 0.0 }).collect(),
+            (0..60)
+                .map(|c| if c % 3 == 0 { 1.5 } else { 0.0 })
+                .collect(),
+            (0..60)
+                .map(|c| if c % 4 == 0 { 2.5 } else { 0.0 })
+                .collect(),
+            (0..60)
+                .map(|c| if c % 5 == 0 { 1.5 } else { 0.0 })
+                .collect(),
+            (0..60)
+                .map(|c| if c % 6 == 0 { 3.5 } else { 0.0 })
+                .collect(),
         ];
         let rows: Vec<Vec<f64>> = (0..250).map(|r| patterns[r % 4].clone()).collect();
         let a = DenseMatrix::from_rows(rows);

@@ -141,11 +141,8 @@ mod tests {
         let a = sample();
         let mut toc = TocBatch::encode(&a);
         toc.square();
-        let want = DenseMatrix::from_vec(
-            a.rows(),
-            a.cols(),
-            a.data().iter().map(|v| v * v).collect(),
-        );
+        let want =
+            DenseMatrix::from_vec(a.rows(), a.cols(), a.data().iter().map(|v| v * v).collect());
         assert_eq!(toc.decode(), want);
     }
 
@@ -154,8 +151,11 @@ mod tests {
         let a = sample();
         let mut toc = TocBatch::encode(&a);
         toc.abs();
-        let want =
-            DenseMatrix::from_vec(a.rows(), a.cols(), a.data().iter().map(|v| v.abs()).collect());
+        let want = DenseMatrix::from_vec(
+            a.rows(),
+            a.cols(),
+            a.data().iter().map(|v| v.abs()).collect(),
+        );
         assert_eq!(toc.decode(), want);
     }
 

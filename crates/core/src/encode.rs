@@ -173,7 +173,11 @@ mod tests {
         // Row 0: [1] [2] [3] [4]; row 1: [1,2] [3,4]; row 2: [1,2,3] [4] or
         // similar; eventually a row encodes as one code.
         let last = enc.row_codes(5);
-        assert_eq!(last.len(), 1, "steady state should be a single code, got {last:?}");
+        assert_eq!(
+            last.len(),
+            1,
+            "steady state should be a single code, got {last:?}"
+        );
     }
 
     #[test]
@@ -199,7 +203,13 @@ mod tests {
         for r in 0..40 {
             rows.push(
                 (0..30)
-                    .map(|c| if (c + r) % 4 == 0 { ((c * r) % 5) as f64 + 1.0 } else { 0.0 })
+                    .map(|c| {
+                        if (c + r) % 4 == 0 {
+                            ((c * r) % 5) as f64 + 1.0
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect::<Vec<f64>>(),
             );
         }
@@ -230,8 +240,15 @@ mod tests {
     fn linear_complexity_smoke() {
         // 2000 identical sparse rows should produce ~1 code per row in the
         // steady state and far fewer pairs in I than in B.
-        let row: Vec<f64> =
-            (0..50).map(|c| if c % 3 == 0 { (c % 7) as f64 + 1.0 } else { 0.0 }).collect();
+        let row: Vec<f64> = (0..50)
+            .map(|c| {
+                if c % 3 == 0 {
+                    (c % 7) as f64 + 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let rows: Vec<Vec<f64>> = (0..2000).map(|_| row.clone()).collect();
         let sparse = SparseRows::encode(&DenseMatrix::from_rows(rows));
         let enc = logical_encode(&sparse);

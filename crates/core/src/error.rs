@@ -8,7 +8,11 @@ pub enum TocError {
     /// The buffer does not follow the TOC physical layout.
     Corrupt(String),
     /// An operand's dimensions do not match the encoded matrix.
-    Dimension { expected: usize, got: usize, what: &'static str },
+    Dimension {
+        expected: usize,
+        got: usize,
+        what: &'static str,
+    },
     /// The buffer uses an unsupported format version or codec id.
     Unsupported(String),
 }
@@ -17,8 +21,15 @@ impl std::fmt::Display for TocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TocError::Corrupt(msg) => write!(f, "corrupt TOC buffer: {msg}"),
-            TocError::Dimension { expected, got, what } => {
-                write!(f, "dimension mismatch for {what}: expected {expected}, got {got}")
+            TocError::Dimension {
+                expected,
+                got,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch for {what}: expected {expected}, got {got}"
+                )
             }
             TocError::Unsupported(msg) => write!(f, "unsupported TOC feature: {msg}"),
         }

@@ -47,7 +47,7 @@ pub mod ops;
 pub mod physical;
 pub mod tree;
 
-pub use batch::{PhysicalCodec, TocBatch, TocStats, TocView};
+pub use batch::{KernelScratch, PhysicalCodec, TocBatch, TocStats, TocView};
 pub use encode::{logical_encode, LogicalEncoded};
 pub use error::TocError;
-pub use tree::DecodeTree;
+pub use tree::{DecodeTree, TreeScratch};

@@ -8,6 +8,7 @@
 
 use crate::batch::TocView;
 use crate::tree::DecodeTree;
+use toc_linalg::dense::reset_vec;
 use toc_linalg::sparse::{ColVal, SparseRows};
 use toc_linalg::DenseMatrix;
 
@@ -19,20 +20,32 @@ use toc_linalg::DenseMatrix;
 /// their parents). The result row `r` is then the sum of `H` over the row's
 /// codes.
 pub fn matvec(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    matvec_into(view, tree, v, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`matvec`] with a caller-owned `H` accumulator and output buffer.
+pub fn matvec_into(
+    view: &TocView<'_>,
+    tree: &DecodeTree,
+    v: &[f64],
+    h: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     debug_assert_eq!(v.len(), view.cols);
     let n = tree.len();
-    let mut h = vec![0.0f64; n];
+    reset_vec(h, n);
     for i in 1..n {
         h[i] = tree.key_val[i] * v[tree.key_col[i] as usize] + h[tree.parent[i] as usize];
     }
-    let mut out = vec![0.0f64; view.rows];
+    reset_vec(out, view.rows);
     for (r, o) in out.iter_mut().enumerate() {
         let (s, e) = view.row_range(r);
         let mut acc = 0.0;
         view.for_each_code_in(s, e, |c| acc += h[c as usize]);
         *o = acc;
     }
-    out
 }
 
 /// Algorithm 5, `v · A`.
@@ -42,14 +55,27 @@ pub fn matvec(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
 /// its parent so that every node's weight ends up multiplied into exactly
 /// the pairs of its sequence.
 pub fn vecmat(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    vecmat_into(view, tree, v, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`vecmat`] with a caller-owned `G` accumulator and output buffer.
+pub fn vecmat_into(
+    view: &TocView<'_>,
+    tree: &DecodeTree,
+    v: &[f64],
+    h: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     debug_assert_eq!(v.len(), view.rows);
     let n = tree.len();
-    let mut h = vec![0.0f64; n];
+    reset_vec(h, n);
     for (r, &w) in v.iter().enumerate() {
         let (s, e) = view.row_range(r);
         view.for_each_code_in(s, e, |c| h[c as usize] += w);
     }
-    let mut out = vec![0.0f64; view.cols];
+    reset_vec(out, view.cols);
     for i in (1..n).rev() {
         let w = h[i];
         if w != 0.0 {
@@ -57,7 +83,6 @@ pub fn vecmat(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
             h[tree.parent[i] as usize] += w;
         }
     }
-    out
 }
 
 /// Algorithm 7 (Appendix B.1), `A · M` with uncompressed `M` (`cols × p`).
@@ -65,10 +90,23 @@ pub fn vecmat(view: &TocView<'_>, tree: &DecodeTree, v: &[f64]) -> Vec<f64> {
 /// `H` is `len(C') × p`: row `i` holds `seq(i) · M`. The innermost loop
 /// runs over `M`'s columns for cache-friendly sequential access.
 pub fn matmat(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::default();
+    matmat_into(view, tree, m, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`matmat`] with a caller-owned `H` accumulator and output matrix.
+pub fn matmat_into(
+    view: &TocView<'_>,
+    tree: &DecodeTree,
+    m: &DenseMatrix,
+    h: &mut Vec<f64>,
+    out: &mut DenseMatrix,
+) {
     debug_assert_eq!(m.rows(), view.cols);
     let p = m.cols();
     let n = tree.len();
-    let mut h = vec![0.0f64; n * p];
+    reset_vec(h, n * p);
     for i in 1..n {
         let key_val = tree.key_val[i];
         let mrow = m.row(tree.key_col[i] as usize);
@@ -81,7 +119,7 @@ pub fn matmat(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMa
             *o = key_val * mp + pp;
         }
     }
-    let mut out = DenseMatrix::zeros(view.rows, p);
+    out.reset(view.rows, p);
     for r in 0..view.rows {
         let (s, e) = view.row_range(r);
         let orow = out.row_mut(r);
@@ -92,7 +130,6 @@ pub fn matmat(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMa
             }
         });
     }
-    out
 }
 
 /// Algorithm 8 (Appendix B.2), `M · A` with uncompressed `M` (`p × rows`).
@@ -100,10 +137,23 @@ pub fn matmat(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMa
 /// `H` is stored node-major (`len(C') × p`, i.e. transposed relative to the
 /// output) so that the `D` scan writes one contiguous stripe per code.
 pub fn matmat_left(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::default();
+    matmat_left_into(view, tree, m, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`matmat_left`] with a caller-owned `H` accumulator and output matrix.
+pub fn matmat_left_into(
+    view: &TocView<'_>,
+    tree: &DecodeTree,
+    m: &DenseMatrix,
+    h: &mut Vec<f64>,
+    out: &mut DenseMatrix,
+) {
     debug_assert_eq!(m.cols(), view.rows);
     let p = m.rows();
     let n = tree.len();
-    let mut h = vec![0.0f64; n * p];
+    reset_vec(h, n * p);
     for r in 0..view.rows {
         let (s, e) = view.row_range(r);
         view.for_each_code_in(s, e, |code| {
@@ -114,7 +164,7 @@ pub fn matmat_left(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> De
             }
         });
     }
-    let mut out = DenseMatrix::zeros(p, view.cols);
+    out.reset(p, view.cols);
     for i in (1..n).rev() {
         let col = tree.key_col[i] as usize;
         let key_val = tree.key_val[i];
@@ -130,7 +180,35 @@ pub fn matmat_left(view: &TocView<'_>, tree: &DecodeTree, m: &DenseMatrix) -> De
             }
         }
     }
-    out
+}
+
+/// Decode directly into a caller-owned dense matrix: the zero-allocation
+/// counterpart of `decode_sparse().decode()`. `stack` and `row_codes` are
+/// reusable scratch buffers.
+pub fn decode_into(
+    view: &TocView<'_>,
+    tree: &DecodeTree,
+    stack: &mut Vec<(u32, f64)>,
+    row_codes: &mut Vec<u32>,
+    out: &mut DenseMatrix,
+) {
+    out.reset(view.rows, view.cols);
+    for r in 0..view.rows {
+        let (s, e) = view.row_range(r);
+        row_codes.clear();
+        view.codes_into(s, e, row_codes);
+        for &code in row_codes.iter() {
+            stack.clear();
+            let mut cur = code;
+            while cur != 0 {
+                stack.push((tree.key_col[cur as usize], tree.key_val[cur as usize]));
+                cur = tree.parent[cur as usize];
+            }
+            for &(col, val) in stack.iter().rev() {
+                out.set(r, col as usize, val);
+            }
+        }
+    }
 }
 
 /// Full decode to sparse rows (the core of Algorithm 6): backtrack every
@@ -248,9 +326,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m_right = DenseMatrix::random(&mut rng, a.cols(), 7, -1.0, 1.0);
         let m_left = DenseMatrix::random(&mut rng, 6, a.rows(), -1.0, 1.0);
-        assert!(toc.matmat(&m_right).unwrap().max_abs_diff(&a.matmat(&m_right)) < 1e-9);
         assert!(
-            toc.matmat_left(&m_left).unwrap().max_abs_diff(&a.matmat_left(&m_left)) < 1e-9
+            toc.matmat(&m_right)
+                .unwrap()
+                .max_abs_diff(&a.matmat(&m_right))
+                < 1e-9
+        );
+        assert!(
+            toc.matmat_left(&m_left)
+                .unwrap()
+                .max_abs_diff(&a.matmat_left(&m_left))
+                < 1e-9
         );
         assert_eq!(toc.decode(), *a);
     }

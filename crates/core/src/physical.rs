@@ -31,7 +31,10 @@ pub fn write_u32(buf: &mut Vec<u8>, v: u32) {
 pub fn write_packed_ints(buf: &mut Vec<u8>, vals: &[u32]) {
     let max = vals.iter().copied().max().unwrap_or(0);
     let w = width_for(max);
-    write_u32(buf, u32::try_from(vals.len()).expect("array too large for u32 count"));
+    write_u32(
+        buf,
+        u32::try_from(vals.len()).expect("array too large for u32 count"),
+    );
     buf.push(w);
     buf.reserve(vals.len() * w as usize);
     match w {
@@ -62,7 +65,10 @@ pub fn write_packed_ints(buf: &mut Vec<u8>, vals: &[u32]) {
 /// `u32` payload byte length, payload. This is the optional Varint physical
 /// codec the paper lists as future work (§3.2).
 pub fn write_varint_ints(buf: &mut Vec<u8>, vals: &[u32]) {
-    write_u32(buf, u32::try_from(vals.len()).expect("array too large for u32 count"));
+    write_u32(
+        buf,
+        u32::try_from(vals.len()).expect("array too large for u32 count"),
+    );
     buf.push(0); // width marker 0 = varint
     let len_pos = buf.len();
     write_u32(buf, 0); // payload length back-patched below
@@ -110,7 +116,10 @@ impl<'a> Cursor<'a> {
     }
 
     pub fn read_u8(&mut self) -> Result<u8, TocError> {
-        let b = *self.bytes.get(self.pos).ok_or_else(|| corrupt("unexpected end of buffer"))?;
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| corrupt("unexpected end of buffer"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -127,7 +136,10 @@ impl<'a> Cursor<'a> {
 
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], TocError> {
         if self.remaining() < n {
-            return Err(corrupt(format!("need {n} bytes, {} remain", self.remaining())));
+            return Err(corrupt(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -158,8 +170,9 @@ impl<'a> Cursor<'a> {
                     let mut x: u32 = 0;
                     let mut shift = 0u32;
                     loop {
-                        let byte =
-                            *payload.get(pos).ok_or_else(|| corrupt("truncated varint"))?;
+                        let byte = *payload
+                            .get(pos)
+                            .ok_or_else(|| corrupt("truncated varint"))?;
                         pos += 1;
                         if shift >= 32 {
                             return Err(corrupt("varint overflows u32"));
@@ -224,9 +237,7 @@ impl IntSlice<'_> {
         match self {
             IntSlice::W1(b) => b[i] as u32,
             IntSlice::W2(b) => u16::from_le_bytes([b[2 * i], b[2 * i + 1]]) as u32,
-            IntSlice::W3(b) => {
-                u32::from_le_bytes([b[3 * i], b[3 * i + 1], b[3 * i + 2], 0])
-            }
+            IntSlice::W3(b) => u32::from_le_bytes([b[3 * i], b[3 * i + 1], b[3 * i + 2], 0]),
             IntSlice::W4(b) => {
                 u32::from_le_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]])
             }

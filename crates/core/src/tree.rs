@@ -15,11 +15,20 @@ use crate::error::{corrupt, TocError};
 /// Stored as parallel arrays indexed by node id; id 0 is the root (its key
 /// slot is unused and holds `(0, 0.0)`). For node `i >= 1`:
 /// `seq(i) = seq(parent[i]) ++ (key_col[i], key_val[i])`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DecodeTree {
     pub key_col: Vec<u32>,
     pub key_val: Vec<f64>,
     pub parent: Vec<u32>,
+}
+
+/// Reusable scratch for [`DecodeTree::build_trusted_into`]: holds the `F`
+/// array and the per-row code buffer so that rebuilding `C'` for every
+/// kernel call performs no heap allocation in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct TreeScratch {
+    first: Vec<u32>,
+    row_codes: Vec<u32>,
 }
 
 impl DecodeTree {
@@ -39,17 +48,39 @@ impl DecodeTree {
     /// that exists at the time it is replayed, which makes this the
     /// structural integrity check for untrusted buffers.
     pub fn build(view: &TocView<'_>) -> Result<DecodeTree, TocError> {
-        Self::build_impl::<true>(view)
+        let mut tree = DecodeTree::default();
+        let mut scratch = TreeScratch::default();
+        Self::build_impl::<true>(view, &mut tree, &mut scratch)?;
+        Ok(tree)
     }
 
     /// [`Self::build`] without per-code validation, for buffers that were
     /// already validated once (every op on a `TocBatch` rebuilds `C'`, so
     /// revalidating on each kernel call would tax the hot path).
     pub fn build_trusted(view: &TocView<'_>) -> DecodeTree {
-        Self::build_impl::<false>(view).expect("trusted batch must replay")
+        let mut tree = DecodeTree::default();
+        let mut scratch = TreeScratch::default();
+        Self::build_impl::<false>(view, &mut tree, &mut scratch)
+            .expect("trusted batch must replay");
+        tree
     }
 
-    fn build_impl<const VALIDATE: bool>(view: &TocView<'_>) -> Result<DecodeTree, TocError> {
+    /// [`Self::build_trusted`] into caller-owned buffers: the tree arrays
+    /// and the scratch are cleared and refilled, reusing their allocations.
+    /// This is the zero-allocation entry point of the workspace kernel API.
+    pub fn build_trusted_into(
+        view: &TocView<'_>,
+        tree: &mut DecodeTree,
+        scratch: &mut TreeScratch,
+    ) {
+        Self::build_impl::<false>(view, tree, scratch).expect("trusted batch must replay");
+    }
+
+    fn build_impl<const VALIDATE: bool>(
+        view: &TocView<'_>,
+        tree: &mut DecodeTree,
+        scratch: &mut TreeScratch,
+    ) -> Result<(), TocError> {
         let n_first = view.first_layer_len();
         // Upper bound on node count: root + |I| + one node per adjacent
         // code pair.
@@ -62,13 +93,21 @@ impl DecodeTree {
         }
         let capacity = 1 + n_first + view.codes_len().saturating_sub(nonempty);
 
-        let mut key_col = Vec::with_capacity(capacity);
-        let mut key_val = Vec::with_capacity(capacity);
-        let mut parent = Vec::with_capacity(capacity);
+        let key_col = &mut tree.key_col;
+        let key_val = &mut tree.key_val;
+        let parent = &mut tree.parent;
         // F: the *node index* of the first pair of each node's sequence
         // (a first-layer node; 0 for the root). Keys of new nodes are then
         // plain array reads instead of physical-layer lookups.
-        let mut first: Vec<u32> = Vec::with_capacity(capacity);
+        let first = &mut scratch.first;
+        key_col.clear();
+        key_val.clear();
+        parent.clear();
+        first.clear();
+        key_col.reserve(capacity);
+        key_val.reserve(capacity);
+        parent.reserve(capacity);
+        first.reserve(capacity);
 
         // Root.
         key_col.push(0);
@@ -87,14 +126,14 @@ impl DecodeTree {
 
         // Phase II: replay D.
         let mut idx_seq_num = n_first as u32 + 1;
-        let mut row_codes: Vec<u32> = Vec::new();
+        let row_codes = &mut scratch.row_codes;
         for r in 0..view.rows {
             let (s, e) = view.row_range(r);
             if e <= s {
                 continue;
             }
             row_codes.clear();
-            view.codes_into(s, e, &mut row_codes);
+            view.codes_into(s, e, row_codes);
             // Each code is validated as it is encountered; the final (or
             // only) code of the row is checked after the pair loop.
             let mut a = row_codes[0];
@@ -133,7 +172,7 @@ impl DecodeTree {
             }
         }
 
-        Ok(DecodeTree { key_col, key_val, parent })
+        Ok(())
     }
 
     /// Materialize the full sequence of node `n`, root-to-node order.
@@ -192,8 +231,7 @@ mod tests {
     fn table4_keys() {
         // Keys (paper): 1:1.1 2:2 3:3 4:1.4 2:1.1 | 2:2 3:3 4:1.4 3:3 3:3
         let t = fig3_tree();
-        let keys: Vec<(u32, f64)> =
-            (1..11).map(|i| (t.key_col[i], t.key_val[i])).collect();
+        let keys: Vec<(u32, f64)> = (1..11).map(|i| (t.key_col[i], t.key_val[i])).collect();
         assert_eq!(
             keys,
             vec![

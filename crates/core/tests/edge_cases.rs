@@ -34,7 +34,7 @@ fn zero_height_left_operand() {
 
 #[test]
 fn single_column_many_rows() {
-    let a = DenseMatrix::from_vec(1000, 1, (0..1000).map(|i| ((i % 3) as f64)).collect());
+    let a = DenseMatrix::from_vec(1000, 1, (0..1000).map(|i| (i % 3) as f64).collect());
     let toc = TocBatch::encode(&a);
     assert_eq!(toc.decode(), a);
     // One column means every tuple is at most one pair: the tree stays at
@@ -56,10 +56,7 @@ fn wide_single_row() {
 
 #[test]
 fn extreme_magnitudes_survive() {
-    let a = DenseMatrix::from_rows(vec![
-        vec![1e308, 1e-308, 0.0],
-        vec![1e308, 1e-308, -1e300],
-    ]);
+    let a = DenseMatrix::from_rows(vec![vec![1e308, 1e-308, 0.0], vec![1e308, 1e-308, -1e300]]);
     let toc = TocBatch::encode(&a);
     let back = toc.decode();
     for (x, y) in a.data().iter().zip(back.data()) {
@@ -121,11 +118,7 @@ fn many_small_batches_are_independent() {
     // Encoding shares nothing between batches: each buffer decodes alone.
     let mut batches = Vec::new();
     for k in 0..50 {
-        let a = DenseMatrix::from_vec(
-            4,
-            6,
-            (0..24).map(|i| ((i + k) % 5) as f64 * 0.25).collect(),
-        );
+        let a = DenseMatrix::from_vec(4, 6, (0..24).map(|i| ((i + k) % 5) as f64 * 0.25).collect());
         batches.push((TocBatch::encode(&a), a));
     }
     for (toc, a) in batches {

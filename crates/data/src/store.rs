@@ -38,7 +38,13 @@ pub struct StoreConfig {
 
 impl StoreConfig {
     pub fn new(scheme: Scheme, batch_rows: usize, memory_budget: usize) -> Self {
-        Self { scheme, batch_rows, memory_budget, spill_dir: None, disk_mbps: None }
+        Self {
+            scheme,
+            batch_rows,
+            memory_budget,
+            spill_dir: None,
+            disk_mbps: None,
+        }
     }
 
     /// Builder-style bandwidth override.
@@ -78,11 +84,7 @@ pub struct MiniBatchStore {
 impl MiniBatchStore {
     /// Encode `x` into mini-batches under `config`, spilling past the
     /// memory budget. `labels` follow the `toc-ml` convention.
-    pub fn build(
-        x: &DenseMatrix,
-        labels: &[f64],
-        config: &StoreConfig,
-    ) -> std::io::Result<Self> {
+    pub fn build(x: &DenseMatrix, labels: &[f64], config: &StoreConfig) -> std::io::Result<Self> {
         assert_eq!(x.rows(), labels.len());
         // First pass: encode every batch and decide memory vs. disk,
         // preserving the original batch order (shuffle-once semantics).
@@ -149,7 +151,13 @@ impl MiniBatchStore {
                     Pending::Mem(b) => entries.push((Location::Memory(b), y)),
                     Pending::Disk(bytes) => {
                         f.write_all(&bytes)?;
-                        entries.push((Location::Disk { offset, len: bytes.len() }, y));
+                        entries.push((
+                            Location::Disk {
+                                offset,
+                                len: bytes.len(),
+                            },
+                            y,
+                        ));
                         offset += bytes.len() as u64;
                         total += bytes.len();
                     }
@@ -176,7 +184,10 @@ impl MiniBatchStore {
 
     /// Number of batches kept in memory.
     pub fn in_memory_batches(&self) -> usize {
-        self.entries.iter().filter(|(l, _)| matches!(l, Location::Memory(_))).count()
+        self.entries
+            .iter()
+            .filter(|(l, _)| matches!(l, Location::Memory(_)))
+            .count()
     }
 
     /// Number of batches on disk.
@@ -205,7 +216,10 @@ impl MiniBatchStore {
     }
 
     fn read_disk(&self, offset: u64, len: usize) -> AnyBatch {
-        let file = self.spill_file.as_ref().expect("disk entry without spill file");
+        let file = self
+            .spill_file
+            .as_ref()
+            .expect("disk entry without spill file");
         let mut buf = vec![0u8; len];
         {
             let mut f = file.lock();
@@ -219,7 +233,9 @@ impl MiniBatchStore {
             ));
         }
         self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(len as u64, Ordering::Relaxed);
         Scheme::from_bytes(&buf).expect("spill file corrupted")
     }
 }
@@ -274,8 +290,7 @@ mod tests {
     fn everything_fits_with_big_budget() {
         let (x, y) = dataset();
         let store =
-            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 100, usize::MAX))
-                .unwrap();
+            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 100, usize::MAX)).unwrap();
         assert_eq!(store.num_batches(), 6);
         assert_eq!(store.spilled_batches(), 0);
         assert_eq!(store.stats.disk_reads.load(Ordering::Relaxed), 0);
@@ -285,8 +300,7 @@ mod tests {
     fn zero_budget_spills_everything_and_roundtrips() {
         let (x, y) = dataset();
         for scheme in [Scheme::Toc, Scheme::Den, Scheme::Gzip, Scheme::Cla] {
-            let store =
-                MiniBatchStore::build(&x, &y, &StoreConfig::new(scheme, 150, 0)).unwrap();
+            let store = MiniBatchStore::build(&x, &y, &StoreConfig::new(scheme, 150, 0)).unwrap();
             assert_eq!(store.spilled_batches(), 4, "{}", scheme.name());
             // Visiting a spilled batch does real IO and returns the exact
             // batch content.
@@ -302,8 +316,7 @@ mod tests {
     fn partial_budget_splits_memory_and_disk() {
         let (x, y) = dataset();
         let probe =
-            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Csr, 100, usize::MAX))
-                .unwrap();
+            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Csr, 100, usize::MAX)).unwrap();
         let half = probe.memory_bytes() / 2;
         let store =
             MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Csr, 100, half)).unwrap();
@@ -323,13 +336,10 @@ mod tests {
         // The crux of Table 6: pick a budget between the TOC footprint and
         // the DEN footprint.
         let (x, y) = dataset();
-        let toc_total = MiniBatchStore::build(
-            &x,
-            &y,
-            &StoreConfig::new(Scheme::Toc, 250, usize::MAX),
-        )
-        .unwrap()
-        .total_bytes();
+        let toc_total =
+            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 250, usize::MAX))
+                .unwrap()
+                .total_bytes();
         let budget = toc_total * 2;
         let toc =
             MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 250, budget)).unwrap();
@@ -344,9 +354,12 @@ mod tests {
         use toc_ml::mgd::{MgdConfig, ModelSpec, Trainer};
         use toc_ml::LossKind;
         let (x, y) = dataset();
-        let store =
-            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 100, 0)).unwrap();
-        let trainer = Trainer::new(MgdConfig { epochs: 8, lr: 0.3, ..Default::default() });
+        let store = MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Toc, 100, 0)).unwrap();
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 8,
+            lr: 0.3,
+            ..Default::default()
+        });
         let mut report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &store, None);
         let eval = Scheme::Den.encode(&x);
         let err = report.model.error_rate(&eval, &y);
@@ -357,8 +370,7 @@ mod tests {
     #[test]
     fn spill_file_removed_on_drop() {
         let (x, y) = dataset();
-        let store =
-            MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Den, 200, 0)).unwrap();
+        let store = MiniBatchStore::build(&x, &y, &StoreConfig::new(Scheme::Den, 200, 0)).unwrap();
         let path = store.spill_path.clone().unwrap();
         assert!(path.exists());
         drop(store);

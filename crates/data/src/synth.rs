@@ -225,7 +225,10 @@ impl Dataset {
         let mut start = 0;
         while start < self.x.rows() {
             let end = (start + batch_rows).min(self.x.rows());
-            out.push((self.x.slice_rows(start, end), self.labels[start..end].to_vec()));
+            out.push((
+                self.x.slice_rows(start, end),
+                self.labels[start..end].to_vec(),
+            ));
             start = end;
         }
         out
@@ -239,8 +242,9 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     // Value pool (empty = unique values per cell). Each column draws from
     // a small per-column domain, like categorical/quantized real data —
     // this keeps the distinct column:value pair count realistic.
-    let pool: Vec<f64> =
-        (0..config.value_pool).map(|_| (rng.gen_range(1..64) as f64) * 0.25).collect();
+    let pool: Vec<f64> = (0..config.value_pool)
+        .map(|_| (rng.gen_range(1..64) as f64) * 0.25)
+        .collect();
     let domain = if config.column_domain == 0 {
         pool.len().max(1)
     } else {
@@ -255,40 +259,47 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     };
 
     // Row templates.
-    let gen_row =
-        |rng: &mut StdRng, draw: &mut dyn FnMut(&mut StdRng, usize) -> f64| -> Vec<f64> {
-            if config.density < 0.02 {
-                // Extreme sparsity: place ~density*cols non-zeros directly.
-                let nnz = ((config.cols as f64 * config.density).round() as usize).max(1);
-                let mut row = vec![0.0; config.cols];
-                for _ in 0..nnz {
-                    let c = rng.gen_range(0..config.cols);
+    let gen_row = |rng: &mut StdRng, draw: &mut dyn FnMut(&mut StdRng, usize) -> f64| -> Vec<f64> {
+        if config.density < 0.02 {
+            // Extreme sparsity: place ~density*cols non-zeros directly.
+            let nnz = ((config.cols as f64 * config.density).round() as usize).max(1);
+            let mut row = vec![0.0; config.cols];
+            for _ in 0..nnz {
+                let c = rng.gen_range(0..config.cols);
+                row[c] = draw(rng, c);
+            }
+            row
+        } else if config.clustered {
+            // Stroke-like runs: contiguous non-zero segments separated
+            // by long zero gaps, as in centered image data.
+            let seg_len = 12usize.min(config.cols);
+            let nnz_target = (config.cols as f64 * config.density) as usize;
+            let n_segs = (nnz_target / seg_len).max(1);
+            let mut row = vec![0.0; config.cols];
+            for _ in 0..n_segs {
+                let start = rng.gen_range(0..config.cols.saturating_sub(seg_len) + 1);
+                #[allow(clippy::needless_range_loop)] // c feeds both row and draw
+                for c in start..start + seg_len {
                     row[c] = draw(rng, c);
                 }
-                row
-            } else if config.clustered {
-                // Stroke-like runs: contiguous non-zero segments separated
-                // by long zero gaps, as in centered image data.
-                let seg_len = 12usize.min(config.cols);
-                let nnz_target = (config.cols as f64 * config.density) as usize;
-                let n_segs = (nnz_target / seg_len).max(1);
-                let mut row = vec![0.0; config.cols];
-                for _ in 0..n_segs {
-                    let start = rng.gen_range(0..config.cols.saturating_sub(seg_len) + 1);
-                    for c in start..start + seg_len {
-                        row[c] = draw(rng, c);
-                    }
-                }
-                row
-            } else {
-                (0..config.cols)
-                    .map(|c| if rng.gen::<f64>() < config.density { draw(rng, c) } else { 0.0 })
-                    .collect()
             }
-        };
+            row
+        } else {
+            (0..config.cols)
+                .map(|c| {
+                    if rng.gen::<f64>() < config.density {
+                        draw(rng, c)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    };
 
-    let motifs: Vec<Vec<f64>> =
-        (0..config.motifs).map(|_| gen_row(&mut rng, &mut draw_value)).collect();
+    let motifs: Vec<Vec<f64>> = (0..config.motifs)
+        .map(|_| gen_row(&mut rng, &mut draw_value))
+        .collect();
 
     let mut x = DenseMatrix::zeros(config.rows, config.cols);
     for r in 0..config.rows {
@@ -421,7 +432,10 @@ mod tests {
         assert!(b.labels.iter().all(|&y| y == 1.0 || y == -1.0));
         assert_eq!(b.classes, 2);
         let m = generate_preset(DatasetPreset::MnistLike, 200, 3);
-        assert!(m.labels.iter().all(|&y| (0.0..10.0).contains(&y) && y.fract() == 0.0));
+        assert!(m
+            .labels
+            .iter()
+            .all(|&y| (0.0..10.0).contains(&y) && y.fract() == 0.0));
         assert_eq!(m.classes, 10);
         // Both classes / several classes must actually appear.
         assert!(b.labels.iter().any(|&y| y > 0.0) && b.labels.iter().any(|&y| y < 0.0));
@@ -448,7 +462,10 @@ mod tests {
         // kdd99-like: TOC >> CSR, strong absolute ratio.
         let kdd_toc = ratio(DatasetPreset::Kdd99Like, Scheme::Toc);
         let kdd_csr = ratio(DatasetPreset::Kdd99Like, Scheme::Csr);
-        assert!(kdd_toc > 2.0 * kdd_csr, "kdd: TOC {kdd_toc} vs CSR {kdd_csr}");
+        assert!(
+            kdd_toc > 2.0 * kdd_csr,
+            "kdd: TOC {kdd_toc} vs CSR {kdd_csr}"
+        );
         assert!(kdd_toc > 20.0, "kdd TOC ratio {kdd_toc}");
         // census-like: TOC > CSR.
         let cen_toc = ratio(DatasetPreset::CensusLike, Scheme::Toc);
@@ -458,7 +475,10 @@ mod tests {
         let rcv_toc = ratio(DatasetPreset::Rcv1Like, Scheme::Toc);
         let rcv_csr = ratio(DatasetPreset::Rcv1Like, Scheme::Csr);
         assert!(rcv_csr > 50.0);
-        assert!((rcv_toc / rcv_csr - 1.0).abs() < 0.4, "rcv1: {rcv_toc} vs {rcv_csr}");
+        assert!(
+            (rcv_toc / rcv_csr - 1.0).abs() < 0.4,
+            "rcv1: {rcv_toc} vs {rcv_csr}"
+        );
         // deep-like: nothing achieves a meaningful ratio.
         for scheme in [Scheme::Toc, Scheme::Csr, Scheme::Gzip] {
             let r = ratio(DatasetPreset::DeepLike, scheme);

@@ -37,7 +37,11 @@ pub enum Group {
     /// Dense dictionary coding over `cols.len()` co-coded columns:
     /// `dict` is `n_entries × cols.len()` row-major; `rowidx[r]` picks the
     /// tuple for matrix row `r`.
-    Ddc { cols: Vec<u32>, dict: Vec<f64>, rowidx: Vec<u32> },
+    Ddc {
+        cols: Vec<u32>,
+        dict: Vec<f64>,
+        rowidx: Vec<u32>,
+    },
     /// Uncompressed column fallback.
     Uc { col: u32, values: Vec<f64> },
 }
@@ -124,7 +128,11 @@ impl ClaBatch {
             }
 
             c = next_col;
-            groups.push(Group::Ddc { cols: group_cols, dict, rowidx });
+            groups.push(Group::Ddc {
+                cols: group_cols,
+                dict,
+                rowidx,
+            });
         }
 
         Self { rows, cols, groups }
@@ -155,7 +163,11 @@ impl ClaBatch {
                     {
                         return Err(FormatError::Corrupt("bad DDC group".into()));
                     }
-                    groups.push(Group::Ddc { cols: gcols, dict, rowidx });
+                    groups.push(Group::Ddc {
+                        cols: gcols,
+                        dict,
+                        rowidx,
+                    });
                 }
                 1 => {
                     let col = rd.u32()?;
@@ -190,15 +202,17 @@ impl MatrixBatch for ClaBatch {
         for g in &self.groups {
             total += match g {
                 Group::Ddc { cols, dict, rowidx } => {
-                    8 + 4 * cols.len() + 8 * dict.len() + rowidx.len() * idx_width(dict.len() / cols.len().max(1))
+                    8 + 4 * cols.len()
+                        + 8 * dict.len()
+                        + rowidx.len() * idx_width(dict.len() / cols.len().max(1))
                 }
                 Group::Uc { values, .. } => 8 + 8 * values.len(),
             };
         }
         total
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.rows];
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.rows);
         for g in &self.groups {
             match g {
                 Group::Ddc { cols, dict, rowidx } => {
@@ -228,10 +242,9 @@ impl MatrixBatch for ClaBatch {
                 }
             }
         }
-        out
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.cols);
         for g in &self.groups {
             match g {
                 Group::Ddc { cols, dict, rowidx } => {
@@ -259,11 +272,10 @@ impl MatrixBatch for ClaBatch {
                 }
             }
         }
-        out
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
         let p = m.cols();
-        let mut out = DenseMatrix::zeros(self.rows, p);
+        out.reset(self.rows, p);
         for g in &self.groups {
             match g {
                 Group::Ddc { cols, dict, rowidx } => {
@@ -305,11 +317,10 @@ impl MatrixBatch for ClaBatch {
                 }
             }
         }
-        out
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
         let p = m.rows();
-        let mut out = DenseMatrix::zeros(p, self.cols);
+        out.reset(p, self.cols);
         for g in &self.groups {
             match g {
                 Group::Ddc { cols, dict, rowidx } => {
@@ -349,7 +360,6 @@ impl MatrixBatch for ClaBatch {
                 }
             }
         }
-        out
     }
     fn scale(&mut self, c: f64) {
         for g in &mut self.groups {
@@ -367,8 +377,8 @@ impl MatrixBatch for ClaBatch {
             }
         }
     }
-    fn decode(&self) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.rows, self.cols);
         for g in &self.groups {
             match g {
                 Group::Ddc { cols, dict, rowidx } => {
@@ -387,7 +397,6 @@ impl MatrixBatch for ClaBatch {
                 }
             }
         }
-        out
     }
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![Scheme::Cla.tag()];

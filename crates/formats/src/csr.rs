@@ -15,7 +15,9 @@ pub struct CsrBatch {
 
 impl CsrBatch {
     pub fn encode(dense: &DenseMatrix) -> Self {
-        Self { s: SparseRows::encode(dense) }
+        Self {
+            s: SparseRows::encode(dense),
+        }
     }
 
     pub fn from_sparse(s: SparseRows) -> Self {
@@ -61,7 +63,9 @@ impl CsrBatch {
             })
             .collect::<Result<_, _>>()?;
         let offsets = offsets32.iter().map(|&o| o as usize).collect();
-        Ok(Self { s: SparseRows::from_parts(rows, cols, pairs, offsets) })
+        Ok(Self {
+            s: SparseRows::from_parts(rows, cols, pairs, offsets),
+        })
     }
 
     /// Borrow the sparse rows.
@@ -80,48 +84,35 @@ impl MatrixBatch for CsrBatch {
     fn size_bytes(&self) -> usize {
         Self::csr_size_bytes(&self.s)
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.s.matvec(v)
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.s.matvec_into(v, out)
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.s.vecmat(v)
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.s.vecmat_into(v, out)
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.rows(), m.cols());
-        for r in 0..self.rows() {
-            let orow = out.row_mut(r);
-            for p in self.s.row(r) {
-                let mrow = m.row(p.col as usize);
-                for (o, &b) in orow.iter_mut().zip(mrow) {
-                    *o += p.val * b;
-                }
-            }
-        }
-        out
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.s.matmat_into(m, out)
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(m.rows(), self.cols());
-        for q in 0..m.rows() {
-            let mrow = m.row(q);
-            let orow = out.row_mut(q);
-            for (r, &w) in mrow.iter().enumerate() {
-                if w == 0.0 {
-                    continue;
-                }
-                for p in self.s.row(r) {
-                    orow[p.col as usize] += w * p.val;
-                }
-            }
-        }
-        out
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.s.matmat_left_into(m, out)
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        self.s.decode_into(out)
     }
     fn scale(&mut self, c: f64) {
         // CSR stores raw values; scaling touches every non-zero.
         let rows = self.s.rows();
         let cols = self.s.cols();
         let offsets = self.s.offsets().to_vec();
-        let pairs: Vec<ColVal> =
-            self.s.pairs().iter().map(|p| ColVal { col: p.col, val: p.val * c }).collect();
+        let pairs: Vec<ColVal> = self
+            .s
+            .pairs()
+            .iter()
+            .map(|p| ColVal {
+                col: p.col,
+                val: p.val * c,
+            })
+            .collect();
         self.s = SparseRows::from_parts(rows, cols, pairs, offsets);
     }
     fn decode(&self) -> DenseMatrix {

@@ -82,7 +82,14 @@ impl CviBatch {
         {
             return Err(FormatError::Corrupt("CVI index out of range".into()));
         }
-        Ok(Self { rows, cols, offsets, col_idx, validx, dict })
+        Ok(Self {
+            rows,
+            cols,
+            offsets,
+            col_idx,
+            validx,
+            dict,
+        })
     }
 
     #[inline]
@@ -104,8 +111,8 @@ impl MatrixBatch for CviBatch {
             + 8 * self.dict.len()
             + 5
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.rows];
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.rows);
         for (r, o) in out.iter_mut().enumerate() {
             let (s, e) = self.row_range(r);
             let mut acc = 0.0;
@@ -114,10 +121,9 @@ impl MatrixBatch for CviBatch {
             }
             *o = acc;
         }
-        out
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.cols);
         for (r, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
@@ -127,10 +133,9 @@ impl MatrixBatch for CviBatch {
                 out[self.col_idx[k] as usize] += w * self.dict[self.validx[k] as usize];
             }
         }
-        out
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.rows, m.cols());
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(self.rows, m.cols());
         for r in 0..self.rows {
             let (s, e) = self.row_range(r);
             let orow = out.row_mut(r);
@@ -142,10 +147,9 @@ impl MatrixBatch for CviBatch {
                 }
             }
         }
-        out
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(m.rows(), self.cols);
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(m.rows(), self.cols);
         for q in 0..m.rows() {
             let mrow = m.row(q);
             let orow = out.row_mut(q);
@@ -159,22 +163,24 @@ impl MatrixBatch for CviBatch {
                 }
             }
         }
-        out
     }
     fn scale(&mut self, c: f64) {
         for v in &mut self.dict {
             *v *= c;
         }
     }
-    fn decode(&self) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.rows, self.cols);
         for r in 0..self.rows {
             let (s, e) = self.row_range(r);
             for k in s..e {
-                out.set(r, self.col_idx[k] as usize, self.dict[self.validx[k] as usize]);
+                out.set(
+                    r,
+                    self.col_idx[k] as usize,
+                    self.dict[self.validx[k] as usize],
+                );
             }
         }
-        out
     }
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![Scheme::Cvi.tag()];
@@ -200,7 +206,12 @@ pub struct DviBatch {
 impl DviBatch {
     pub fn encode(dense: &DenseMatrix) -> Self {
         let (dict, validx) = build_dict(dense.data().iter().copied());
-        Self { rows: dense.rows(), cols: dense.cols(), validx, dict }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            validx,
+            dict,
+        }
     }
 
     pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
@@ -213,7 +224,12 @@ impl DviBatch {
         if validx.len() != rows * cols || validx.iter().any(|&i| i as usize >= dict.len().max(1)) {
             return Err(FormatError::Corrupt("DVI section mismatch".into()));
         }
-        Ok(Self { rows, cols, validx, dict })
+        Ok(Self {
+            rows,
+            cols,
+            validx,
+            dict,
+        })
     }
 }
 
@@ -227,8 +243,8 @@ impl MatrixBatch for DviBatch {
     fn size_bytes(&self) -> usize {
         16 + self.validx.len() * idx_width(self.dict.len()) + 8 * self.dict.len() + 5
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.rows];
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.rows);
         for (r, o) in out.iter_mut().enumerate() {
             let row = &self.validx[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
@@ -237,10 +253,9 @@ impl MatrixBatch for DviBatch {
             }
             *o = acc;
         }
-        out
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        toc_linalg::dense::reset_vec(out, self.cols);
         for (r, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
@@ -250,10 +265,9 @@ impl MatrixBatch for DviBatch {
                 *o += w * self.dict[idx as usize];
             }
         }
-        out
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(self.rows, m.cols());
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(self.rows, m.cols());
         for r in 0..self.rows {
             let row = &self.validx[r * self.cols..(r + 1) * self.cols];
             let orow = out.row_mut(r);
@@ -268,10 +282,9 @@ impl MatrixBatch for DviBatch {
                 }
             }
         }
-        out
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(m.rows(), self.cols);
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(m.rows(), self.cols);
         for q in 0..m.rows() {
             let mrow = m.row(q);
             let orow = out.row_mut(q);
@@ -285,16 +298,17 @@ impl MatrixBatch for DviBatch {
                 }
             }
         }
-        out
     }
     fn scale(&mut self, c: f64) {
         for v in &mut self.dict {
             *v *= c;
         }
     }
-    fn decode(&self) -> DenseMatrix {
-        let data = self.validx.iter().map(|&i| self.dict[i as usize]).collect();
-        DenseMatrix::from_vec(self.rows, self.cols, data)
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.rows, self.cols);
+        for (o, &i) in out.data_mut().iter_mut().zip(&self.validx) {
+            *o = self.dict[i as usize];
+        }
     }
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![Scheme::Dvi.tag()];

@@ -25,8 +25,13 @@ impl DenBatch {
         }
         let raw = rd.take(rows * cols * 8)?;
         rd.done()?;
-        let data = raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
-        Ok(Self { m: DenseMatrix::from_vec(rows, cols, data) })
+        let data = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Self {
+            m: DenseMatrix::from_vec(rows, cols, data),
+        })
     }
 
     /// Borrow the underlying dense matrix.
@@ -45,17 +50,21 @@ impl MatrixBatch for DenBatch {
     fn size_bytes(&self) -> usize {
         self.m.den_size_bytes()
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.m.matvec(v)
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.m.matvec_into(v, out)
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.m.vecmat(v)
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.m.vecmat_into(v, out)
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.m.matmat(m)
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.m.matmat_into(m, out)
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.m.matmat_left(m)
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.m.matmat_left_into(m, out)
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.m.rows(), self.m.cols());
+        out.data_mut().copy_from_slice(self.m.data());
     }
     fn scale(&mut self, c: f64) {
         self.m.scale(c);

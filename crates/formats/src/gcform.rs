@@ -7,7 +7,7 @@
 //! incurred on each call, exactly as in their experiment harness.
 
 use crate::wire::{put_u32, Rd};
-use crate::{FormatError, MatrixBatch, Scheme};
+use crate::{ExecScratch, FormatError, MatrixBatch, Scheme};
 use toc_gc::Codec;
 use toc_linalg::DenseMatrix;
 
@@ -40,7 +40,12 @@ impl GcBatch {
         let rows = rd.u32()? as usize;
         let cols = rd.u32()? as usize;
         let payload = rd.rest().to_vec();
-        let batch = Self { codec, rows, cols, payload };
+        let batch = Self {
+            codec,
+            rows,
+            cols,
+            payload,
+        };
         // Validate eagerly so corrupt batches surface at load time.
         batch.try_decode()?;
         Ok(batch)
@@ -50,13 +55,37 @@ impl GcBatch {
     /// corruption, which cannot happen for validated/internally built
     /// batches).
     pub fn try_decode(&self) -> Result<DenseMatrix, FormatError> {
-        let raw = self.codec.decompress(&self.payload)?;
-        if raw.len() != self.rows * self.cols * 8 {
+        let mut staging = Vec::new();
+        let mut out = DenseMatrix::default();
+        self.try_decode_staged(&mut staging, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompress into caller-owned buffers: `staging` receives the raw
+    /// decompressed DEN payload, `out` the decoded matrix. Both reuse
+    /// their allocations across calls — the GC-decode staging path of the
+    /// workspace API.
+    pub fn try_decode_staged(
+        &self,
+        staging: &mut Vec<u8>,
+        out: &mut DenseMatrix,
+    ) -> Result<(), FormatError> {
+        self.codec.decompress_into(&self.payload, staging)?;
+        if staging.len() != self.rows * self.cols * 8 {
             return Err(FormatError::Corrupt("GC payload shape mismatch".into()));
         }
-        let data =
-            raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
-        Ok(DenseMatrix::from_vec(self.rows, self.cols, data))
+        out.reset(self.rows, self.cols);
+        for (o, c) in out.data_mut().iter_mut().zip(staging.chunks_exact(8)) {
+            *o = f64::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// [`Self::try_decode_staged`] for internally built batches (panics on
+    /// corruption, which cannot happen for those).
+    fn decode_staged(&self, staging: &mut Vec<u8>, out: &mut DenseMatrix) {
+        self.try_decode_staged(staging, out)
+            .expect("internally built GC batch must decode")
     }
 
     /// Which codec this batch uses.
@@ -75,17 +104,20 @@ impl MatrixBatch for GcBatch {
     fn size_bytes(&self) -> usize {
         16 + self.payload.len()
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.decode().matvec(v)
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.decode().matvec_into(v, out)
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.decode().vecmat(v)
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.decode().vecmat_into(v, out)
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.decode().matmat(m)
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.decode().matmat_into(m, out)
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.decode().matmat_left(m)
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.decode().matmat_left_into(m, out)
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        self.decode_staged(&mut Vec::new(), out)
     }
     fn scale(&mut self, c: f64) {
         // Decompress, scale, recompress — GC has no in-place path.
@@ -94,7 +126,32 @@ impl MatrixBatch for GcBatch {
         *self = Self::encode(&d, self.codec);
     }
     fn decode(&self) -> DenseMatrix {
-        self.try_decode().expect("internally built GC batch must decode")
+        self.try_decode()
+            .expect("internally built GC batch must decode")
+    }
+
+    // Workspace variants: every GC op must fully decompress first (the
+    // defining property the paper measures); with a scratch the
+    // decompression staging and the decoded matrix are caller-owned, so
+    // even GC's per-op decode allocates nothing in steady state.
+    fn matvec_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.decode_staged(&mut ws.gc_bytes, &mut ws.gc_dense);
+        ws.gc_dense.matvec_into(v, out);
+    }
+    fn vecmat_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.decode_staged(&mut ws.gc_bytes, &mut ws.gc_dense);
+        ws.gc_dense.vecmat_into(v, out);
+    }
+    fn matmat_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.decode_staged(&mut ws.gc_bytes, &mut ws.gc_dense);
+        ws.gc_dense.matmat_into(m, out);
+    }
+    fn matmat_left_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.decode_staged(&mut ws.gc_bytes, &mut ws.gc_dense);
+        ws.gc_dense.matmat_left_into(m, out);
+    }
+    fn decode_into_ws(&self, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.decode_staged(&mut ws.gc_bytes, out)
     }
     fn to_bytes(&self) -> Vec<u8> {
         let tag = match self.codec {

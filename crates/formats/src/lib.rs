@@ -60,8 +60,44 @@ impl From<toc_gc::GcError> for FormatError {
     }
 }
 
+/// Reusable format-level scratch for the workspace (`*_into_ws`) kernel
+/// variants: staging buffers that some encodings need *inside* an
+/// operation, owned by the caller so a steady-state training loop performs
+/// no per-batch heap allocation.
+///
+/// * `gc_bytes` / `gc_dense` — the GC formats (Snappy*/Gzip*) must fully
+///   decompress before any op; these stage the decompressed DEN payload
+///   and the decoded matrix.
+/// * `toc` — the TOC kernels rebuild the decode tree `C'` and fill an
+///   `H`/`G` accumulator per call; [`toc_core::KernelScratch`] owns both.
+///
+/// One instance serves any number of batches of any scheme and shape;
+/// buffers grow to the high-water mark and are reused thereafter.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Decompressed DEN payload staging for the GC formats.
+    pub gc_bytes: Vec<u8>,
+    /// Decoded dense staging for ops that must decompress first.
+    pub gc_dense: DenseMatrix,
+    /// Decode tree + accumulator scratch for the TOC kernels.
+    pub toc: toc_core::KernelScratch,
+}
+
 /// A mini-batch in some (possibly compressed) encoding, supporting the core
 /// matrix operations MGD needs (paper Table 1 / §4).
+///
+/// The trait exposes three method families:
+///
+/// 1. **Workspace kernels** (`*_into`, required): write into caller-owned
+///    buffers, which are cleared and refilled reusing their allocations.
+///    These are the native implementations in every format module.
+/// 2. **Allocating wrappers** (provided): the historical `matvec(&self,
+///    v) -> Vec<f64>` style API, now thin wrappers over the `*_into`
+///    family.
+/// 3. **Scratch-aware kernels** (`*_into_ws`, provided): like `*_into`
+///    but additionally given an [`ExecScratch`] so formats with internal
+///    staging needs (GC decompression, TOC tree rebuilds) are
+///    allocation-free too. Formats without such needs ignore the scratch.
 pub trait MatrixBatch {
     /// Matrix rows.
     fn rows(&self) -> usize;
@@ -69,20 +105,82 @@ pub trait MatrixBatch {
     fn cols(&self) -> usize;
     /// In-memory/on-disk footprint of the encoding, in bytes.
     fn size_bytes(&self) -> usize;
-    /// `A · v`.
-    fn matvec(&self, v: &[f64]) -> Vec<f64>;
-    /// `v · A`.
-    fn vecmat(&self, v: &[f64]) -> Vec<f64>;
-    /// `A · M`.
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix;
-    /// `M · A`.
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix;
+    /// `A · v` into a caller-owned buffer.
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>);
+    /// `v · A` into a caller-owned buffer.
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>);
+    /// `A · M` into a caller-owned matrix.
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix);
+    /// `M · A` into a caller-owned matrix.
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix);
+    /// Full decode into a caller-owned matrix (sparse-unsafe operations
+    /// route through this).
+    fn decode_into(&self, out: &mut DenseMatrix);
     /// Sparse-safe element-wise `A .* c`, in place.
     fn scale(&mut self, c: f64);
-    /// Full decode to dense (sparse-unsafe operations route through this).
-    fn decode(&self) -> DenseMatrix;
     /// Serialize to bytes (scheme tag included).
     fn to_bytes(&self) -> Vec<u8>;
+
+    // ---- Allocating wrappers ------------------------------------------
+
+    /// `A · v`.
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+    /// `v · A`.
+    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.vecmat_into(v, &mut out);
+        out
+    }
+    /// `A · M`.
+    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default();
+        self.matmat_into(m, &mut out);
+        out
+    }
+    /// `M · A`.
+    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default();
+        self.matmat_left_into(m, &mut out);
+        out
+    }
+    /// Full decode to dense.
+    fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::default();
+        self.decode_into(&mut out);
+        out
+    }
+
+    // ---- Scratch-aware kernels ----------------------------------------
+
+    /// [`Self::matvec_into`] with format-level scratch.
+    fn matvec_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        let _ = ws;
+        self.matvec_into(v, out);
+    }
+    /// [`Self::vecmat_into`] with format-level scratch.
+    fn vecmat_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        let _ = ws;
+        self.vecmat_into(v, out);
+    }
+    /// [`Self::matmat_into`] with format-level scratch.
+    fn matmat_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        let _ = ws;
+        self.matmat_into(m, out);
+    }
+    /// [`Self::matmat_left_into`] with format-level scratch.
+    fn matmat_left_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        let _ = ws;
+        self.matmat_left_into(m, out);
+    }
+    /// [`Self::decode_into`] with format-level scratch.
+    fn decode_into_ws(&self, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        let _ = ws;
+        self.decode_into(out);
+    }
 }
 
 /// The encoding schemes of the paper's evaluation, plus ablations.
@@ -179,10 +277,32 @@ impl Scheme {
             4 => AnyBatch::Cla(cla::ClaBatch::from_body(body)?),
             5 => AnyBatch::Gc(gcform::GcBatch::from_body(body, toc_gc::Codec::FastLz)?),
             6 => AnyBatch::Gc(gcform::GcBatch::from_body(body, toc_gc::Codec::Deflate)?),
-            7 | 10 => AnyBatch::Toc(tocform::TocFormat::from_body(body)?),
+            // Tags 7 (TOC) and 10 (TOC_VARINT) share the body layout but
+            // must agree with the physical codec recorded inside it, so the
+            // scheme identity survives a serialization round-trip
+            // byte-identically.
+            7 | 10 => {
+                let t = tocform::TocFormat::from_body(body)?;
+                let want = if tag == 7 {
+                    toc_core::PhysicalCodec::BitPack
+                } else {
+                    toc_core::PhysicalCodec::Varint
+                };
+                if t.toc().codec() != want {
+                    return Err(FormatError::Corrupt(format!(
+                        "scheme tag {tag} does not match the batch's physical codec"
+                    )));
+                }
+                AnyBatch::Toc(t)
+            }
             8 => AnyBatch::TocSparse(tocform::TocSparse::from_body(body)?),
             9 => AnyBatch::TocSparseLogical(tocform::TocSparseLogical::from_body(body)?),
-            got => return Err(FormatError::WrongScheme { expected: "any", got }),
+            got => {
+                return Err(FormatError::WrongScheme {
+                    expected: "any",
+                    got,
+                })
+            }
         })
     }
 
@@ -244,6 +364,21 @@ impl MatrixBatch for AnyBatch {
     fn size_bytes(&self) -> usize {
         dispatch!(self, b => b.size_bytes())
     }
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        dispatch!(self, b => b.matvec_into(v, out))
+    }
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        dispatch!(self, b => b.vecmat_into(v, out))
+    }
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        dispatch!(self, b => b.matmat_into(m, out))
+    }
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        dispatch!(self, b => b.matmat_left_into(m, out))
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        dispatch!(self, b => b.decode_into(out))
+    }
     fn matvec(&self, v: &[f64]) -> Vec<f64> {
         dispatch!(self, b => b.matvec(v))
     }
@@ -256,11 +391,26 @@ impl MatrixBatch for AnyBatch {
     fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
         dispatch!(self, b => b.matmat_left(m))
     }
-    fn scale(&mut self, c: f64) {
-        dispatch!(self, b => b.scale(c))
-    }
     fn decode(&self) -> DenseMatrix {
         dispatch!(self, b => b.decode())
+    }
+    fn matvec_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        dispatch!(self, b => b.matvec_into_ws(v, out, ws))
+    }
+    fn vecmat_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        dispatch!(self, b => b.vecmat_into_ws(v, out, ws))
+    }
+    fn matmat_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        dispatch!(self, b => b.matmat_into_ws(m, out, ws))
+    }
+    fn matmat_left_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        dispatch!(self, b => b.matmat_left_into_ws(m, out, ws))
+    }
+    fn decode_into_ws(&self, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        dispatch!(self, b => b.decode_into_ws(out, ws))
+    }
+    fn scale(&mut self, c: f64) {
+        dispatch!(self, b => b.scale(c))
     }
     fn to_bytes(&self) -> Vec<u8> {
         dispatch!(self, b => b.to_bytes())
@@ -300,7 +450,10 @@ pub(crate) mod wire {
         }
 
         pub fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
-            if self.bytes.len() - self.pos < n {
+            // `pos <= len` is an invariant, but `pos + n` could overflow
+            // for adversarial `n`; bound-check without any arithmetic on
+            // attacker-controlled values.
+            if n > self.bytes.len() - self.pos {
                 return Err(FormatError::Corrupt("truncated".into()));
             }
             let s = &self.bytes[self.pos..self.pos + n];
@@ -318,20 +471,28 @@ pub(crate) mod wire {
 
         pub fn f64s(&mut self) -> Result<Vec<f64>, FormatError> {
             let n = self.u32()? as usize;
-            if n > self.bytes.len() / 8 + 1 {
-                return Err(FormatError::Corrupt("implausible f64 count".into()));
-            }
-            let raw = self.take(n * 8)?;
-            Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+            // Checked multiply instead of a heuristic plausibility bound:
+            // `take` then rejects any count the remaining bytes can't back.
+            let byte_len = n
+                .checked_mul(8)
+                .ok_or_else(|| FormatError::Corrupt("f64 count overflows".into()))?;
+            let raw = self.take(byte_len)?;
+            Ok(raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
         }
 
         pub fn u32s(&mut self) -> Result<Vec<u32>, FormatError> {
             let n = self.u32()? as usize;
-            if n > self.bytes.len() / 4 + 1 {
-                return Err(FormatError::Corrupt("implausible u32 count".into()));
-            }
-            let raw = self.take(n * 4)?;
-            Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+            let byte_len = n
+                .checked_mul(4)
+                .ok_or_else(|| FormatError::Corrupt("u32 count overflows".into()))?;
+            let raw = self.take(byte_len)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
         }
 
         pub fn rest(&mut self) -> &'a [u8] {

@@ -12,8 +12,8 @@
 
 use crate::csr::CsrBatch;
 use crate::wire::{put_u32, Rd};
-use crate::{FormatError, MatrixBatch, Scheme};
-use toc_core::{PhysicalCodec, TocBatch};
+use crate::{ExecScratch, FormatError, MatrixBatch, Scheme};
+use toc_core::{KernelScratch, PhysicalCodec, TocBatch};
 use toc_linalg::sparse::SparseRows;
 use toc_linalg::DenseMatrix;
 
@@ -25,16 +25,22 @@ pub struct TocFormat {
 
 impl TocFormat {
     pub fn encode(dense: &DenseMatrix) -> Self {
-        Self { inner: TocBatch::encode(dense) }
+        Self {
+            inner: TocBatch::encode(dense),
+        }
     }
 
     /// Extension: varint physical codec instead of bit packing.
     pub fn encode_varint(dense: &DenseMatrix) -> Self {
-        Self { inner: TocBatch::encode_with(dense, PhysicalCodec::Varint) }
+        Self {
+            inner: TocBatch::encode_with(dense, PhysicalCodec::Varint),
+        }
     }
 
     pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
-        Ok(Self { inner: TocBatch::from_bytes(body.to_vec())? })
+        Ok(Self {
+            inner: TocBatch::from_bytes(body.to_vec())?,
+        })
     }
 
     /// Borrow the underlying compressed batch.
@@ -53,26 +59,64 @@ impl MatrixBatch for TocFormat {
     fn size_bytes(&self) -> usize {
         self.inner.size_bytes()
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.inner.matvec(v).expect("dimension-checked by caller")
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.inner
+            .matvec_into(v, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.inner.vecmat(v).expect("dimension-checked by caller")
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.inner
+            .vecmat_into(v, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.inner.matmat(m).expect("dimension-checked by caller")
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.inner
+            .matmat_into(m, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.inner.matmat_left(m).expect("dimension-checked by caller")
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.inner
+            .matmat_left_into(m, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        self.inner.decode_into(out, &mut KernelScratch::default())
+    }
+    fn matvec_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.inner
+            .matvec_into(v, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn vecmat_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.inner
+            .vecmat_into(v, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn matmat_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner
+            .matmat_into(m, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn matmat_left_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner
+            .matmat_left_into(m, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn decode_into_ws(&self, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner.decode_into(out, &mut ws.toc)
     }
     fn scale(&mut self, c: f64) {
         self.inner.scale(c);
     }
-    fn decode(&self) -> DenseMatrix {
-        self.inner.decode()
-    }
     fn to_bytes(&self) -> Vec<u8> {
-        let mut out = vec![Scheme::Toc.tag()];
+        // The scheme tag follows the physical codec so that the TOC_VARINT
+        // extension keeps its identity across serialization round-trips
+        // (`to_bytes -> Scheme::from_bytes -> to_bytes` is byte-identical).
+        let tag = match self.inner.codec() {
+            PhysicalCodec::BitPack => Scheme::Toc.tag(),
+            PhysicalCodec::Varint => Scheme::TocVarint.tag(),
+        };
+        let mut out = vec![tag];
         out.extend_from_slice(self.inner.as_bytes());
         out
     }
@@ -86,13 +130,17 @@ pub struct TocSparse {
 
 impl TocSparse {
     pub fn encode(dense: &DenseMatrix) -> Self {
-        Self { s: SparseRows::encode(dense) }
+        Self {
+            s: SparseRows::encode(dense),
+        }
     }
 
     pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
         // Same wire layout as CSR.
         let csr = CsrBatch::from_body(body)?;
-        Ok(Self { s: csr.sparse().clone() })
+        Ok(Self {
+            s: csr.sparse().clone(),
+        })
     }
 }
 
@@ -106,25 +154,25 @@ impl MatrixBatch for TocSparse {
     fn size_bytes(&self) -> usize {
         CsrBatch::csr_size_bytes(&self.s)
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.s.matvec(v)
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.s.matvec_into(v, out)
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.s.vecmat(v)
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.s.vecmat_into(v, out)
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        CsrBatch::from_sparse(self.s.clone()).matmat(m)
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.s.matmat_into(m, out)
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        CsrBatch::from_sparse(self.s.clone()).matmat_left(m)
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.s.matmat_left_into(m, out)
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        self.s.decode_into(out)
     }
     fn scale(&mut self, c: f64) {
         let mut csr = CsrBatch::from_sparse(self.s.clone());
         csr.scale(c);
         self.s = csr.sparse().clone();
-    }
-    fn decode(&self) -> DenseMatrix {
-        self.s.decode()
     }
     fn to_bytes(&self) -> Vec<u8> {
         let mut bytes = CsrBatch::from_sparse(self.s.clone()).to_bytes();
@@ -154,14 +202,20 @@ impl TocSparseLogical {
             + 4 * logical.codes.len()
             + 4 * logical.row_offsets.len();
         let inner = TocBatch::from_logical(&logical, PhysicalCodec::BitPack);
-        Self { inner, logical_size }
+        Self {
+            inner,
+            logical_size,
+        }
     }
 
     pub fn from_body(body: &[u8]) -> Result<Self, FormatError> {
         let mut rd = Rd::new(body);
         let logical_size = rd.u32()? as usize;
         let inner = TocBatch::from_bytes(rd.rest().to_vec())?;
-        Ok(Self { inner, logical_size })
+        Ok(Self {
+            inner,
+            logical_size,
+        })
     }
 }
 
@@ -175,23 +229,54 @@ impl MatrixBatch for TocSparseLogical {
     fn size_bytes(&self) -> usize {
         self.logical_size
     }
-    fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        self.inner.matvec(v).expect("dimension-checked by caller")
+    fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.inner
+            .matvec_into(v, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        self.inner.vecmat(v).expect("dimension-checked by caller")
+    fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        self.inner
+            .vecmat_into(v, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.inner.matmat(m).expect("dimension-checked by caller")
+    fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.inner
+            .matmat_into(m, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
     }
-    fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
-        self.inner.matmat_left(m).expect("dimension-checked by caller")
+    fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        self.inner
+            .matmat_left_into(m, out, &mut KernelScratch::default())
+            .expect("dimension-checked by caller")
+    }
+    fn decode_into(&self, out: &mut DenseMatrix) {
+        self.inner.decode_into(out, &mut KernelScratch::default())
+    }
+    fn matvec_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.inner
+            .matvec_into(v, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn vecmat_into_ws(&self, v: &[f64], out: &mut Vec<f64>, ws: &mut ExecScratch) {
+        self.inner
+            .vecmat_into(v, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn matmat_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner
+            .matmat_into(m, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn matmat_left_into_ws(&self, m: &DenseMatrix, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner
+            .matmat_left_into(m, out, &mut ws.toc)
+            .expect("dimension-checked by caller")
+    }
+    fn decode_into_ws(&self, out: &mut DenseMatrix, ws: &mut ExecScratch) {
+        self.inner.decode_into(out, &mut ws.toc)
     }
     fn scale(&mut self, c: f64) {
         self.inner.scale(c);
-    }
-    fn decode(&self) -> DenseMatrix {
-        self.inner.decode()
     }
     fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![Scheme::TocSparseLogical.tag()];
@@ -209,7 +294,13 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..60)
             .map(|r| {
                 (0..30)
-                    .map(|c| if (c + r % 4) % 3 == 0 { ((c % 5) as f64) + 0.5 } else { 0.0 })
+                    .map(|c| {
+                        if (c + r % 4) % 3 == 0 {
+                            ((c % 5) as f64) + 0.5
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect()
             })
             .collect();

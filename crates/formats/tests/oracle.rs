@@ -69,7 +69,11 @@ fn every_scheme_roundtrips_and_matches_oracle() {
                 "{} vecmat",
                 scheme.name()
             );
-            assert!(b.matmat(&mr).max_abs_diff(&want_mm) < 1e-9, "{} matmat", scheme.name());
+            assert!(
+                b.matmat(&mr).max_abs_diff(&want_mm) < 1e-9,
+                "{} matmat",
+                scheme.name()
+            );
             assert!(
                 b.matmat_left(&ml).max_abs_diff(&want_mml) < 1e-9,
                 "{} matmat_left",
@@ -111,7 +115,13 @@ fn compression_ratio_ordering_on_redundant_batches() {
     let motifs: Vec<Vec<f64>> = (0..6)
         .map(|k| {
             (0..80)
-                .map(|c| if (c + k) % 4 == 0 { ((c % 3) as f64) + 1.0 } else { 0.0 })
+                .map(|c| {
+                    if (c + k) % 4 == 0 {
+                        ((c % 3) as f64) + 1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -120,10 +130,23 @@ fn compression_ratio_ordering_on_redundant_batches() {
     let size = |s: Scheme| s.encode(&a).size_bytes() as f64;
     let den = size(Scheme::Den);
     let ratio = |s: Scheme| den / size(s);
-    assert!(ratio(Scheme::Toc) > ratio(Scheme::Csr), "TOC must beat CSR here");
-    assert!(ratio(Scheme::Toc) > ratio(Scheme::Cvi), "TOC must beat CVI here");
-    assert!(ratio(Scheme::Toc) > ratio(Scheme::Dvi), "TOC must beat DVI here");
-    assert!(ratio(Scheme::Toc) > 10.0, "TOC ratio {}", ratio(Scheme::Toc));
+    assert!(
+        ratio(Scheme::Toc) > ratio(Scheme::Csr),
+        "TOC must beat CSR here"
+    );
+    assert!(
+        ratio(Scheme::Toc) > ratio(Scheme::Cvi),
+        "TOC must beat CVI here"
+    );
+    assert!(
+        ratio(Scheme::Toc) > ratio(Scheme::Dvi),
+        "TOC must beat DVI here"
+    );
+    assert!(
+        ratio(Scheme::Toc) > 10.0,
+        "TOC ratio {}",
+        ratio(Scheme::Toc)
+    );
 }
 
 #[test]

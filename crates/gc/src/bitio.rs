@@ -57,7 +57,12 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0, bitbuf: 0, nbits: 0 }
+        Self {
+            bytes,
+            pos: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]
@@ -100,7 +105,15 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         let mut w = BitWriter::new();
-        let vals = [(1u32, 1u32), (0, 1), (5, 3), (255, 8), (1023, 10), (0xFFFF_FFFF, 32), (7, 5)];
+        let vals = [
+            (1u32, 1u32),
+            (0, 1),
+            (5, 3),
+            (255, 8),
+            (1023, 10),
+            (0xFFFF_FFFF, 32),
+            (7, 5),
+        ];
         for &(v, n) in &vals {
             w.write_bits(v, n);
         }

@@ -31,8 +31,8 @@ const EOB: usize = 256;
 
 // RFC 1951 length code tables (code 257 + i).
 const LEN_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LEN_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -43,8 +43,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Map a match length (3..=258) to (symbol, extra bits, extra value).
@@ -121,7 +121,10 @@ fn lz77_parse(input: &[u8]) -> Vec<Token> {
             prev[i] = head[h];
             head[h] = i;
             if best_len >= MIN_MATCH {
-                tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+                tokens.push(Token::Match {
+                    len: best_len as u16,
+                    dist: best_dist as u16,
+                });
                 // Insert the skipped positions so later matches can find
                 // them (cap the work for long matches).
                 let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
@@ -212,6 +215,15 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared, then refilled),
+/// reusing its allocation across calls.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    out.clear();
     const HEADER: usize = 8 + NUM_LITLEN.div_ceil(2) + NUM_DIST.div_ceil(2);
     if input.len() < HEADER {
         return Err(GcError::Corrupt("truncated deflate header"));
@@ -223,7 +235,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     let dist_dec = Decoder::from_lengths(&dist_lengths)?;
 
     // Cap the pre-allocation: `expected` comes from an untrusted header.
-    let mut out = Vec::with_capacity(expected.min(16 << 20));
+    out.reserve(expected.min(16 << 20));
     let mut r = BitReader::new(&input[HEADER..]);
     loop {
         let sym = lit_dec.read(&mut r)? as usize;
@@ -258,7 +270,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     if out.len() != expected {
         return Err(GcError::Corrupt("deflate output length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,7 +337,12 @@ mod tests {
         let data: Vec<u8> = row.iter().cycle().take(120_000).copied().collect();
         let d = compress(&data);
         let f = crate::fastlz::compress(&data);
-        assert!(d.len() < f.len(), "deflate {} vs fastlz {}", d.len(), f.len());
+        assert!(
+            d.len() < f.len(),
+            "deflate {} vs fastlz {}",
+            d.len(),
+            f.len()
+        );
         roundtrip(&data);
     }
 

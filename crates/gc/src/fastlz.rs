@@ -69,13 +69,22 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared, then refilled),
+/// reusing its allocation across calls.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    out.clear();
     if input.len() < 8 {
         return Err(GcError::Corrupt("missing fastlz header"));
     }
     let expected = u64::from_le_bytes(input[..8].try_into().unwrap()) as usize;
     let body = &input[8..];
     // Cap the pre-allocation: `expected` comes from an untrusted header.
-    let mut out = Vec::with_capacity(expected.min(16 << 20));
+    out.reserve(expected.min(16 << 20));
     let mut p = 0usize;
     while p < body.len() {
         let tag = body[p];
@@ -109,7 +118,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     if out.len() != expected {
         return Err(GcError::Corrupt("fastlz output length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -137,7 +146,9 @@ mod tests {
 
     #[test]
     fn long_literal_runs() {
-        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
         roundtrip(&data);
     }
 

@@ -54,18 +54,18 @@ pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     // Kraft sum by 2^max_len so it is integral.
     let budget: u64 = 1u64 << max_len;
     let kraft = |lengths: &[u8]| -> u64 {
-        lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (max_len - l)).sum()
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum()
     };
     let mut k = kraft(&lengths);
     while k > budget {
         // Deepen the least-frequent symbol that is not yet at the cap.
         let mut best: Option<usize> = None;
         for &i in &live {
-            if lengths[i] < max_len
-                && best.is_none_or(|b| {
-                    (freqs[i], i) < (freqs[b], b)
-                })
-            {
+            if lengths[i] < max_len && best.is_none_or(|b| (freqs[i], i) < (freqs[b], b)) {
                 best = Some(i);
             }
         }
@@ -109,7 +109,10 @@ impl Encoder {
                 codes[sym] = c.reverse_bits() >> (32 - l as u32);
             }
         }
-        Self { code: codes, len: lengths.to_vec() }
+        Self {
+            code: codes,
+            len: lengths.to_vec(),
+        }
     }
 
     /// Write symbol `sym` to the bit stream.
@@ -175,7 +178,13 @@ impl Decoder {
                 }
             }
         }
-        Ok(Self { max_len: max, first_code, count, offset, symbols })
+        Ok(Self {
+            max_len: max,
+            first_code,
+            count,
+            offset,
+            symbols,
+        })
     }
 
     /// Decode one symbol.

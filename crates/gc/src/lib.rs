@@ -78,6 +78,18 @@ impl Codec {
             Codec::Lzw => lzw::decompress(input),
         }
     }
+
+    /// Decompress `input` into a caller-owned buffer (cleared, then
+    /// refilled), reusing its allocation across calls. This is the staging
+    /// entry point of the workspace execution API: repeated decompression
+    /// of same-sized mini-batches allocates nothing in steady state.
+    pub fn decompress_into(self, input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+        match self {
+            Codec::FastLz => fastlz::decompress_into(input, out),
+            Codec::Deflate => deflate::decompress_into(input, out),
+            Codec::Lzw => lzw::decompress_into(input, out),
+        }
+    }
 }
 
 #[cfg(test)]

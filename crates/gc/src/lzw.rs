@@ -47,6 +47,15 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress an LZW stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared, then refilled),
+/// reusing its allocation across calls.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    out.clear();
     if input.len() < 8 {
         return Err(GcError::Corrupt("missing LZW header"));
     }
@@ -56,10 +65,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
         return Err(GcError::Corrupt("odd LZW body length"));
     }
     // Cap the pre-allocation: `expected_len` comes from an untrusted header.
-    let mut out: Vec<u8> = Vec::with_capacity(expected_len.min(16 << 20));
+    out.reserve(expected_len.min(16 << 20));
     if body.is_empty() {
         return if expected_len == 0 {
-            Ok(out)
+            Ok(())
         } else {
             Err(GcError::Corrupt("truncated LZW stream"))
         };
@@ -70,15 +79,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     let mut last: Vec<u8> = (0..=255).collect();
     let mut first_byte: Vec<u8> = (0..=255).collect();
 
-    let read_code =
-        |i: usize| -> u32 { u16::from_le_bytes([body[2 * i], body[2 * i + 1]]) as u32 };
+    let read_code = |i: usize| -> u32 { u16::from_le_bytes([body[2 * i], body[2 * i + 1]]) as u32 };
     let n_codes = body.len() / 2;
 
-    let emit = |out: &mut Vec<u8>,
-                parent: &[u32],
-                last: &[u8],
-                code: u32|
-     -> Result<(), GcError> {
+    let emit = |out: &mut Vec<u8>, parent: &[u32], last: &[u8], code: u32| -> Result<(), GcError> {
         // Materialize the sequence for `code` by backtracking.
         let start = out.len();
         let mut cur = code;
@@ -97,7 +101,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     if prev >= 256 {
         return Err(GcError::Corrupt("first LZW code must be a literal"));
     }
-    emit(&mut out, &parent, &last, prev)?;
+    emit(out, &parent, &last, prev)?;
 
     for i in 1..n_codes {
         let code = read_code(i);
@@ -111,9 +115,9 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
             parent.push(prev);
             last.push(fb);
             first_byte.push(first_byte[prev as usize]);
-            emit(&mut out, &parent, &last, code)?;
+            emit(out, &parent, &last, code)?;
         } else {
-            emit(&mut out, &parent, &last, code)?;
+            emit(out, &parent, &last, code)?;
             parent.push(prev);
             last.push(first_byte[code as usize]);
             first_byte.push(first_byte[prev as usize]);
@@ -132,7 +136,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
     if out.len() != expected_len {
         return Err(GcError::Corrupt("LZW output length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -161,7 +165,12 @@ mod tests {
 
     #[test]
     fn repetitive_text_compresses() {
-        let data: Vec<u8> = b"the quick brown fox ".iter().cycle().take(10_000).copied().collect();
+        let data: Vec<u8> = b"the quick brown fox "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
         let c = compress(&data);
         assert!(c.len() < data.len() / 3, "{} vs {}", c.len(), data.len());
         assert_eq!(decompress(&c).unwrap(), data);

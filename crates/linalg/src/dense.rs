@@ -17,6 +17,14 @@ pub struct DenseMatrix {
     data: Vec<f64>,
 }
 
+impl Default for DenseMatrix {
+    /// An empty `0 × 0` matrix — the natural initial state of a reusable
+    /// output buffer for the `*_into` kernels.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl std::fmt::Debug for DenseMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
@@ -33,7 +41,11 @@ impl std::fmt::Debug for DenseMatrix {
 impl DenseMatrix {
     /// Create a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer. Panics if `data.len() != rows*cols`.
@@ -51,7 +63,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Matrix filled with uniform random values in `[lo, hi)`.
@@ -141,21 +157,45 @@ impl DenseMatrix {
         out
     }
 
+    /// Reshape this matrix to `rows × cols` with all elements zeroed,
+    /// reusing the existing allocation when it is large enough. This is the
+    /// primitive behind every caller-owned output buffer in the `*_into`
+    /// kernel family.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-owned matrix (reshaped as needed).
+    pub fn transpose_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Reference kernel: `A · v` (matrix times column vector).
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// `A · v` into a caller-owned buffer (resized as needed).
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        let mut out = vec![0.0; self.rows];
+        reset_vec(out, self.rows);
         for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
@@ -164,13 +204,19 @@ impl DenseMatrix {
             }
             *o = acc;
         }
-        out
     }
 
     /// Reference kernel: `v · A` (row vector times matrix).
     pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.vecmat_into(v, &mut out);
+        out
+    }
+
+    /// `v · A` into a caller-owned buffer (resized as needed).
+    pub fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows, "vecmat dimension mismatch");
-        let mut out = vec![0.0; self.cols];
+        reset_vec(out, self.cols);
         for (r, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
@@ -179,15 +225,21 @@ impl DenseMatrix {
                 *o += w * a;
             }
         }
-        out
     }
 
     /// Reference kernel: `A · M`.
     pub fn matmat(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmat_into(m, &mut out);
+        out
+    }
+
+    /// `A · M` into a caller-owned matrix (reshaped as needed).
+    pub fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(self.cols, m.rows, "matmat dimension mismatch");
-        let mut out = DenseMatrix::zeros(self.rows, m.cols);
+        out.reset(self.rows, m.cols);
         for r in 0..self.rows {
-            let arow = self.row(r);
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
             // i-k-j loop order keeps both inner accesses sequential.
             for (k, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
@@ -200,13 +252,19 @@ impl DenseMatrix {
                 }
             }
         }
-        out
     }
 
     /// Reference kernel: `M · A` where `self` is `A` (returns `M · A`).
     pub fn matmat_left(&self, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.matmat_left_into(m, &mut out);
+        out
+    }
+
+    /// `M · A` into a caller-owned matrix (reshaped as needed).
+    pub fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(m.cols, self.rows, "matmat_left dimension mismatch");
-        let mut out = DenseMatrix::zeros(m.rows, self.cols);
+        out.reset(m.rows, self.cols);
         for r in 0..m.rows {
             let mrow = m.row(r);
             for (k, &w) in mrow.iter().enumerate() {
@@ -220,7 +278,6 @@ impl DenseMatrix {
                 }
             }
         }
-        out
     }
 
     /// Element-wise scale by `c` (sparse-safe in the paper's terms).
@@ -233,14 +290,27 @@ impl DenseMatrix {
     /// Element-wise add `c` (sparse-unsafe).
     pub fn add_scalar(&self, c: f64) -> DenseMatrix {
         let data = self.data.iter().map(|v| v + c).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise sum with another matrix of identical shape.
     pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Max absolute element difference; used by tests as a tolerance metric.
@@ -261,10 +331,22 @@ impl DenseMatrix {
     }
 }
 
+/// Clear and zero-fill a caller-owned output vector to length `n`,
+/// reusing its allocation (the `Vec<f64>` counterpart of
+/// [`DenseMatrix::reset`]).
+#[inline]
+pub fn reset_vec(out: &mut Vec<f64>, n: usize) {
+    out.clear();
+    out.resize(n, 0.0);
+}
+
 /// Max absolute difference between two vectors (test helper).
 pub fn max_abs_diff_vec(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

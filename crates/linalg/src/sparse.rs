@@ -46,19 +46,32 @@ impl SparseRows {
         for r in 0..dense.rows() {
             for (c, &v) in dense.row(r).iter().enumerate() {
                 if v != 0.0 {
-                    pairs.push(ColVal { col: c as u32, val: v });
+                    pairs.push(ColVal {
+                        col: c as u32,
+                        val: v,
+                    });
                 }
             }
             offsets.push(pairs.len());
         }
-        Self { rows: dense.rows(), cols: dense.cols(), pairs, offsets }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            pairs,
+            offsets,
+        }
     }
 
     /// Build directly from per-row pair lists (used by tests and decoders).
     pub fn from_parts(rows: usize, cols: usize, pairs: Vec<ColVal>, offsets: Vec<usize>) -> Self {
         assert_eq!(offsets.len(), rows + 1);
         assert_eq!(*offsets.last().unwrap(), pairs.len());
-        Self { rows, cols, pairs, offsets }
+        Self {
+            rows,
+            cols,
+            pairs,
+            offsets,
+        }
     }
 
     /// Number of rows.
@@ -100,18 +113,31 @@ impl SparseRows {
     /// Decode back to dense (the inverse of [`SparseRows::encode`]).
     pub fn decode(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decode into a caller-owned matrix (reshaped as needed).
+    pub fn decode_into(&self, out: &mut DenseMatrix) {
+        out.reset(self.rows, self.cols);
         for r in 0..self.rows {
             for p in self.row(r) {
                 out.set(r, p.col as usize, p.val);
             }
         }
-        out
     }
 
     /// Reference CSR `A·v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// CSR `A·v` into a caller-owned buffer.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols);
-        let mut out = vec![0.0; self.rows];
+        crate::dense::reset_vec(out, self.rows);
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for p in self.row(r) {
@@ -119,13 +145,19 @@ impl SparseRows {
             }
             *o = acc;
         }
-        out
     }
 
     /// Reference CSR `v·A`.
     pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.vecmat_into(v, &mut out);
+        out
+    }
+
+    /// CSR `v·A` into a caller-owned buffer.
+    pub fn vecmat_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows);
-        let mut out = vec![0.0; self.cols];
+        crate::dense::reset_vec(out, self.cols);
         for (r, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
@@ -134,7 +166,38 @@ impl SparseRows {
                 out[p.col as usize] += w * p.val;
             }
         }
-        out
+    }
+
+    /// CSR `A·M` into a caller-owned matrix (shared by every format that
+    /// wraps sparse rows: CSR and the TOC_SPARSE ablation).
+    pub fn matmat_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(self.rows, m.cols());
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for p in self.row(r) {
+                let mrow = m.row(p.col as usize);
+                for (o, &b) in orow.iter_mut().zip(mrow) {
+                    *o += p.val * b;
+                }
+            }
+        }
+    }
+
+    /// CSR `M·A` into a caller-owned matrix.
+    pub fn matmat_left_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) {
+        out.reset(m.rows(), self.cols);
+        for q in 0..m.rows() {
+            let mrow = m.row(q);
+            let orow = out.row_mut(q);
+            for (r, &w) in mrow.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                for p in self.row(r) {
+                    orow[p.col as usize] += w * p.val;
+                }
+            }
+        }
     }
 }
 

@@ -7,11 +7,8 @@ use toc_linalg::{DenseMatrix, SparseRows};
 
 fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = DenseMatrix> {
     (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
-        prop::collection::vec(
-            prop_oneof![3 => Just(0.0f64), 2 => -50.0f64..50.0],
-            r * c,
-        )
-        .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+        prop::collection::vec(prop_oneof![3 => Just(0.0f64), 2 => -50.0f64..50.0], r * c)
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
     })
 }
 

@@ -19,7 +19,10 @@ impl ImageShape {
     /// Number of output positions for a `kh × kw` kernel at `stride`.
     pub fn out_dims(&self, kh: usize, kw: usize, stride: usize) -> (usize, usize) {
         assert!(kh <= self.height && kw <= self.width && stride >= 1);
-        ((self.height - kh) / stride + 1, (self.width - kw) / stride + 1)
+        (
+            (self.height - kh) / stride + 1,
+            (self.width - kw) / stride + 1,
+        )
     }
 }
 
@@ -32,7 +35,11 @@ pub fn im2col(
     kw: usize,
     stride: usize,
 ) -> DenseMatrix {
-    assert_eq!(images.cols(), shape.height * shape.width, "image shape mismatch");
+    assert_eq!(
+        images.cols(),
+        shape.height * shape.width,
+        "image shape mismatch"
+    );
     let (oh, ow) = shape.out_dims(kh, kw, stride);
     let mut out = DenseMatrix::zeros(images.rows() * oh * ow, kh * kw);
     let mut orow = 0usize;
@@ -110,14 +117,20 @@ mod tests {
 
     #[test]
     fn out_dims() {
-        let s = ImageShape { height: 8, width: 10 };
+        let s = ImageShape {
+            height: 8,
+            width: 10,
+        };
         assert_eq!(s.out_dims(3, 3, 1), (6, 8));
         assert_eq!(s.out_dims(2, 2, 2), (4, 5));
     }
 
     #[test]
     fn im2col_matmul_equals_direct_convolution() {
-        let shape = ImageShape { height: 9, width: 9 };
+        let shape = ImageShape {
+            height: 9,
+            width: 9,
+        };
         let images = toy_images(4, shape);
         let kernels = DenseMatrix::from_vec(
             9,
@@ -132,7 +145,10 @@ mod tests {
 
     #[test]
     fn convolution_runs_on_compressed_batch() {
-        let shape = ImageShape { height: 12, width: 12 };
+        let shape = ImageShape {
+            height: 12,
+            width: 12,
+        };
         let images = toy_images(6, shape);
         let kernels =
             DenseMatrix::from_vec(9, 3, (0..27).map(|i| ((i % 4) as f64) - 1.5).collect());
@@ -146,12 +162,14 @@ mod tests {
     #[test]
     fn replication_raises_toc_ratio() {
         // §6: the replicated matrix compresses better than the raw images.
-        let shape = ImageShape { height: 16, width: 16 };
+        let shape = ImageShape {
+            height: 16,
+            width: 16,
+        };
         let images = toy_images(8, shape);
         let cols = im2col(&images, shape, 4, 4, 1);
-        let ratio = |m: &DenseMatrix| {
-            m.den_size_bytes() as f64 / Scheme::Toc.encode(m).size_bytes() as f64
-        };
+        let ratio =
+            |m: &DenseMatrix| m.den_size_bytes() as f64 / Scheme::Toc.encode(m).size_bytes() as f64;
         assert!(
             ratio(&cols) > ratio(&images),
             "im2col ratio {} vs raw {}",

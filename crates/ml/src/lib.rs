@@ -18,10 +18,12 @@ pub mod losses;
 pub mod mgd;
 pub mod models;
 pub mod parallel;
+pub mod workspace;
 
 pub use losses::LossKind;
 pub use mgd::{BatchProvider, MemoryProvider, MgdConfig, ModelSpec, TrainReport, Trainer};
 pub use models::{LinearModel, NeuralNet, OneVsRest};
+pub use workspace::ExecWorkspace;
 
 // Re-export for downstream convenience: `models::LossKind` is used in
 // `ModelSpec`.

@@ -7,6 +7,7 @@
 
 use crate::losses::LossKind;
 use crate::models::{LinearModel, NeuralNet, OneVsRest};
+use crate::workspace::ExecWorkspace;
 use std::time::{Duration, Instant};
 use toc_formats::AnyBatch;
 use toc_linalg::DenseMatrix;
@@ -82,12 +83,23 @@ impl TrainedModel {
 
 /// Build the NN target matrix from provider labels.
 pub fn targets_for_nn(labels: &[f64], outputs: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::default();
+    targets_for_nn_into(labels, outputs, &mut out);
+    out
+}
+
+/// [`targets_for_nn`] into a caller-owned matrix (reshaped as needed).
+pub fn targets_for_nn_into(labels: &[f64], outputs: usize, out: &mut DenseMatrix) {
+    out.reset(labels.len(), outputs);
     if outputs == 1 {
         // ±1 -> {0, 1} probability of the positive class.
-        DenseMatrix::from_vec(labels.len(), 1, labels.iter().map(|&y| (y + 1.0) / 2.0).collect())
+        for (o, &y) in out.data_mut().iter_mut().zip(labels) {
+            *o = (y + 1.0) / 2.0;
+        }
     } else {
-        let idx: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
-        NeuralNet::one_hot(&idx, outputs)
+        for (r, &l) in labels.iter().enumerate() {
+            out.set(r, l as usize, 1.0);
+        }
     }
 }
 
@@ -112,7 +124,13 @@ pub struct MgdConfig {
 
 impl Default for MgdConfig {
     fn default() -> Self {
-        Self { epochs: 10, lr: 0.1, seed: 42, record_curve: false, shuffle_batches: false }
+        Self {
+            epochs: 10,
+            lr: 0.1,
+            seed: 42,
+            record_curve: false,
+            shuffle_batches: false,
+        }
     }
 }
 
@@ -166,14 +184,20 @@ impl Trainer {
         let mut curve = Vec::new();
         let mut train_time = Duration::ZERO;
         let mut order: Vec<usize> = (0..data.num_batches()).collect();
+        // One workspace for the whole run: after the first epoch warms the
+        // buffers up, the steady-state gradient path allocates nothing.
+        let mut ws = ExecWorkspace::new();
         for epoch in 0..self.config.epochs {
             if self.config.shuffle_batches {
-                permute(&mut order, self.config.seed ^ (epoch as u64).wrapping_mul(0x9E37));
+                permute(
+                    &mut order,
+                    self.config.seed ^ (epoch as u64).wrapping_mul(0x9E37),
+                );
             }
             let t0 = Instant::now();
             for &i in &order {
                 data.visit(i, &mut |batch, labels| {
-                    step(&mut model, batch, labels, self.config.lr);
+                    step_ws(&mut model, batch, labels, self.config.lr, &mut ws);
                 });
             }
             train_time += t0.elapsed();
@@ -187,7 +211,11 @@ impl Trainer {
                 }
             }
         }
-        TrainReport { model, train_time, curve }
+        TrainReport {
+            model,
+            train_time,
+            curve,
+        }
     }
 }
 
@@ -211,15 +239,34 @@ fn permute(order: &mut [usize], seed: u64) {
 
 /// Apply one mini-batch update to any model family.
 pub fn step(model: &mut TrainedModel, batch: &AnyBatch, labels: &[f64], lr: f64) {
+    step_ws(model, batch, labels, lr, &mut ExecWorkspace::new());
+}
+
+/// [`step`] with caller-owned scratch: label/target staging and every
+/// model-level buffer come from `ws`, so the per-batch gradient path is
+/// allocation-free in steady state.
+pub fn step_ws(
+    model: &mut TrainedModel,
+    batch: &AnyBatch,
+    labels: &[f64],
+    lr: f64,
+    ws: &mut ExecWorkspace,
+) {
     match model {
-        TrainedModel::Linear(m) => m.update_batch(batch, labels, lr),
+        TrainedModel::Linear(m) => m.update_batch_ws(batch, labels, lr, ws),
         TrainedModel::OneVsRest(m) => {
-            let idx: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
-            m.update_batch(batch, &idx, lr);
+            // Take the staging buffer out so `ws` can be lent onward.
+            let mut idx = std::mem::take(&mut ws.class_idx);
+            idx.clear();
+            idx.extend(labels.iter().map(|&l| l as usize));
+            m.update_batch_ws(batch, &idx, lr, ws);
+            ws.class_idx = idx;
         }
         TrainedModel::NeuralNet(nn) => {
-            let targets = targets_for_nn(labels, nn.outputs);
-            nn.update_batch(batch, &targets, lr);
+            let mut targets = std::mem::take(&mut ws.targets);
+            targets_for_nn_into(labels, nn.outputs, &mut targets);
+            nn.update_batch_ws(batch, &targets, lr, ws);
+            ws.targets = targets;
         }
     }
 }
@@ -246,8 +293,11 @@ mod tests {
             let mut f = 0.0;
             #[allow(clippy::needless_range_loop)] // c indexes x, truth in lockstep
             for c in 0..d {
-                let v =
-                    if rng.gen::<f64>() < 0.5 { (rng.gen_range(0..3) as f64) * 0.5 + 0.5 } else { 0.0 };
+                let v = if rng.gen::<f64>() < 0.5 {
+                    (rng.gen_range(0..3) as f64) * 0.5 + 0.5
+                } else {
+                    0.0
+                };
                 x.set(r, c, v);
                 f += v * truth[c];
             }
@@ -262,15 +312,25 @@ mod tests {
             start = end;
         }
         let full = scheme.encode(&x);
-        (MemoryProvider { batches, features: d }, full, y)
+        (
+            MemoryProvider {
+                batches,
+                features: d,
+            },
+            full,
+            y,
+        )
     }
 
     #[test]
     fn mgd_trains_logistic_regression() {
         let (provider, eval_b, eval_y) = make_provider(Scheme::Toc, 500, 12, 50, 3);
-        let trainer = Trainer::new(MgdConfig { epochs: 30, lr: 0.3, ..Default::default() });
-        let mut report =
-            trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 30,
+            lr: 0.3,
+            ..Default::default()
+        });
+        let mut report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
         let err = report.model.error_rate(&eval_b, &eval_y);
         assert!(err < 0.1, "error {err}");
     }
@@ -300,11 +360,20 @@ mod tests {
         // MGD is format-agnostic: same batches, different encodings, same
         // trained model (up to fp tolerance).
         let mut finals: Vec<Vec<f64>> = Vec::new();
-        for scheme in [Scheme::Den, Scheme::Toc, Scheme::Cvi, Scheme::Gzip, Scheme::Cla] {
+        for scheme in [
+            Scheme::Den,
+            Scheme::Toc,
+            Scheme::Cvi,
+            Scheme::Gzip,
+            Scheme::Cla,
+        ] {
             let (provider, _, _) = make_provider(scheme, 200, 8, 25, 7);
-            let trainer = Trainer::new(MgdConfig { epochs: 5, lr: 0.2, ..Default::default() });
-            let report =
-                trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
+            let trainer = Trainer::new(MgdConfig {
+                epochs: 5,
+                lr: 0.2,
+                ..Default::default()
+            });
+            let report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
             match report.model {
                 TrainedModel::Linear(m) => finals.push(m.w),
                 _ => unreachable!(),
@@ -320,9 +389,16 @@ mod tests {
     #[test]
     fn nn_trains_through_engine() {
         let (provider, eval_b, eval_y) = make_provider(Scheme::Toc, 300, 6, 30, 13);
-        let trainer = Trainer::new(MgdConfig { epochs: 60, lr: 0.5, ..Default::default() });
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 60,
+            lr: 0.5,
+            ..Default::default()
+        });
         let mut report = trainer.train(
-            &ModelSpec::NeuralNet { hidden: vec![16, 8], outputs: 1 },
+            &ModelSpec::NeuralNet {
+                hidden: vec![16, 8],
+                outputs: 1,
+            },
             &provider,
             None,
         );
@@ -333,7 +409,12 @@ mod tests {
     #[test]
     fn shuffled_batch_order_still_learns_and_is_deterministic() {
         let (provider, eval_b, eval_y) = make_provider(Scheme::Toc, 300, 8, 30, 23);
-        let config = MgdConfig { epochs: 10, lr: 0.3, shuffle_batches: true, ..Default::default() };
+        let config = MgdConfig {
+            epochs: 10,
+            lr: 0.3,
+            shuffle_batches: true,
+            ..Default::default()
+        };
         let run = |cfg: &MgdConfig| {
             let trainer = Trainer::new(cfg.clone());
             let report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
@@ -362,10 +443,12 @@ mod tests {
         // engine (§2.1.2: MGD covers the spectrum).
         for batch_rows in [1, 200] {
             let (provider, eval_b, eval_y) = make_provider(Scheme::Csr, 200, 6, batch_rows, 17);
-            let trainer =
-                Trainer::new(MgdConfig { epochs: 10, lr: 0.2, ..Default::default() });
-            let mut report =
-                trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
+            let trainer = Trainer::new(MgdConfig {
+                epochs: 10,
+                lr: 0.2,
+                ..Default::default()
+            });
+            let mut report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
             let err = report.model.error_rate(&eval_b, &eval_y);
             assert!(err < 0.25, "batch_rows={batch_rows} error {err}");
         }

@@ -10,9 +10,11 @@
 //! | Neural network | `A·M`, `M·A` |
 
 use crate::losses::{sigmoid, softmax_inplace, LossKind};
+use crate::workspace::ExecWorkspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use toc_formats::MatrixBatch;
+use toc_linalg::dense::reset_vec;
 use toc_linalg::DenseMatrix;
 
 /// Which core matrix operations a model invoked (used by the Table 1
@@ -39,22 +41,45 @@ pub struct LinearModel {
 impl LinearModel {
     /// Zero-initialized model for `d` features.
     pub fn new(d: usize, loss: LossKind) -> Self {
-        Self { w: vec![0.0; d], loss, trace: OpTrace::default() }
+        Self {
+            w: vec![0.0; d],
+            loss,
+            trace: OpTrace::default(),
+        }
     }
 
     /// One MGD step (Equation 2): `h ← h − λ (1/|B|) Σ ∂ℓ/∂h`, evaluated
     /// with one `A·v` and one `v·A` (Equation 3).
+    ///
+    /// Thin wrapper over [`Self::update_batch_ws`] with a throwaway
+    /// workspace; steady-state training should hold an [`ExecWorkspace`]
+    /// and call the `_ws` variant directly.
     pub fn update_batch(&mut self, batch: &dyn MatrixBatch, y: &[f64], lr: f64) {
+        self.update_batch_ws(batch, y, lr, &mut ExecWorkspace::new());
+    }
+
+    /// [`Self::update_batch`] with caller-owned scratch: the prediction,
+    /// coefficient and gradient buffers (plus the kernels' internal
+    /// staging) come from `ws`, so repeated steps allocate nothing.
+    pub fn update_batch_ws(
+        &mut self,
+        batch: &dyn MatrixBatch,
+        y: &[f64],
+        lr: f64,
+        ws: &mut ExecWorkspace,
+    ) {
         debug_assert_eq!(batch.rows(), y.len());
         debug_assert_eq!(batch.cols(), self.w.len());
-        let preds = batch.matvec(&self.w);
+        batch.matvec_into_ws(&self.w, &mut ws.pred, &mut ws.exec);
         self.trace.matvec += 1;
         let inv = 1.0 / y.len() as f64;
-        let g: Vec<f64> =
-            preds.iter().zip(y).map(|(&f, &yy)| self.loss.dloss(f, yy) * inv).collect();
-        let grad = batch.vecmat(&g);
+        reset_vec(&mut ws.coef, y.len());
+        for ((c, &f), &yy) in ws.coef.iter_mut().zip(&ws.pred).zip(y) {
+            *c = self.loss.dloss(f, yy) * inv;
+        }
+        batch.vecmat_into_ws(&ws.coef, &mut ws.grad, &mut ws.exec);
         self.trace.vecmat += 1;
-        for (w, d) in self.w.iter_mut().zip(&grad) {
+        for (w, d) in self.w.iter_mut().zip(&ws.grad) {
             *w -= lr * d;
         }
     }
@@ -67,7 +92,12 @@ impl LinearModel {
     /// Mean loss over a batch.
     pub fn mean_loss(&self, batch: &dyn MatrixBatch, y: &[f64]) -> f64 {
         let preds = batch.matvec(&self.w);
-        preds.iter().zip(y).map(|(&f, &yy)| self.loss.loss(f, yy)).sum::<f64>() / y.len() as f64
+        preds
+            .iter()
+            .zip(y)
+            .map(|(&f, &yy)| self.loss.loss(f, yy))
+            .sum::<f64>()
+            / y.len() as f64
     }
 
     /// Binary accuracy with ±1 labels (sign rule).
@@ -91,19 +121,37 @@ pub struct OneVsRest {
 
 impl OneVsRest {
     pub fn new(d: usize, classes: usize, loss: LossKind) -> Self {
-        Self { models: (0..classes).map(|_| LinearModel::new(d, loss)).collect() }
+        Self {
+            models: (0..classes).map(|_| LinearModel::new(d, loss)).collect(),
+        }
     }
 
     /// Update all per-class models on one batch. `labels[i]` is the class
     /// index of row `i`.
     pub fn update_batch(&mut self, batch: &dyn MatrixBatch, labels: &[usize], lr: f64) {
-        let mut y = vec![0.0; labels.len()];
+        self.update_batch_ws(batch, labels, lr, &mut ExecWorkspace::new());
+    }
+
+    /// [`Self::update_batch`] with caller-owned scratch (see
+    /// [`LinearModel::update_batch_ws`]).
+    pub fn update_batch_ws(
+        &mut self,
+        batch: &dyn MatrixBatch,
+        labels: &[usize],
+        lr: f64,
+        ws: &mut ExecWorkspace,
+    ) {
+        // Take the ±1 staging buffer out so `ws` can be lent to the
+        // per-class updates.
+        let mut y = std::mem::take(&mut ws.ovr_y);
+        reset_vec(&mut y, labels.len());
         for (k, model) in self.models.iter_mut().enumerate() {
             for (yy, &l) in y.iter_mut().zip(labels) {
                 *yy = if l == k { 1.0 } else { -1.0 };
             }
-            model.update_batch(batch, &y, lr);
+            model.update_batch_ws(batch, &y, lr, ws);
         }
+        ws.ovr_y = y;
     }
 
     /// Argmax prediction.
@@ -150,7 +198,7 @@ pub struct NeuralNet {
 /// Activations captured during a forward pass.
 pub struct Forward {
     /// Post-activation values per hidden layer.
-    hidden: Vec<DenseMatrix>,
+    pub hidden: Vec<DenseMatrix>,
     /// Output probabilities (`rows × outputs`).
     pub probs: DenseMatrix,
 }
@@ -170,11 +218,18 @@ impl NeuralNet {
             weights.push(DenseMatrix::from_vec(
                 fan_in,
                 fan_out,
-                (0..fan_in * fan_out).map(|_| rng.gen_range(-bound..bound)).collect(),
+                (0..fan_in * fan_out)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect(),
             ));
             biases.push(vec![0.0; fan_out]);
         }
-        Self { weights, biases, outputs, trace: OpTrace::default() }
+        Self {
+            weights,
+            biases,
+            outputs,
+            trace: OpTrace::default(),
+        }
     }
 
     fn add_bias_sigmoid(z: &mut DenseMatrix, b: &[f64]) {
@@ -186,22 +241,38 @@ impl NeuralNet {
     }
 
     /// Forward pass over a (compressed) batch.
+    ///
+    /// Thin wrapper over [`Self::forward_ws`] with a throwaway workspace;
+    /// the returned [`Forward`] owns its activations.
     pub fn forward(&mut self, batch: &dyn MatrixBatch) -> Forward {
+        let mut ws = ExecWorkspace::new();
+        self.forward_ws(batch, &mut ws);
         let n_layers = self.weights.len();
-        let mut hidden = Vec::with_capacity(n_layers - 1);
+        let probs = ws.acts[n_layers - 1].clone();
+        let hidden = ws.acts[..n_layers - 1].to_vec();
+        Forward { hidden, probs }
+    }
+
+    /// Forward pass into the workspace: after the call, `ws.acts[l]` holds
+    /// the post-activation values of layer `l` and `ws.acts[n_layers - 1]`
+    /// the output probabilities. No allocation in steady state.
+    pub fn forward_ws(&mut self, batch: &dyn MatrixBatch, ws: &mut ExecWorkspace) {
+        let n_layers = self.weights.len();
+        ws.ensure_layers(n_layers);
         // Input layer: A · W1 runs on the compressed representation.
-        let mut z = batch.matmat(&self.weights[0]);
+        batch.matmat_into_ws(&self.weights[0], &mut ws.acts[0], &mut ws.exec);
         self.trace.matmat += 1;
-        Self::add_bias_sigmoid(&mut z, &self.biases[0]);
-        hidden.push(z);
+        Self::add_bias_sigmoid(&mut ws.acts[0], &self.biases[0]);
         for l in 1..n_layers - 1 {
-            let mut z = hidden[l - 1].matmat(&self.weights[l]);
-            Self::add_bias_sigmoid(&mut z, &self.biases[l]);
-            hidden.push(z);
+            let (prev, rest) = ws.acts.split_at_mut(l);
+            prev[l - 1].matmat_into(&self.weights[l], &mut rest[0]);
+            Self::add_bias_sigmoid(&mut rest[0], &self.biases[l]);
         }
         // Output layer.
-        let last_hidden = hidden.last().expect("at least one hidden layer");
-        let mut out = last_hidden.matmat(&self.weights[n_layers - 1]);
+        let (prev, rest) = ws.acts.split_at_mut(n_layers - 1);
+        let last_hidden = &prev[n_layers - 2];
+        let out = &mut rest[0];
+        last_hidden.matmat_into(&self.weights[n_layers - 1], out);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (v, &bb) in row.iter_mut().zip(&self.biases[n_layers - 1]) {
@@ -213,72 +284,87 @@ impl NeuralNet {
                 softmax_inplace(row);
             }
         }
-        Forward { hidden, probs: out }
     }
 
     /// One MGD step with cross-entropy loss. For binary targets
     /// (`outputs == 1`) labels are 0/1 probabilities of the positive class;
     /// for multiclass they are class indexes encoded as one-hot in
     /// `targets` (`rows × outputs`).
+    ///
+    /// Thin wrapper over [`Self::update_batch_ws`] with a throwaway
+    /// workspace.
     pub fn update_batch(&mut self, batch: &dyn MatrixBatch, targets: &DenseMatrix, lr: f64) {
+        self.update_batch_ws(batch, targets, lr, &mut ExecWorkspace::new());
+    }
+
+    /// [`Self::update_batch`] with caller-owned scratch: activations,
+    /// deltas, gradients and transposition staging all live in `ws`, so a
+    /// steady-state epoch performs zero per-batch heap allocation.
+    pub fn update_batch_ws(
+        &mut self,
+        batch: &dyn MatrixBatch,
+        targets: &DenseMatrix,
+        lr: f64,
+        ws: &mut ExecWorkspace,
+    ) {
         let n = batch.rows();
         debug_assert_eq!(targets.rows(), n);
         debug_assert_eq!(targets.cols(), self.outputs);
-        let fwd = self.forward(batch);
+        self.forward_ws(batch, ws);
         let n_layers = self.weights.len();
         let inv = 1.0 / n as f64;
 
         // Output delta: (p - t) / n for sigmoid+logloss and softmax+CE.
-        let mut delta = DenseMatrix::zeros(n, self.outputs);
-        for r in 0..n {
-            for c in 0..self.outputs {
-                delta.set(r, c, (fwd.probs.get(r, c) - targets.get(r, c)) * inv);
+        ws.delta.reset(n, self.outputs);
+        {
+            let probs = &ws.acts[n_layers - 1];
+            for r in 0..n {
+                for c in 0..self.outputs {
+                    ws.delta
+                        .set(r, c, (probs.get(r, c) - targets.get(r, c)) * inv);
+                }
             }
         }
 
-        // Walk layers backwards, accumulating weight/bias gradients.
-        let mut grads_w: Vec<DenseMatrix> = Vec::with_capacity(n_layers);
-        let mut grads_b: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+        // Walk layers backwards, accumulating weight/bias gradients into
+        // the workspace; apply them only after the walk (gradients must be
+        // taken at the pre-step weights).
         for l in (0..n_layers).rev() {
             // Gradient for W_l = activationsᵀ · delta.
-            let grad_w = if l == 0 {
+            if l == 0 {
                 // δ1ᵀ · A on the compressed batch (M·A), then transpose.
-                let g = batch.matmat_left(&delta.transpose());
+                ws.delta.transpose_into(&mut ws.trans);
+                batch.matmat_left_into_ws(&ws.trans, &mut ws.trans2, &mut ws.exec);
                 self.trace.matmat_left += 1;
-                g.transpose()
+                ws.trans2.transpose_into(&mut ws.grads_w[l]);
             } else {
-                fwd.hidden[l - 1].transpose().matmat(&delta)
-            };
-            let mut grad_b = vec![0.0; delta.cols()];
-            for r in 0..delta.rows() {
-                for (gb, &d) in grad_b.iter_mut().zip(delta.row(r)) {
+                ws.acts[l - 1].transpose_into(&mut ws.trans);
+                ws.trans.matmat_into(&ws.delta, &mut ws.grads_w[l]);
+            }
+            let grad_b = &mut ws.grads_b[l];
+            reset_vec(grad_b, ws.delta.cols());
+            for r in 0..ws.delta.rows() {
+                for (gb, &d) in grad_b.iter_mut().zip(ws.delta.row(r)) {
                     *gb += d;
                 }
             }
-            grads_w.push(grad_w);
-            grads_b.push(grad_b);
             if l > 0 {
                 // delta_{l} = (delta_{l+1} · W_lᵀ) ∘ σ'(hidden_{l-1}).
-                let back = delta.matmat(&self.weights[l].transpose());
-                let act = &fwd.hidden[l - 1];
-                let mut nd = DenseMatrix::zeros(n, act.cols());
-                for r in 0..n {
-                    for c in 0..act.cols() {
-                        let a = act.get(r, c);
-                        nd.set(r, c, back.get(r, c) * a * (1.0 - a));
-                    }
+                self.weights[l].transpose_into(&mut ws.trans);
+                ws.delta.matmat_into(&ws.trans, &mut ws.delta2);
+                let act = &ws.acts[l - 1];
+                for (d, &a) in ws.delta2.data_mut().iter_mut().zip(act.data()) {
+                    *d *= a * (1.0 - a);
                 }
-                delta = nd;
+                std::mem::swap(&mut ws.delta, &mut ws.delta2);
             }
         }
-        grads_w.reverse();
-        grads_b.reverse();
         for l in 0..n_layers {
             let w = self.weights[l].data_mut();
-            for (wv, gv) in w.iter_mut().zip(grads_w[l].data()) {
+            for (wv, gv) in w.iter_mut().zip(ws.grads_w[l].data()) {
                 *wv -= lr * gv;
             }
-            for (bv, gv) in self.biases[l].iter_mut().zip(&grads_b[l]) {
+            for (bv, gv) in self.biases[l].iter_mut().zip(&ws.grads_b[l]) {
                 *bv -= lr * gv;
             }
         }
@@ -357,7 +443,11 @@ mod tests {
             #[allow(clippy::needless_range_loop)] // c indexes x, truth in lockstep
             for c in 0..d {
                 // Small value pool keeps TOC happy.
-                let v = if rng.gen::<f64>() < 0.4 { (rng.gen_range(0..4) as f64) * 0.5 } else { 0.0 };
+                let v = if rng.gen::<f64>() < 0.4 {
+                    (rng.gen_range(0..4) as f64) * 0.5
+                } else {
+                    0.0
+                };
                 x.set(r, c, v);
                 f += v * truth[c];
             }
@@ -378,8 +468,7 @@ mod tests {
             // Analytic gradient via one update with lr=1.
             let mut stepped = m.clone();
             stepped.update_batch(&batch, &y, 1.0);
-            let analytic: Vec<f64> =
-                m.w.iter().zip(&stepped.w).map(|(a, b)| a - b).collect();
+            let analytic: Vec<f64> = m.w.iter().zip(&stepped.w).map(|(a, b)| a - b).collect();
             // Numeric gradient of the mean loss.
             let eps = 1e-6;
             #[allow(clippy::needless_range_loop)] // k indexes weights and analytic
@@ -435,7 +524,15 @@ mod tests {
         let batch = Scheme::Den.encode(&x);
         let mut lm = LinearModel::new(5, LossKind::Logistic);
         lm.update_batch(&batch, &y, 0.1);
-        assert_eq!(lm.trace, OpTrace { matvec: 1, vecmat: 1, matmat: 0, matmat_left: 0 });
+        assert_eq!(
+            lm.trace,
+            OpTrace {
+                matvec: 1,
+                vecmat: 1,
+                matmat: 0,
+                matmat_left: 0
+            }
+        );
 
         let mut nn = NeuralNet::new(5, &[8, 4], 1, 0);
         let targets = DenseMatrix::from_vec(20, 1, y.iter().map(|&v| (v + 1.0) / 2.0).collect());
@@ -449,8 +546,7 @@ mod tests {
     fn nn_gradient_matches_numeric() {
         let (x, y) = separable_data(10, 4, 5);
         let batch = Scheme::Den.encode(&x);
-        let targets =
-            DenseMatrix::from_vec(10, 1, y.iter().map(|&v| (v + 1.0) / 2.0).collect());
+        let targets = DenseMatrix::from_vec(10, 1, y.iter().map(|&v| (v + 1.0) / 2.0).collect());
         let base = NeuralNet::new(4, &[5], 1, 42);
         // Analytic via one lr=1 step.
         let mut stepped = base.clone();
@@ -476,8 +572,7 @@ mod tests {
     #[test]
     fn nn_learns_binary_problem() {
         let (x, y) = separable_data(300, 8, 21);
-        let targets =
-            DenseMatrix::from_vec(300, 1, y.iter().map(|&v| (v + 1.0) / 2.0).collect());
+        let targets = DenseMatrix::from_vec(300, 1, y.iter().map(|&v| (v + 1.0) / 2.0).collect());
         let batch = Scheme::Toc.encode(&x);
         let mut nn = NeuralNet::new(8, &[16, 8], 1, 2);
         for _ in 0..400 {

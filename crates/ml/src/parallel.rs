@@ -21,8 +21,7 @@ pub fn train_nn_parallel(
         let t0 = Instant::now();
         let mut next = 0usize;
         while next < data.num_batches() {
-            let round: Vec<usize> =
-                (next..(next + workers).min(data.num_batches())).collect();
+            let round: Vec<usize> = (next..(next + workers).min(data.num_batches())).collect();
             next += round.len();
 
             // Each worker computes the weight delta its mini-batch induces
@@ -68,7 +67,10 @@ pub fn train_nn_parallel(
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             });
 
             // Apply the averaged deltas.
@@ -110,7 +112,11 @@ mod tests {
             let mut f = 0.0;
             #[allow(clippy::needless_range_loop)] // c indexes x, truth in lockstep
             for c in 0..d {
-                let v = if rng.gen::<f64>() < 0.5 { (rng.gen_range(1..4) as f64) * 0.5 } else { 0.0 };
+                let v = if rng.gen::<f64>() < 0.5 {
+                    (rng.gen_range(1..4) as f64) * 0.5
+                } else {
+                    0.0
+                };
                 x.set(r, c, v);
                 f += v * truth[c];
             }
@@ -123,14 +129,25 @@ mod tests {
             batches.push((Scheme::Toc.encode(&x.slice_rows(s, e)), y[s..e].to_vec()));
             s = e;
         }
-        (MemoryProvider { batches, features: d }, x, y)
+        (
+            MemoryProvider {
+                batches,
+                features: d,
+            },
+            x,
+            y,
+        )
     }
 
     #[test]
     fn parallel_training_learns() {
         let (p, x, y) = provider(400, 8, 40);
         let mut nn = NeuralNet::new(8, &[16], 1, 4);
-        let config = MgdConfig { epochs: 60, lr: 0.6, ..Default::default() };
+        let config = MgdConfig {
+            epochs: 60,
+            lr: 0.6,
+            ..Default::default()
+        };
         train_nn_parallel(&mut nn, &p, &config, 4);
         let eval = Scheme::Den.encode(&x);
         let targets = targets_for_nn(&y, 1);
@@ -142,7 +159,11 @@ mod tests {
     fn single_worker_matches_sequential() {
         // workers = 1 must equal plain sequential MGD exactly.
         let (p, _, _) = provider(100, 6, 25);
-        let config = MgdConfig { epochs: 3, lr: 0.4, ..Default::default() };
+        let config = MgdConfig {
+            epochs: 3,
+            lr: 0.4,
+            ..Default::default()
+        };
         let mut a = NeuralNet::new(6, &[8], 1, 7);
         let mut b = a.clone();
         train_nn_parallel(&mut a, &p, &config, 1);

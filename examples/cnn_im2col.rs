@@ -17,7 +17,10 @@ use toc_repro::prelude::*;
 
 fn main() {
     // A batch of 16 synthetic 24x24 "images" with blocky 3-level structure.
-    let shape = ImageShape { height: 24, width: 24 };
+    let shape = ImageShape {
+        height: 24,
+        width: 24,
+    };
     let n_images = 16;
     let mut images = DenseMatrix::zeros(n_images, shape.height * shape.width);
     for img in 0..n_images {

@@ -24,8 +24,13 @@ fn main() {
             ds.x.density(),
             den_bytes / 1024
         );
-        println!("{:>8} {:>10} {:>8} {:>12}", "scheme", "bytes", "ratio", "A·v");
-        let v: Vec<f64> = (0..ds.x.cols()).map(|i| (i % 5) as f64 * 0.5 - 1.0).collect();
+        println!(
+            "{:>8} {:>10} {:>8} {:>12}",
+            "scheme", "bytes", "ratio", "A·v"
+        );
+        let v: Vec<f64> = (0..ds.x.cols())
+            .map(|i| (i % 5) as f64 * 0.5 - 1.0)
+            .collect();
         for scheme in Scheme::PAPER_SET {
             let batch = scheme.encode(&ds.x);
             // Warm up, then time a handful of matvecs.

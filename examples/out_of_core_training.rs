@@ -10,10 +10,10 @@
 //! cargo run --release --example out_of_core_training
 //! ```
 
-use toc_repro::prelude::*;
 use toc_repro::data::store::StoreConfig;
 use toc_repro::data::synth::generate_preset;
 use toc_repro::ml::mgd::ModelSpec;
+use toc_repro::prelude::*;
 
 fn main() {
     let rows = 6000;
@@ -27,16 +27,24 @@ fn main() {
 
     // Memory budget: 2x the TOC footprint — roomy for TOC, far too small
     // for DEN.
-    let toc_bytes: usize =
-        ds.minibatches(250).iter().map(|(x, _)| Scheme::Toc.encode(x).size_bytes()).sum();
+    let toc_bytes: usize = ds
+        .minibatches(250)
+        .iter()
+        .map(|(x, _)| Scheme::Toc.encode(x).size_bytes())
+        .sum();
     let budget = toc_bytes * 2;
     println!("memory budget: {} KB\n", budget / 1024);
 
     let eval = Scheme::Den.encode(&ds.x);
     for scheme in [Scheme::Den, Scheme::Csr, Scheme::Toc] {
-        let store = MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 250, budget))
-            .expect("store build");
-        let trainer = Trainer::new(MgdConfig { epochs: 5, lr: 0.05, ..Default::default() });
+        let store =
+            MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 250, budget))
+                .expect("store build");
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 5,
+            lr: 0.05,
+            ..Default::default()
+        });
         let mut report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &store, None);
         let err = report.model.error_rate(&eval, &ds.labels);
         println!(

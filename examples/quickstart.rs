@@ -21,7 +21,12 @@ fn main() {
     // --- Compress -----------------------------------------------------
     let toc = TocBatch::encode(&batch);
     let stats = toc.stats();
-    println!("encoded {}x{} matrix into {} bytes", batch.rows(), batch.cols(), toc.size_bytes());
+    println!(
+        "encoded {}x{} matrix into {} bytes",
+        batch.rows(),
+        batch.cols(),
+        toc.size_bytes()
+    );
     println!(
         "  first layer |I| = {}, unique values = {}, codes |D| = {}, tree nodes = {}",
         stats.first_layer_len, stats.unique_values, stats.codes_len, stats.n_nodes

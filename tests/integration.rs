@@ -30,7 +30,11 @@ fn training_parity_across_all_schemes_through_the_store() {
             .zip(&got)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_diff < 1e-8, "{}: max weight diff {max_diff}", scheme.name());
+        assert!(
+            max_diff < 1e-8,
+            "{}: max weight diff {max_diff}",
+            scheme.name()
+        );
     }
 }
 
@@ -44,14 +48,14 @@ fn spilled_training_is_bit_identical_to_resident_training() {
     assert_eq!(resident, spilled);
 }
 
-fn train_weights(
-    ds: &toc_repro::data::synth::Dataset,
-    scheme: Scheme,
-    budget: usize,
-) -> Vec<f64> {
+fn train_weights(ds: &toc_repro::data::synth::Dataset, scheme: Scheme, budget: usize) -> Vec<f64> {
     let store = MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 100, budget))
         .expect("store");
-    let trainer = Trainer::new(MgdConfig { epochs: 3, lr: 0.1, ..Default::default() });
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 3,
+        lr: 0.1,
+        ..Default::default()
+    });
     let report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &store, None);
     match report.model {
         TrainedModel::Linear(m) => m.w,
@@ -67,9 +71,8 @@ fn store_roundtrip_is_bit_exact_for_all_presets() {
         let rows = 300;
         let ds = generate_preset(preset, rows, 17);
         for scheme in [Scheme::Toc, Scheme::Gzip, Scheme::Cla] {
-            let store =
-                MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 100, 0))
-                    .expect("store");
+            let store = MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, 100, 0))
+                .expect("store");
             for i in 0..store.num_batches() {
                 store.visit(i, &mut |b, _| {
                     let want = ds.x.slice_rows(i * 100, ((i + 1) * 100).min(rows));
@@ -85,11 +88,21 @@ fn store_roundtrip_is_bit_exact_for_all_presets() {
 #[test]
 fn nn_multiclass_end_to_end() {
     let ds = generate_preset(DatasetPreset::MnistLike, 600, 5);
-    let store =
-        MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(Scheme::Toc, 100, usize::MAX))
-            .expect("store");
-    let trainer = Trainer::new(MgdConfig { epochs: 12, lr: 0.3, ..Default::default() });
-    let spec = ModelSpec::NeuralNet { hidden: vec![32], outputs: ds.classes };
+    let store = MiniBatchStore::build(
+        &ds.x,
+        &ds.labels,
+        &StoreConfig::new(Scheme::Toc, 100, usize::MAX),
+    )
+    .expect("store");
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 12,
+        lr: 0.3,
+        ..Default::default()
+    });
+    let spec = ModelSpec::NeuralNet {
+        hidden: vec![32],
+        outputs: ds.classes,
+    };
     let mut report = trainer.train(&spec, &store, None);
     let eval = Scheme::Den.encode(&ds.x);
     let err = report.model.error_rate(&eval, &ds.labels);
@@ -102,9 +115,12 @@ fn nn_multiclass_end_to_end() {
 #[test]
 fn error_curve_improves() {
     let ds = generate_preset(DatasetPreset::ImagenetLike, 500, 21);
-    let store =
-        MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(Scheme::Toc, 125, usize::MAX))
-            .expect("store");
+    let store = MiniBatchStore::build(
+        &ds.x,
+        &ds.labels,
+        &StoreConfig::new(Scheme::Toc, 125, usize::MAX),
+    )
+    .expect("store");
     let trainer = Trainer::new(MgdConfig {
         epochs: 10,
         lr: 0.05,
@@ -121,7 +137,10 @@ fn error_curve_improves() {
     let first = report.curve[0].error_rate;
     let last = report.curve[9].error_rate;
     assert!(last <= first, "curve went {first} -> {last}");
-    assert!(report.curve.windows(2).all(|w| w[1].elapsed >= w[0].elapsed));
+    assert!(report
+        .curve
+        .windows(2)
+        .all(|w| w[1].elapsed >= w[0].elapsed));
 }
 
 /// Umbrella prelude exposes the advertised API surface.
