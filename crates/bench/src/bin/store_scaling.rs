@@ -1,0 +1,95 @@
+//! Out-of-core read-path scaling: the mutexed-era single-file store vs.
+//! the sharded store vs. sharded + prefetch, across schemes.
+//!
+//! Everything spills (budget 0) and reads go through the simulated
+//! bandwidth model, so the numbers isolate how the three read paths
+//! behave when IO is the wall: the single-file store serializes readers
+//! on one device clock, sharding gives each of N devices its own clock
+//! (aggregate bandwidth scales with N), and prefetch additionally
+//! overlaps the decode+IO of upcoming batches with the visitor's work.
+//!
+//! ```text
+//! cargo run -p toc-bench --release --bin store_scaling -- \
+//!     --rows=3000 --threads=8 --mbps=400 --shards=4 --prefetch=8
+//! ```
+
+use toc_bench::{arg, fmt_duration, sweep_store, Table};
+use toc_data::store::{MiniBatchStore, ShardedSpillStore, StoreConfig};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+
+fn main() {
+    let rows: usize = arg("rows", 3000);
+    let batch_rows: usize = arg("batch-rows", 250);
+    let threads: usize = arg("threads", 8);
+    let mbps: f64 = arg("mbps", 400.0);
+    let shards: usize = arg("shards", 0); // 0 = available parallelism
+    let prefetch: usize = arg("prefetch", 8);
+    let ds = generate_preset(DatasetPreset::CensusLike, rows, 1);
+    println!(
+        "store_scaling: {rows} rows x {} cols, batch_rows={batch_rows}, budget=0 (all spilled), \
+         disk={mbps} MB/s, {threads} visitor threads",
+        ds.x.cols()
+    );
+
+    let mut table = Table::new(vec![
+        "scheme", "store", "spill MB", "1T sweep", "nT sweep", "speedup", "pf hit%",
+    ]);
+    for scheme in [Scheme::Den, Scheme::Csr, Scheme::Gzip, Scheme::Toc] {
+        let base = StoreConfig::new(scheme, batch_rows, 0).with_disk_mbps(mbps);
+
+        // (a) single-file store: one device clock for every reader.
+        let store = MiniBatchStore::build(&ds.x, &ds.labels, &base).expect("store build");
+        let spill_mb = store.spilled_bytes() as f64 / 1e6;
+        let seq = sweep_store(&store, 1);
+        let par = sweep_store(&store, threads);
+        table.row(vec![
+            scheme.name().to_string(),
+            "1-file".into(),
+            format!("{spill_mb:.1}"),
+            fmt_duration(seq),
+            fmt_duration(par),
+            format!("{:.1}x", seq.as_secs_f64() / par.as_secs_f64()),
+            "-".into(),
+        ]);
+        drop(store);
+
+        // (b) sharded: N independent device clocks, lock-free reads.
+        let cfg = base.clone().with_shards(shards);
+        let store = ShardedSpillStore::build(&ds.x, &ds.labels, &cfg).expect("store build");
+        let seq = sweep_store(&store, 1);
+        let par = sweep_store(&store, threads);
+        table.row(vec![
+            scheme.name().to_string(),
+            format!("sharded({})", store.num_shards()),
+            format!("{:.1}", store.spilled_bytes() as f64 / 1e6),
+            fmt_duration(seq),
+            fmt_duration(par),
+            format!("{:.1}x", seq.as_secs_f64() / par.as_secs_f64()),
+            "-".into(),
+        ]);
+        drop(store);
+
+        // (c) sharded + prefetch: background workers decode ahead.
+        let cfg = base.clone().with_shards(shards).with_prefetch(prefetch);
+        let store = ShardedSpillStore::build(&ds.x, &ds.labels, &cfg).expect("store build");
+        let seq = sweep_store(&store, 1);
+        let par = sweep_store(&store, threads);
+        let s = store.stats().snapshot();
+        let visits = (s.prefetch_hits + s.prefetch_misses).max(1);
+        table.row(vec![
+            scheme.name().to_string(),
+            format!("sharded({})+pf{}", store.num_shards(), prefetch),
+            format!("{:.1}", store.spilled_bytes() as f64 / 1e6),
+            fmt_duration(seq),
+            fmt_duration(par),
+            format!("{:.1}x", seq.as_secs_f64() / par.as_secs_f64()),
+            format!("{:.0}%", 100.0 * s.prefetch_hits as f64 / visits as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "(1T/nT sweep = wall time for 1/{threads} concurrent visitors to visit every batch once; \
+         pf hit% = spilled visits served by the prefetch pipeline)"
+    );
+}

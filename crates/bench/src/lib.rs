@@ -205,6 +205,30 @@ pub fn end_to_end(
     }
 }
 
+/// Wall-clock time for `threads` concurrent visitors to sweep every batch
+/// of `provider` once (batch indices striped across visitors). This is
+/// the read-path microbenchmark behind the `store_scaling` binary: on a
+/// spilled store it measures exactly how much the visitors serialize on
+/// the spill IO.
+pub fn sweep_store(provider: &(dyn BatchProvider + Sync), threads: usize) -> Duration {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut i = t;
+                while i < provider.num_batches() {
+                    provider.visit(i, &mut |b, _| {
+                        use toc_formats::MatrixBatch;
+                        std::hint::black_box(b.size_bytes());
+                    });
+                    i += threads;
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
 /// Compression ratio of `scheme` on a dense batch (DEN bytes / encoded
 /// bytes), as defined in §5.1.
 pub fn compression_ratio(batch: &toc_linalg::DenseMatrix, scheme: Scheme) -> f64 {
@@ -259,6 +283,20 @@ mod tests {
             Workload::Nn.spec(10, (8, 4)),
             ModelSpec::NeuralNet { outputs: 10, .. }
         ));
+    }
+
+    #[test]
+    fn sweep_store_reads_every_spilled_batch_once() {
+        let ds = generate_preset(DatasetPreset::CensusLike, 500, 9);
+        let store =
+            MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(Scheme::Toc, 100, 0))
+                .expect("store build");
+        let d = sweep_store(&store, 4);
+        assert!(d > Duration::ZERO);
+        assert_eq!(
+            store.stats.snapshot().disk_reads,
+            store.num_batches() as u64
+        );
     }
 
     #[test]

@@ -54,7 +54,12 @@ USAGE:
   toc inspect <in.tocz>
   toc bench <in.csv> [--batch-rows <n>]
   toc train <in.csv> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
-            (the last CSV column is the ±1 label)
+            [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
+            (the last CSV column is the ±1 label; --budget trains over the
+             out-of-core sharded spill store: batches beyond the budget
+             spill to --shards files and are read back through a
+             --prefetch-deep background decode pipeline, optionally under
+             an --mbps bandwidth model)
 ";
 
 /// Fetch `--name value` from an argument list.
@@ -306,30 +311,98 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
     }
 
-    let mut batches = Vec::new();
-    let mut start = 0;
-    let t0 = Instant::now();
-    while start < x.rows() {
-        let end = (start + batch_rows).min(x.rows());
-        batches.push((
-            scheme.encode(&x.slice_rows(start, end)),
-            y[start..end].to_vec(),
-        ));
-        start = end;
-    }
-    let encode_time = t0.elapsed();
-    let encoded_bytes: usize = batches.iter().map(|(b, _)| b.size_bytes()).sum();
-    let provider = MemoryProvider {
-        batches,
-        features: d,
-    };
-
     let trainer = Trainer::new(MgdConfig {
         epochs,
         lr,
         ..Default::default()
     });
-    let mut report = trainer.train(&ModelSpec::Linear(loss), &provider, None);
+    let spec = ModelSpec::Linear(loss);
+
+    let budget = match opt(args, "--budget") {
+        Some(b) => Some(b.parse::<usize>().map_err(|e| format!("--budget: {e}"))?),
+        None => None,
+    };
+    let shards: usize = match opt(args, "--shards") {
+        Some(s) => s.parse().map_err(|e| format!("--shards: {e}"))?,
+        None => 0,
+    };
+    let prefetch: usize = match opt(args, "--prefetch") {
+        Some(s) => s.parse().map_err(|e| format!("--prefetch: {e}"))?,
+        None => 0,
+    };
+    let mbps: Option<f64> = match opt(args, "--mbps") {
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|e| format!("--mbps: {e}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("--mbps must be > 0, got {v}"));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    if budget.is_none() && (shards > 0 || prefetch > 0 || mbps.is_some()) {
+        return Err(
+            "--shards/--prefetch/--mbps configure the out-of-core store; \
+             pass --budget <bytes> to enable it"
+                .into(),
+        );
+    }
+    let (mut report, encode_time, encoded_bytes) = if let Some(budget) = budget {
+        // Out-of-core path: build the sharded spill store and train over
+        // it, reporting spill layout and IO statistics.
+        use toc_data::store::{ShardedSpillStore, StoreConfig};
+        let mut config = StoreConfig::new(scheme, batch_rows, budget)
+            .with_shards(shards)
+            .with_prefetch(prefetch);
+        if let Some(mbps) = mbps {
+            config = config.with_disk_mbps(mbps);
+        }
+        let t0 = Instant::now();
+        let store = ShardedSpillStore::build(&x, &y, &config).map_err(|e| format!("{e}"))?;
+        let encode_time = t0.elapsed();
+        println!(
+            "store: {} in-memory + {} spilled batches across {} shards ({} KB spilled)",
+            store.in_memory_batches(),
+            store.spilled_batches(),
+            store.num_shards(),
+            store.spilled_bytes() / 1024,
+        );
+        let report = trainer.train(&spec, &store, None);
+        let s = store.stats().snapshot();
+        println!(
+            "io: {} reads ({} KB), prefetch {} hits / {} misses, simulated delay {:.1?}",
+            s.disk_reads,
+            s.bytes_read / 1024,
+            s.prefetch_hits,
+            s.prefetch_misses,
+            std::time::Duration::from_nanos(s.throttle_ns),
+        );
+        let bytes = store.total_bytes();
+        (report, encode_time, bytes)
+    } else {
+        let mut batches = Vec::new();
+        let mut start = 0;
+        let t0 = Instant::now();
+        while start < x.rows() {
+            let end = (start + batch_rows).min(x.rows());
+            batches.push((
+                scheme.encode(&x.slice_rows(start, end)),
+                y[start..end].to_vec(),
+            ));
+            start = end;
+        }
+        let encode_time = t0.elapsed();
+        let encoded_bytes: usize = batches.iter().map(|(b, _)| b.size_bytes()).sum();
+        let provider = MemoryProvider {
+            batches,
+            features: d,
+        };
+        (
+            trainer.train(&spec, &provider, None),
+            encode_time,
+            encoded_bytes,
+        )
+    };
     let eval = Scheme::Den.encode(&x);
     let err = report.model.error_rate(&eval, &y);
     println!(
@@ -417,6 +490,20 @@ mod tests {
             "4".into(),
             "--lr".into(),
             "0.1".into(),
+        ])
+        .unwrap();
+        // Out-of-core path: zero budget spills every batch across two
+        // shards with the prefetch pipeline on.
+        cmd_train(&[
+            csv.display().to_string(),
+            "--epochs".into(),
+            "2".into(),
+            "--budget".into(),
+            "0".into(),
+            "--shards".into(),
+            "2".into(),
+            "--prefetch".into(),
+            "2".into(),
         ])
         .unwrap();
         cmd_bench(&[csv.display().to_string()]).unwrap();

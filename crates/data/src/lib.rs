@@ -3,12 +3,14 @@
 //!
 //! [`synth`] generates datasets whose sparsity, distinct-value counts and
 //! cross-row redundancy match the profiles of the paper's six evaluation
-//! datasets (Table 5). [`store`] is the memory-budgeted batch store with
-//! real disk spill that reproduces the in-memory/out-of-core regimes of
-//! the end-to-end experiments (Tables 6–7, Figures 9–11).
+//! datasets (Table 5). [`store`] holds the memory-budgeted batch stores
+//! with real disk spill that reproduce the in-memory/out-of-core regimes
+//! of the end-to-end experiments (Tables 6–7, Figures 9–11): the
+//! single-file [`MiniBatchStore`] and the sharded, prefetching
+//! [`ShardedSpillStore`].
 
 pub mod store;
 pub mod synth;
 
-pub use store::{MiniBatchStore, StoreConfig};
+pub use store::{IoSnapshot, IoStats, MiniBatchStore, ShardedSpillStore, StoreConfig};
 pub use synth::{generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind};

@@ -23,6 +23,7 @@ pub mod workspace;
 pub use losses::LossKind;
 pub use mgd::{BatchProvider, MemoryProvider, MgdConfig, ModelSpec, TrainReport, Trainer};
 pub use models::{LinearModel, NeuralNet, OneVsRest};
+pub use parallel::{train_nn_parallel, train_nn_parallel_report, ParallelReport};
 pub use workspace::ExecWorkspace;
 
 // Re-export for downstream convenience: `models::LossKind` is used in
