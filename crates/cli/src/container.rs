@@ -12,7 +12,7 @@
 //! ```
 
 use std::path::Path;
-use toc_formats::{AnyBatch, FormatError, MatrixBatch, Scheme};
+use toc_formats::{AnyBatch, EncodeOptions, FormatError, MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
 
 const MAGIC: u32 = 0x544F_435A;
@@ -25,12 +25,17 @@ pub struct Container {
 
 impl Container {
     /// Encode `m` into `batch_rows`-row batches with `scheme`.
-    pub fn encode(m: &DenseMatrix, scheme: Scheme, batch_rows: usize) -> Self {
+    pub fn encode_with(
+        m: &DenseMatrix,
+        scheme: Scheme,
+        batch_rows: usize,
+        opts: &EncodeOptions,
+    ) -> Self {
         let mut batches = Vec::new();
         let mut start = 0;
         while start < m.rows() {
             let end = (start + batch_rows).min(m.rows());
-            batches.push(scheme.encode(&m.slice_rows(start, end)));
+            batches.push(scheme.encode_with(&m.slice_rows(start, end), opts));
             start = end;
         }
         Self { batches }
@@ -139,7 +144,7 @@ mod tests {
     fn roundtrip_all_schemes() {
         let m = sample();
         for scheme in [Scheme::Toc, Scheme::Den, Scheme::Gzip, Scheme::Cla] {
-            let c = Container::encode(&m, scheme, 50);
+            let c = Container::encode_with(&m, scheme, 50, &EncodeOptions::default());
             assert_eq!(c.batches.len(), 3);
             assert_eq!(c.decode().unwrap(), m, "{}", scheme.name());
         }
@@ -149,7 +154,7 @@ mod tests {
     fn file_roundtrip() {
         let m = sample();
         let p = std::env::temp_dir().join(format!("toc-container-{}.tocz", std::process::id()));
-        let c = Container::encode(&m, Scheme::Toc, 64);
+        let c = Container::encode_with(&m, Scheme::Toc, 64, &EncodeOptions::default());
         c.write(&p).unwrap();
         let back = Container::read(&p).unwrap();
         assert_eq!(back.decode().unwrap(), m);
@@ -159,7 +164,7 @@ mod tests {
     #[test]
     fn corrupt_container_errors() {
         let m = sample();
-        let c = Container::encode(&m, Scheme::Toc, 64);
+        let c = Container::encode_with(&m, Scheme::Toc, 64, &EncodeOptions::default());
         let p = std::env::temp_dir().join(format!("toc-container-bad-{}.tocz", std::process::id()));
         c.write(&p).unwrap();
         let mut bytes = std::fs::read(&p).unwrap();

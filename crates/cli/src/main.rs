@@ -17,7 +17,7 @@ use container::Container;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
-use toc_formats::{MatrixBatch, Scheme};
+use toc_formats::{ClaOptions, EncodeOptions, MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
 
 fn main() -> ExitCode {
@@ -49,7 +49,7 @@ toc — tuple-oriented compression for mini-batch SGD
 
 USAGE:
   toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
-  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|toc>] [--batch-rows <n>]
+  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|toc|auto>] [--batch-rows <n>]
   toc decompress <in.tocz> <out.csv>
   toc inspect <in.tocz>
   toc bench <in.csv> [--batch-rows <n>]
@@ -60,6 +60,12 @@ USAGE:
              spill to --shards files and are read back through a
              --prefetch-deep background decode pipeline, optionally under
              an --mbps bandwidth model)
+
+  compress/bench/train also accept the CLA co-coding knobs:
+    --cla-planner <greedy|sample>   column grouping algorithm (default sample)
+    --cla-sample <rows>             planner sample size (default 256)
+  `--scheme auto` (compress) picks the smallest-estimate scheme per dataset,
+  judging CLA by its planner estimate instead of a full encode probe.
 ";
 
 /// Fetch `--name value` from an argument list.
@@ -87,6 +93,18 @@ fn positional(args: &[String]) -> Vec<&String> {
         out.push(a);
     }
     out
+}
+
+/// Parse the CLA planner knobs shared by compress/bench/train.
+fn encode_options(args: &[String]) -> Result<EncodeOptions, String> {
+    let mut cla = ClaOptions::default();
+    if let Some(p) = opt(args, "--cla-planner") {
+        cla.planner = p.parse()?;
+    }
+    if let Some(s) = opt(args, "--cla-sample") {
+        cla.sample_rows = s.parse().map_err(|e| format!("--cla-sample: {e}"))?;
+    }
+    Ok(EncodeOptions { cla })
 }
 
 fn parse_scheme(s: &str) -> Result<Scheme, String> {
@@ -142,13 +160,24 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     let [input, output] = pos[..] else {
         return Err("usage: toc compress <in.csv> <out.tocz>".into());
     };
-    let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
+    let scheme_arg = opt(args, "--scheme").unwrap_or_else(|| "toc".into());
     let batch_rows: usize = opt(args, "--batch-rows")
         .map(|s| s.parse().unwrap_or(250))
         .unwrap_or(250);
+    let opts = encode_options(args)?;
     let (m, _) = csv::read_matrix(Path::new(input))?;
+    let scheme = if scheme_arg.eq_ignore_ascii_case("auto") {
+        // Pick on the first batch: CLA is judged by its planner estimate,
+        // the others by an encode probe of one batch.
+        let probe = m.slice_rows(0, m.rows().min(batch_rows));
+        let picked = toc_formats::pick_scheme(&probe, &Scheme::PAPER_SET, &opts);
+        println!("auto: picked {}", picked.name());
+        picked
+    } else {
+        parse_scheme(&scheme_arg)?
+    };
     let t0 = Instant::now();
-    let container = Container::encode(&m, scheme, batch_rows);
+    let container = Container::encode_with(&m, scheme, batch_rows, &opts);
     let elapsed = t0.elapsed();
     container.write(Path::new(output))?;
     let den = m.den_size_bytes();
@@ -234,6 +263,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let batch_rows: usize = opt(args, "--batch-rows")
         .map(|s| s.parse().unwrap_or(250))
         .unwrap_or(250);
+    let opts = encode_options(args)?;
     let (m, _) = csv::read_matrix(Path::new(input))?;
     let batch = m.slice_rows(0, m.rows().min(batch_rows));
     let den = batch.den_size_bytes();
@@ -253,7 +283,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
     for scheme in Scheme::PAPER_SET {
         let t0 = Instant::now();
-        let encoded = scheme.encode(&batch);
+        let encoded = scheme.encode_with(&batch, &opts);
         let enc_time = t0.elapsed();
         let _ = encoded.matvec(&v);
         let t1 = Instant::now();
@@ -285,6 +315,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let batch_rows: usize = opt(args, "--batch-rows")
         .map(|s| s.parse().unwrap_or(250))
         .unwrap_or(250);
+    let encode_opts = encode_options(args)?;
     let epochs: usize = opt(args, "--epochs")
         .map(|s| s.parse().unwrap_or(10))
         .unwrap_or(10);
@@ -353,7 +384,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         use toc_data::store::{ShardedSpillStore, StoreConfig};
         let mut config = StoreConfig::new(scheme, batch_rows, budget)
             .with_shards(shards)
-            .with_prefetch(prefetch);
+            .with_prefetch(prefetch)
+            .with_encode_options(encode_opts);
         if let Some(mbps) = mbps {
             config = config.with_disk_mbps(mbps);
         }
@@ -386,7 +418,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         while start < x.rows() {
             let end = (start + batch_rows).min(x.rows());
             batches.push((
-                scheme.encode(&x.slice_rows(start, end)),
+                scheme.encode_with(&x.slice_rows(start, end), &encode_opts),
                 y[start..end].to_vec(),
             ));
             start = end;
@@ -466,6 +498,46 @@ mod tests {
         cmd_decompress(&[tocz.display().to_string(), csv_out.display().to_string()]).unwrap();
         let (back, _) = crate::csv::read_matrix(&csv_out).unwrap();
         assert_eq!(back, m);
+        for p in [csv_in, tocz, csv_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn cla_planner_flags_and_auto_scheme() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv_in = dir.join(format!("toc-cli-cla-{pid}.csv"));
+        let tocz = dir.join(format!("toc-cli-cla-{pid}.tocz"));
+        let csv_out = dir.join(format!("toc-cli-cla-{pid}-out.csv"));
+        let m = toc_data::synth::correlated_matrix(120, 8, 4, 3);
+        crate::csv::write_matrix(&csv_in, &m, None).unwrap();
+        for extra in [
+            vec!["--scheme".into(), "cla".into()],
+            vec![
+                "--scheme".into(),
+                "cla".into(),
+                "--cla-planner".into(),
+                "greedy".into(),
+            ],
+            vec![
+                "--scheme".into(),
+                "cla".into(),
+                "--cla-planner".into(),
+                "sample".into(),
+                "--cla-sample".into(),
+                "32".into(),
+            ],
+            vec!["--scheme".into(), "auto".into()],
+        ] {
+            let mut args = vec![csv_in.display().to_string(), tocz.display().to_string()];
+            args.extend(extra);
+            cmd_compress(&args).unwrap();
+            cmd_decompress(&[tocz.display().to_string(), csv_out.display().to_string()]).unwrap();
+            let (back, _) = crate::csv::read_matrix(&csv_out).unwrap();
+            assert_eq!(back, m);
+        }
+        assert!(encode_options(&["--cla-planner".into(), "nope".into()]).is_err());
         for p in [csv_in, tocz, csv_out] {
             std::fs::remove_file(p).ok();
         }

@@ -513,7 +513,10 @@ fn parse_view(bytes: &[u8]) -> Result<TocView<'_>, TocError> {
     if codec > 1 {
         return Err(TocError::Unsupported(format!("codec {codec}")));
     }
-    let _pad = cur.read_u16()?;
+    let pad = cur.read_u16()?;
+    if pad != 0 {
+        return Err(corrupt("nonzero header padding"));
+    }
     let rows = cur.read_u32()? as usize;
     let cols = cur.read_u32()? as usize;
     let i_cols = cur.read_ints()?;

@@ -59,6 +59,8 @@ pub struct StoreConfig {
     /// upcoming spilled batches background workers keep decoded ahead of
     /// the visitors. `0` disables prefetch.
     pub prefetch: usize,
+    /// Per-scheme encoding knobs (CLA planner choice and sample size).
+    pub encode: toc_formats::EncodeOptions,
 }
 
 impl StoreConfig {
@@ -71,7 +73,14 @@ impl StoreConfig {
             disk_mbps: None,
             shards: 0,
             prefetch: 0,
+            encode: toc_formats::EncodeOptions::default(),
         }
+    }
+
+    /// Builder-style encoding-options override.
+    pub fn with_encode_options(mut self, encode: toc_formats::EncodeOptions) -> Self {
+        self.encode = encode;
+        self
     }
 
     /// Builder-style bandwidth override. `mbps` must be finite and
@@ -338,7 +347,7 @@ fn encode_batches(
     while start < x.rows() {
         let end = (start + config.batch_rows).min(x.rows());
         let dense = x.slice_rows(start, end);
-        let batch = config.scheme.encode(&dense);
+        let batch = config.scheme.encode_with(&dense, &config.encode);
         let y = labels[start..end].to_vec();
         let size = batch.size_bytes();
         if memory_bytes + size <= config.memory_budget {

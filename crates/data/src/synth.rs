@@ -395,6 +395,47 @@ pub fn generate_preset(preset: DatasetPreset, rows: usize, seed: u64) -> Dataset
     generate(&preset.config(rows, seed))
 }
 
+/// A wide matrix with *non-adjacent* correlated column pairs: column
+/// `c + cols/2` is a deterministic function of column `c`, while columns
+/// within each half are mutually independent draws from `distinct`-value
+/// pools. This is the regime where CLA's sample-based co-coding planner
+/// beats greedy left-to-right grouping (the paper's fig5/fig6 wide-matrix
+/// setting): greedy can only merge neighbors — which are independent here,
+/// so merging inflates the dictionary — while the planner pairs each
+/// column with its distant partner.
+///
+/// `cols` must be even; `distinct` per-column values are drawn from a
+/// seeded pool so the output is reproducible.
+pub fn correlated_matrix(rows: usize, cols: usize, distinct: usize, seed: u64) -> DenseMatrix {
+    assert!(
+        cols.is_multiple_of(2),
+        "correlated_matrix needs an even column count"
+    );
+    assert!(distinct >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = cols / 2;
+    // Per-column value pools: distinct values, distinct across columns.
+    let pools: Vec<Vec<f64>> = (0..half)
+        .map(|c| {
+            (0..distinct)
+                .map(|k| (c * distinct + k) as f64 * 0.5 + rng.gen_range(0.0..0.25))
+                .collect()
+        })
+        .collect();
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for (c, pool) in pools.iter().enumerate() {
+            let k = rng.gen_range(0..distinct);
+            m.set(r, c, pool[k]);
+            // Partner column: a bijection of the left value (offset by a
+            // column-specific constant), so the pair's joint cardinality
+            // equals `distinct` while the columns' byte patterns differ.
+            m.set(r, c + half, pool[k] + 1000.0 * (c + 1) as f64);
+        }
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +524,44 @@ mod tests {
         for scheme in [Scheme::Toc, Scheme::Csr, Scheme::Gzip] {
             let r = ratio(DatasetPreset::DeepLike, scheme);
             assert!(r < 1.3, "{}: {r}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn sampled_cla_planner_beats_greedy_on_correlated_wide_matrix() {
+        // The acceptance matrix of the planner_ratio bench bin: 64
+        // columns, each correlated with its partner 32 columns away.
+        use toc_formats::{ClaOptions, EncodeOptions, MatrixBatch};
+        let m = correlated_matrix(2048, 64, 16, 42);
+        let den = m.den_size_bytes() as f64;
+        let greedy = Scheme::Cla
+            .encode_with(
+                &m,
+                &EncodeOptions {
+                    cla: ClaOptions::greedy(),
+                },
+            )
+            .size_bytes() as f64;
+        let sampled = Scheme::Cla.encode(&m).size_bytes() as f64;
+        assert!(
+            den / sampled > den / greedy,
+            "sampled ratio {:.2} must beat greedy {:.2}",
+            den / sampled,
+            den / greedy
+        );
+        // And the decoded bytes agree with the input exactly.
+        let b = Scheme::Cla.encode(&m);
+        assert_eq!(b.decode(), m);
+    }
+
+    #[test]
+    fn correlated_matrix_is_deterministic_and_paired() {
+        let a = correlated_matrix(64, 8, 4, 7);
+        assert_eq!(a, correlated_matrix(64, 8, 4, 7));
+        for r in 0..64 {
+            for c in 0..4 {
+                assert_eq!(a.get(r, c + 4), a.get(r, c) + 1000.0 * (c + 1) as f64);
+            }
         }
     }
 

@@ -221,8 +221,21 @@ impl DviBatch {
         let validx = rd.u32s()?;
         let dict = rd.f64s()?;
         rd.done()?;
-        if validx.len() != rows * cols || validx.iter().any(|&i| i as usize >= dict.len().max(1)) {
+        // Checked: the wire-supplied shape product can overflow on
+        // corrupted headers (debug-panic otherwise).
+        if rows.checked_mul(cols) != Some(validx.len())
+            || validx.iter().any(|&i| i as usize >= dict.len().max(1))
+        {
             return Err(FormatError::Corrupt("DVI section mismatch".into()));
+        }
+        // A zero-area matrix leaves the other dimension unconstrained by
+        // the index count (the body is header-only for any claimed
+        // value), so a byte-proportional bound would reject legitimate
+        // degenerate batches. Cap it generously instead, so a corrupted
+        // header can't claim 2^32 rows/cols and drive the first
+        // kernel-output allocation into an abort.
+        if (rows == 0 || cols == 0) && rows.max(cols) > crate::MAX_DEGENERATE_DIM {
+            return Err(FormatError::Corrupt("implausible DVI shape".into()));
         }
         Ok(Self {
             rows,

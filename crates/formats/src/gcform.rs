@@ -71,7 +71,13 @@ impl GcBatch {
         out: &mut DenseMatrix,
     ) -> Result<(), FormatError> {
         self.codec.decompress_into(&self.payload, staging)?;
-        if staging.len() != self.rows * self.cols * 8 {
+        // Checked: `rows`/`cols` come from the wire, so the product can
+        // overflow (debug-panic) on corrupted headers.
+        let want = self
+            .rows
+            .checked_mul(self.cols)
+            .and_then(|c| c.checked_mul(8));
+        if want != Some(staging.len()) {
             return Err(FormatError::Corrupt("GC payload shape mismatch".into()));
         }
         out.reset(self.rows, self.cols);

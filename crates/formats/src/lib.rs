@@ -24,7 +24,17 @@ pub mod den;
 pub mod gcform;
 pub mod tocform;
 
+pub use cla::{ClaOptions, ClaPlanner};
+
 use toc_linalg::DenseMatrix;
+
+/// Per-scheme encoding knobs, threaded from the CLI / store down to the
+/// format encoders. `Default` preserves each scheme's standalone behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EncodeOptions {
+    /// CLA co-coding planner options.
+    pub cla: ClaOptions,
+}
 
 /// Error from deserializing a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -210,6 +220,23 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme tag — the paper set plus ablations and extensions.
+    /// Test suites (conformance, fuzz, golden fixtures) iterate this, so
+    /// a new variant added here is automatically covered everywhere.
+    pub const ALL: [Scheme; 11] = [
+        Scheme::Den,
+        Scheme::Csr,
+        Scheme::Cvi,
+        Scheme::Dvi,
+        Scheme::Cla,
+        Scheme::Snappy,
+        Scheme::Gzip,
+        Scheme::Toc,
+        Scheme::TocSparse,
+        Scheme::TocSparseLogical,
+        Scheme::TocVarint,
+    ];
+
     /// The seven compared methods of §5 plus TOC, in the paper's order.
     pub const PAPER_SET: [Scheme; 8] = [
         Scheme::Den,
@@ -250,14 +277,20 @@ impl Scheme {
         !matches!(self, Scheme::Snappy | Scheme::Gzip)
     }
 
-    /// Encode a dense mini-batch with this scheme.
+    /// Encode a dense mini-batch with this scheme and default options.
     pub fn encode(self, dense: &DenseMatrix) -> AnyBatch {
+        self.encode_with(dense, &EncodeOptions::default())
+    }
+
+    /// Encode with explicit per-scheme options (currently only CLA has
+    /// knobs; every other scheme ignores `opts`).
+    pub fn encode_with(self, dense: &DenseMatrix, opts: &EncodeOptions) -> AnyBatch {
         match self {
             Scheme::Den => AnyBatch::Den(den::DenBatch::encode(dense)),
             Scheme::Csr => AnyBatch::Csr(csr::CsrBatch::encode(dense)),
             Scheme::Cvi => AnyBatch::Cvi(cvi::CviBatch::encode(dense)),
             Scheme::Dvi => AnyBatch::Dvi(cvi::DviBatch::encode(dense)),
-            Scheme::Cla => AnyBatch::Cla(cla::ClaBatch::encode(dense)),
+            Scheme::Cla => AnyBatch::Cla(cla::ClaBatch::encode_with(dense, &opts.cla)),
             Scheme::Snappy => AnyBatch::Gc(gcform::GcBatch::encode(dense, toc_gc::Codec::FastLz)),
             Scheme::Gzip => AnyBatch::Gc(gcform::GcBatch::encode(dense, toc_gc::Codec::Deflate)),
             Scheme::Toc => AnyBatch::Toc(tocform::TocFormat::encode(dense)),
@@ -266,6 +299,21 @@ impl Scheme {
                 AnyBatch::TocSparseLogical(tocform::TocSparseLogical::encode(dense))
             }
             Scheme::TocVarint => AnyBatch::Toc(tocform::TocFormat::encode_varint(dense)),
+        }
+    }
+
+    /// Estimated [`MatrixBatch::size_bytes`] of encoding `dense` with this
+    /// scheme. For CLA this consults the sample-based planner's size
+    /// estimate (no dictionaries are built); every other scheme probes by
+    /// encoding. Used by [`pick_scheme`] so scheme selection over wide
+    /// batches does not pay CLA's full co-coding cost per candidate.
+    pub fn estimate_encoded_size(self, dense: &DenseMatrix, opts: &EncodeOptions) -> usize {
+        match self {
+            Scheme::Den => dense.den_size_bytes(),
+            Scheme::Cla if opts.cla.planner == ClaPlanner::SampleMerge => {
+                cla::planner::plan(dense, &opts.cla).est_bytes
+            }
+            _ => self.encode_with(dense, opts).size_bytes(),
         }
     }
 
@@ -328,6 +376,19 @@ impl Scheme {
             Scheme::TocVarint => 10,
         }
     }
+}
+
+/// Pick the scheme with the smallest estimated encoding of `dense` among
+/// `candidates` (ties break toward the earlier candidate). CLA is judged
+/// by its planner estimate rather than a full encode probe — see
+/// [`Scheme::estimate_encoded_size`].
+pub fn pick_scheme(dense: &DenseMatrix, candidates: &[Scheme], opts: &EncodeOptions) -> Scheme {
+    assert!(!candidates.is_empty(), "no candidate schemes");
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|s| s.estimate_encoded_size(dense, opts))
+        .unwrap()
 }
 
 /// A batch in any scheme (enum dispatch over [`MatrixBatch`]).
@@ -422,6 +483,13 @@ impl MatrixBatch for AnyBatch {
         dispatch!(self, b => b.to_bytes())
     }
 }
+
+/// Upper bound on a claimed matrix dimension that has no byte backing in
+/// the wire body (the free dimension of a zero-area batch). Legitimate
+/// degenerate batches sit far below it; corrupted headers claiming 2^31+
+/// rows/cols are rejected before any kernel allocates an output that
+/// large.
+pub(crate) const MAX_DEGENERATE_DIM: usize = 1 << 24;
 
 /// Shared wire-format helpers for the format implementations.
 pub(crate) mod wire {

@@ -1,0 +1,30 @@
+//! Shared helpers for the toc-formats integration-test suites.
+//!
+//! Note: `tests/golden.rs` deliberately does NOT use this generator — its
+//! fixture matrix is frozen (pinned by a checksum) and must never drift
+//! when this helper evolves.
+
+use toc_linalg::DenseMatrix;
+
+/// Deterministic synthetic matrix with a small value pool, driven by an
+/// xorshift64 stream: stable across runs and platforms, no RNG
+/// dependency.
+pub fn pool_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> DenseMatrix {
+    let pool = [0.5, 1.5, -2.0, 3.25];
+    let mut m = DenseMatrix::zeros(rows, cols);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if (next() % 1000) as f64 / 1000.0 < density {
+                m.set(r, c, pool[(next() % 4) as usize]);
+            }
+        }
+    }
+    m
+}

@@ -7,40 +7,8 @@ use toc_formats::{AnyBatch, MatrixBatch, Scheme};
 use toc_linalg::dense::max_abs_diff_vec;
 use toc_linalg::DenseMatrix;
 
-const ALL_SCHEMES: [Scheme; 11] = [
-    Scheme::Den,
-    Scheme::Csr,
-    Scheme::Cvi,
-    Scheme::Dvi,
-    Scheme::Cla,
-    Scheme::Snappy,
-    Scheme::Gzip,
-    Scheme::Toc,
-    Scheme::TocSparse,
-    Scheme::TocSparseLogical,
-    Scheme::TocVarint,
-];
-
-fn pool_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> DenseMatrix {
-    // Deterministic synthetic matrix with a small value pool.
-    let pool = [0.5, 1.5, -2.0, 3.25];
-    let mut m = DenseMatrix::zeros(rows, cols);
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for r in 0..rows {
-        for c in 0..cols {
-            if (next() % 1000) as f64 / 1000.0 < density {
-                m.set(r, c, pool[(next() % 4) as usize]);
-            }
-        }
-    }
-    m
-}
+mod common;
+use common::pool_matrix;
 
 #[test]
 fn every_scheme_roundtrips_and_matches_oracle() {
@@ -54,7 +22,7 @@ fn every_scheme_roundtrips_and_matches_oracle() {
         let want_vm = a.vecmat(&w);
         let want_mm = a.matmat(&mr);
         let want_mml = a.matmat_left(&ml);
-        for scheme in ALL_SCHEMES {
+        for scheme in Scheme::ALL {
             let b = scheme.encode(&a);
             assert_eq!(b.rows(), rows, "{}", scheme.name());
             assert_eq!(b.cols(), cols, "{}", scheme.name());
@@ -86,7 +54,7 @@ fn every_scheme_roundtrips_and_matches_oracle() {
 #[test]
 fn every_scheme_serializes() {
     let a = pool_matrix(20, 15, 0.4, 5);
-    for scheme in ALL_SCHEMES {
+    for scheme in Scheme::ALL {
         let b = scheme.encode(&a);
         let bytes = b.to_bytes();
         let restored = Scheme::from_bytes(&bytes).unwrap_or_else(|e| {
@@ -101,7 +69,7 @@ fn scale_is_consistent_everywhere() {
     let a = pool_matrix(15, 10, 0.5, 11);
     let mut want = a.clone();
     want.scale(-1.75);
-    for scheme in ALL_SCHEMES {
+    for scheme in Scheme::ALL {
         let mut b = scheme.encode(&a);
         b.scale(-1.75);
         assert!(b.decode().max_abs_diff(&want) < 1e-12, "{}", scheme.name());
@@ -166,7 +134,7 @@ proptest! {
         seed in 0u64..500,
     ) {
         let a = pool_matrix(rows, cols, density, seed);
-        for scheme in ALL_SCHEMES {
+        for scheme in Scheme::ALL {
             let b = scheme.encode(&a);
             prop_assert_eq!(b.decode(), a.clone(), "{}", scheme.name());
             prop_assert_eq!(b.size_bytes() > 0, true);
@@ -180,12 +148,146 @@ proptest! {
             let _ = b.size_bytes();
         }
     }
+
+    /// Structured mutations of *valid* containers: random byte flips at
+    /// random positions (random bytes from 0..200 almost never get past
+    /// the tag byte; this starts from well-formed containers so the
+    /// deeper parse paths get fuzzed too).
+    #[test]
+    fn prop_mutated_valid_containers_never_panic(
+        scheme_idx in 0usize..Scheme::ALL.len(),
+        seed in 0u64..500,
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 1..4),
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let a = pool_matrix(11, 7, 0.5, seed);
+        let mut bytes = scheme.encode(&a).to_bytes();
+        for (pos, bit) in flips {
+            let n = bytes.len();
+            bytes[pos % n] ^= 1 << bit;
+        }
+        if let Ok(b) = Scheme::from_bytes(&bytes) {
+            // Accepted mutants must still be safe to use.
+            exercise_accepted_mutant(&b);
+        }
+    }
+}
+
+/// Use an accepted mutant the way a reader would, without tripping the
+/// one *by-design* hazard: some formats self-describe a dimension (width
+/// for the sparse encodings; either dimension when the matrix has zero
+/// area), so a flipped high bit can yield a legitimate, astronomically
+/// large claimed shape whose kernel *outputs* would allocate that many
+/// doubles. That is an inherent property of the shape, not a parser bug —
+/// so kernels and dense decode are only exercised at sane dimensions.
+fn exercise_accepted_mutant(b: &AnyBatch) {
+    let _ = b.size_bytes();
+    let _ = b.to_bytes();
+    let sane = |n: usize| n <= 1 << 20;
+    if sane(b.cols()) && sane(b.rows()) {
+        let _ = b.matvec(&vec![1.0; b.cols()]);
+    }
+    if b.rows().checked_mul(b.cols()).is_some_and(|n| n <= 1 << 22) {
+        let _ = b.decode();
+    }
+}
+
+/// Every strict truncation of a valid container must be rejected with an
+/// error (never accepted, never a panic): all wire formats carry explicit
+/// section lengths and a trailing-bytes check, so missing bytes are
+/// always detectable.
+#[test]
+fn truncated_containers_always_error() {
+    let a = pool_matrix(13, 8, 0.5, 77);
+    for scheme in Scheme::ALL {
+        let good = scheme.encode(&a).to_bytes();
+        for len in 0..good.len() {
+            assert!(
+                Scheme::from_bytes(&good[..len]).is_err(),
+                "{}: truncation to {len}/{} bytes accepted",
+                scheme.name(),
+                good.len()
+            );
+        }
+    }
+}
+
+/// Single-byte flips of the *detectable* header fields must be rejected:
+/// those fields are cross-checked against the payload during parsing
+/// (tag/codec consistency, section-length arithmetic, offset-table
+/// shapes). Fields a format genuinely cannot cross-check are excluded
+/// with a reason:
+///
+/// * sparse formats (CSR/CVI/CLA/TOC*) self-describe their column count —
+///   a larger `cols` is a valid wider matrix, not corruption;
+/// * `TOC_SPARSE_AND_LOGICAL`'s leading `logical_size` is reporting
+///   metadata, constrained by nothing;
+/// * the GC formats' `rows`/`cols` *are* checked (against the
+///   decompressed payload length), so they are included.
+///
+/// Flips outside these ranges only need to never panic (tests below).
+#[test]
+#[allow(clippy::single_range_in_vec_init)] // the vecs hold byte *ranges*, not range contents
+fn header_field_flips_always_error() {
+    let a = pool_matrix(13, 8, 0.5, 77);
+    for scheme in Scheme::ALL {
+        let good = scheme.encode(&a).to_bytes();
+        let ranges: Vec<std::ops::Range<usize>> = match scheme {
+            // tag, rows, cols — cols is cross-checked (DEN: payload
+            // length; DVI: rows*cols == index count; GC: decompressed
+            // payload length; CLA: groups must partition the columns).
+            Scheme::Den | Scheme::Dvi | Scheme::Snappy | Scheme::Gzip | Scheme::Cla => {
+                vec![0..9]
+            }
+            // tag, rows only (cols is self-describing).
+            Scheme::Csr | Scheme::Cvi | Scheme::TocSparse => vec![0..5],
+            // tag, TOC magic, version, codec (cross-checked against the
+            // scheme tag), padding (must be zero), rows.
+            Scheme::Toc | Scheme::TocVarint => vec![0..13],
+            // tag; then skip logical_size (1..5); magic, version (5..10);
+            // skip the codec byte (no tag to cross-check against); pad +
+            // rows (11..17).
+            Scheme::TocSparseLogical => vec![0..1, 5..10, 11..17],
+        };
+        for range in ranges {
+            for pos in range {
+                for bit in 0..8 {
+                    let mut b = good.clone();
+                    b[pos] ^= 1 << bit;
+                    assert!(
+                        Scheme::from_bytes(&b).is_err(),
+                        "{}: flipping bit {bit} of header byte {pos} was accepted",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic_exhaustively() {
+    // Deterministic exhaustive sweep (the proptest samples randomly):
+    // every byte, two bit positions, every scheme.
+    let a = pool_matrix(9, 6, 0.6, 5);
+    for scheme in Scheme::ALL {
+        let good = scheme.encode(&a).to_bytes();
+        for pos in 0..good.len() {
+            for mask in [0x01u8, 0x80u8] {
+                let mut b = good.clone();
+                b[pos] ^= mask;
+                if let Ok(batch) = Scheme::from_bytes(&b) {
+                    exercise_accepted_mutant(&batch);
+                }
+            }
+        }
+    }
 }
 
 #[test]
 fn anybatch_is_object_safe_through_trait() {
     let a = pool_matrix(8, 6, 0.5, 1);
-    let batches: Vec<AnyBatch> = ALL_SCHEMES.iter().map(|s| s.encode(&a)).collect();
+    let batches: Vec<AnyBatch> = Scheme::ALL.iter().map(|s| s.encode(&a)).collect();
     let total: usize = batches.iter().map(|b| b.size_bytes()).sum();
     assert!(total > 0);
 }
