@@ -111,6 +111,11 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.1}x")
 }
 
+/// Throughput in MB/s for `bytes` moved in `d`.
+pub fn mb_per_s(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / 1e6 / d.as_secs_f64().max(1e-12)
+}
+
 /// The three end-to-end workloads of §5.3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
@@ -294,7 +299,7 @@ mod tests {
         let d = sweep_store(&store, 4);
         assert!(d > Duration::ZERO);
         assert_eq!(
-            store.stats.snapshot().disk_reads,
+            store.stats().snapshot().disk_reads,
             store.num_batches() as u64
         );
     }

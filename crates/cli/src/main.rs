@@ -55,11 +55,16 @@ USAGE:
   toc bench <in.csv> [--batch-rows <n>]
   toc train <in.csv> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
             [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
+            [--io <sync|pool|ring>] [--placement <stripe|pack>]
             (the last CSV column is the ±1 label; --budget trains over the
              out-of-core sharded spill store: batches beyond the budget
              spill to --shards files and are read back through a
              --prefetch-deep background decode pipeline, optionally under
-             an --mbps bandwidth model)
+             an --mbps bandwidth model. --io picks the spill-IO engine:
+             sync reads inside each prefetch worker, an async worker pool,
+             or the batched ring engine that coalesces adjacent reads;
+             --placement pack lays consecutive spilled batches out
+             file-adjacent so ring submissions merge)
 
   compress/bench/train also accept the CLA co-coding knobs:
     --cla-planner <greedy|sample>   column grouping algorithm (default sample)
@@ -103,6 +108,11 @@ fn encode_options(args: &[String]) -> Result<EncodeOptions, String> {
     }
     if let Some(s) = opt(args, "--cla-sample") {
         cla.sample_rows = s.parse().map_err(|e| format!("--cla-sample: {e}"))?;
+        if cla.sample_rows == 0 {
+            // An empty sample estimates every column as incompressible and
+            // silently produces an uncompressed CLA plan; reject it.
+            return Err("--cla-sample must be >= 1".into());
+        }
     }
     Ok(EncodeOptions { cla })
 }
@@ -371,9 +381,23 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    if budget.is_none() && (shards > 0 || prefetch > 0 || mbps.is_some()) {
+    let io: toc_data::IoEngineKind = match opt(args, "--io") {
+        Some(s) => s.parse()?,
+        None => toc_data::IoEngineKind::Sync,
+    };
+    let placement: toc_data::ShardPlacement = match opt(args, "--placement") {
+        Some(s) => s.parse()?,
+        None => toc_data::ShardPlacement::Stripe,
+    };
+    if budget.is_none()
+        && (shards > 0
+            || prefetch > 0
+            || mbps.is_some()
+            || opt(args, "--io").is_some()
+            || opt(args, "--placement").is_some())
+    {
         return Err(
-            "--shards/--prefetch/--mbps configure the out-of-core store; \
+            "--shards/--prefetch/--mbps/--io/--placement configure the out-of-core store; \
              pass --budget <bytes> to enable it"
                 .into(),
         );
@@ -385,6 +409,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         let mut config = StoreConfig::new(scheme, batch_rows, budget)
             .with_shards(shards)
             .with_prefetch(prefetch)
+            .with_io(io)
+            .with_placement(placement)
             .with_encode_options(encode_opts);
         if let Some(mbps) = mbps {
             config = config.with_disk_mbps(mbps);
@@ -400,7 +426,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             store.spilled_bytes() / 1024,
         );
         let report = trainer.train(&spec, &store, None);
-        let s = store.stats().snapshot();
+        let s = store.stats().snapshot_stable();
         println!(
             "io: {} reads ({} KB), prefetch {} hits / {} misses, simulated delay {:.1?}",
             s.disk_reads,
@@ -408,6 +434,18 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             s.prefetch_hits,
             s.prefetch_misses,
             std::time::Duration::from_nanos(s.throttle_ns),
+        );
+        // Machine-parseable engine stats (the CLI smoke tests parse this
+        // line): key=value pairs only, one per field.
+        println!(
+            "io-engine: kind={io} placement={placement} submitted={} completed={} \
+             coalesced={} max-in-flight={} lat-p50-us={} lat-p99-us={}",
+            s.submitted,
+            s.completed,
+            s.coalesced_reads,
+            s.max_in_flight,
+            s.latency_percentile_us(50),
+            s.latency_percentile_us(99),
         );
         let bytes = store.total_bytes();
         (report, encode_time, bytes)

@@ -1,0 +1,217 @@
+//! CLI smoke tests: drive the real `toc` binary over a temp dir and
+//! assert exit codes plus that the printed `IoStats` lines parse. These
+//! are the checks a packaging pipeline would run — everything goes
+//! through `std::process::Command`, not library calls.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Output;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn toc(args: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_toc"))
+        .args(args)
+        .output()
+        .expect("spawn toc binary")
+}
+
+fn assert_ok(out: &Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?}):\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn assert_fails(out: &Output, what: &str) {
+    assert!(
+        !out.status.success(),
+        "{what} unexpectedly succeeded:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+    );
+    assert!(
+        !out.stderr.is_empty(),
+        "{what} failed without an error message"
+    );
+}
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "toc-smoke-{}-{}-{tag}.{ext}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Parse a `key=value key=value ...` stats line emitted by `toc train`.
+fn parse_kv(line: &str) -> HashMap<String, String> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn gen_csv(rows: usize) -> PathBuf {
+    let csv = temp_path("data", "csv");
+    let out = toc(&[
+        "gen",
+        "--preset",
+        "census",
+        "--rows",
+        &rows.to_string(),
+        csv.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "toc gen");
+    csv
+}
+
+#[test]
+fn compress_roundtrip_with_planner_flags() {
+    let csv = gen_csv(300);
+    let tocz = temp_path("compressed", "tocz");
+    let back = temp_path("back", "csv");
+    let out = toc(&[
+        "compress",
+        csv.to_str().unwrap(),
+        tocz.to_str().unwrap(),
+        "--scheme",
+        "cla",
+        "--cla-planner",
+        "sample",
+        "--cla-sample",
+        "64",
+        "--batch-rows",
+        "100",
+    ]);
+    let stdout = assert_ok(&out, "toc compress");
+    assert!(stdout.contains("CLA:"), "unexpected output: {stdout}");
+    assert_ok(
+        &toc(&["decompress", tocz.to_str().unwrap(), back.to_str().unwrap()]),
+        "toc decompress",
+    );
+    assert_ok(&toc(&["inspect", tocz.to_str().unwrap()]), "toc inspect");
+    for p in [csv, tocz, back] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn train_over_async_engines_prints_parseable_io_stats() {
+    let csv = gen_csv(400);
+    for (io, placement) in [("pool", "stripe"), ("ring", "pack"), ("sync", "stripe")] {
+        let out = toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--epochs",
+            "2",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--prefetch",
+            "3",
+            "--mbps",
+            "2000",
+            "--io",
+            io,
+            "--placement",
+            placement,
+            "--cla-planner",
+            "greedy",
+        ]);
+        let stdout = assert_ok(&out, &format!("toc train --io {io}"));
+        assert!(
+            stdout.contains("spilled batches across 2 shards"),
+            "missing store line: {stdout}"
+        );
+        // The human io line and the machine io-engine line both parse.
+        let io_line = stdout
+            .lines()
+            .find(|l| l.starts_with("io:"))
+            .unwrap_or_else(|| panic!("no io: line in {stdout}"));
+        let reads: u64 = io_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable reads in {io_line:?}"));
+        assert!(reads >= 1, "no spill reads counted: {io_line}");
+
+        let engine_line = stdout
+            .lines()
+            .find(|l| l.starts_with("io-engine:"))
+            .unwrap_or_else(|| panic!("no io-engine: line in {stdout}"));
+        let kv = parse_kv(engine_line);
+        assert_eq!(kv["kind"], io);
+        assert_eq!(kv["placement"], placement);
+        let submitted: u64 = kv["submitted"].parse().expect("submitted parses");
+        let completed: u64 = kv["completed"].parse().expect("completed parses");
+        let coalesced: u64 = kv["coalesced"].parse().expect("coalesced parses");
+        let max_in_flight: u64 = kv["max-in-flight"].parse().expect("max-in-flight parses");
+        let p50: u64 = kv["lat-p50-us"].parse().expect("p50 parses");
+        let p99: u64 = kv["lat-p99-us"].parse().expect("p99 parses");
+        assert!(completed <= submitted, "{engine_line}");
+        assert!(p50 <= p99, "{engine_line}");
+        if io == "sync" {
+            assert_eq!(submitted, 0, "sync engine must not submit: {engine_line}");
+        } else {
+            assert!(submitted >= 1, "async engine unused: {engine_line}");
+            assert!(max_in_flight >= 1, "{engine_line}");
+        }
+        let _ = coalesced; // may legitimately be 0 under pool/stripe
+    }
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn out_of_core_flags_require_budget_and_reject_bad_values() {
+    let csv = gen_csv(120);
+    assert_fails(
+        &toc(&["train", csv.to_str().unwrap(), "--io", "ring"]),
+        "--io without --budget",
+    );
+    assert_fails(
+        &toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--budget",
+            "0",
+            "--io",
+            "uring",
+        ]),
+        "unknown io engine",
+    );
+    assert_fails(
+        &toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--budget",
+            "0",
+            "--placement",
+            "scatter",
+        ]),
+        "unknown placement",
+    );
+    assert_fails(
+        &toc(&["train", csv.to_str().unwrap(), "--budget", "x"]),
+        "unparseable budget",
+    );
+    assert_fails(
+        &toc(&[
+            "compress",
+            csv.to_str().unwrap(),
+            "/tmp/unused.tocz",
+            "--scheme",
+            "cla",
+            "--cla-sample",
+            "0",
+        ]),
+        "zero planner sample",
+    );
+    assert_fails(&toc(&["frobnicate"]), "unknown subcommand");
+    std::fs::remove_file(csv).ok();
+}

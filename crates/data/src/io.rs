@@ -1,0 +1,1133 @@
+//! Async spill IO engines behind the [`SpillFile`] seam.
+//!
+//! PR 2 made spill reads positional and striped them across shard files,
+//! but every reader (prefetch worker or visitor) still blocked on a
+//! synchronous `read_exact_at`, so read latency serialized with decode
+//! inside each worker. This module splits submission from completion —
+//! the io_uring idiom, portable — so the prefetch pipeline can keep many
+//! reads in flight per shard while decode proceeds on completed buffers:
+//!
+//! ```text
+//!             submit(shard, offset, len, buf) -> Ticket
+//!   visitor ──────────────────────────────────────────▶ SpillIo engine
+//!                                                        │  pool: N IO workers
+//!                                                        │  ring: per-shard queues,
+//!                                                        │        adjacent reads
+//!                                                        │        coalesced
+//!   decode  ◀──────────────────────────────────────────┘
+//!   workers   complete() -> Completion {ticket, buf, result}   (out of order)
+//! ```
+//!
+//! Two backends implement [`SpillIo`]:
+//!
+//! * [`PoolIo`] — a portable worker pool: submissions queue centrally,
+//!   N IO threads serve them with positional reads, completions surface
+//!   in whatever order the reads finish.
+//! * [`RingIo`] — a batched, ring-style backend: submissions route to
+//!   per-shard queues; each ring thread drains its shards' queues in
+//!   bursts, sorts the burst by file offset, **coalesces adjacent
+//!   ranges into one physical read**, and completes the members out of
+//!   order. With compression-aware shard placement
+//!   ([`crate::store::ShardPlacement::Pack`]) one submission burst over
+//!   small encoded batches collapses into a handful of large reads.
+//!
+//! Both backends charge the same per-shard [`BandwidthClock`] the
+//! synchronous path uses, so the `disk_mbps` model extends to overlapped
+//! requests: concurrent reads of one shard still share that device's
+//! bandwidth (the clock serializes their reservations), while the
+//! *caller* no longer sleeps — the engine's IO threads absorb the delay,
+//! which is exactly the overlap the paper's compute-bound regime needs.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Recover a poisoned guard: a panicking holder never leaves the plain
+/// queues behind these locks in an invalid state.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// The positional-read seam and the simulated-bandwidth device model.
+
+/// A spill file readable at arbitrary offsets by any number of threads.
+///
+/// On unix the read path is positional (`pread` via
+/// `std::os::unix::fs::FileExt::read_exact_at`): no seek, no lock, no
+/// shared cursor. Elsewhere a portable fallback serializes seek+read
+/// pairs behind a mutex.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl SpillFile {
+    pub(crate) fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    /// Read exactly `buf.len()` bytes at `offset`.
+    pub(crate) fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = lock(&self.file);
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+}
+
+/// Simulated-bandwidth clock for one spill device (shard). Readers reserve
+/// an interval on the device timeline and sleep until their reservation
+/// completes, so concurrent readers of one device share its bandwidth
+/// (the aggregate never exceeds `mbps`) while readers of other devices
+/// are unaffected. The delay is accounted per-shard with no lock held.
+/// Under the async engines the *IO thread* holds the reservation, so the
+/// visitor's compute overlaps the simulated device time.
+#[derive(Debug, Default)]
+pub(crate) struct BandwidthClock {
+    /// Device busy-until, in nanoseconds since the store's epoch.
+    busy_until_ns: AtomicU64,
+}
+
+impl BandwidthClock {
+    pub(crate) fn charge(&self, epoch: Instant, len: usize, mbps: f64, stats: &IoStats) {
+        let delay_ns = (len as f64 / (mbps * 1e6) * 1e9) as u64;
+        let now = epoch.elapsed().as_nanos() as u64;
+        let mut cur = self.busy_until_ns.load(Ordering::Relaxed);
+        let deadline = loop {
+            let deadline = cur.max(now) + delay_ns;
+            match self.busy_until_ns.compare_exchange_weak(
+                cur,
+                deadline,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break deadline,
+                Err(seen) => cur = seen,
+            }
+        };
+        stats.throttle_ns.fetch_add(delay_ns, Ordering::Relaxed);
+        if deadline > now {
+            std::thread::sleep(Duration::from_nanos(deadline - now));
+        }
+    }
+}
+
+/// One spill device: a positional-read file plus its bandwidth clock.
+#[derive(Debug)]
+pub(crate) struct SpillDevice {
+    pub(crate) file: SpillFile,
+    pub(crate) clock: BandwidthClock,
+}
+
+impl SpillDevice {
+    pub(crate) fn new(file: File) -> Self {
+        Self {
+            file: SpillFile::new(file),
+            clock: BandwidthClock::default(),
+        }
+    }
+}
+
+/// The shared spill-device context every read path goes through: the
+/// shard files, the bandwidth model, and the store's [`IoStats`]. Both
+/// the synchronous paths and the [`SpillIo`] engines read exclusively via
+/// [`IoShards::read_range`], so the throttle model and the accounting can
+/// never drift apart between them.
+pub(crate) struct IoShards {
+    pub(crate) devices: Vec<SpillDevice>,
+    pub(crate) disk_mbps: Option<f64>,
+    pub(crate) epoch: Instant,
+    pub(crate) stats: IoStats,
+}
+
+impl IoShards {
+    /// Read `len` raw bytes at `offset` of `shard` into `buf` (cleared and
+    /// resized): positional read, bandwidth charge, stats accounting.
+    pub(crate) fn read_range(
+        &self,
+        shard: usize,
+        offset: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        buf.clear();
+        buf.resize(len, 0);
+        let dev = &self.devices[shard];
+        dev.file.read_exact_at(buf, offset)?;
+        if let Some(mbps) = self.disk_mbps {
+            dev.clock.charge(self.epoch, len, mbps, &self.stats);
+        }
+        self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IO statistics.
+
+/// Number of power-of-two completion-latency buckets ([`LatencyHistogram`]).
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Lock-free log2 histogram of submit→complete latencies in microseconds:
+/// bucket `b` counts completions in `[2^(b-1), 2^b)` µs (bucket 0 is
+/// `< 1 µs`, the last bucket is open-ended).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let b = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bound of latency bucket `b` in microseconds.
+pub fn latency_bucket_upper_us(b: usize) -> u64 {
+    1u64 << b
+}
+
+/// Cumulative IO statistics (updated on every spilled read/submission).
+///
+/// All counters are independent relaxed atomics: a [`IoStats::snapshot`]
+/// taken mid-run can observe them at slightly different instants (e.g. a
+/// read whose `disk_reads` increment is visible but whose `bytes_read`
+/// is not yet). [`IoStats::snapshot_stable`] retries until two
+/// back-to-back snapshots agree, which converges immediately whenever
+/// the store is quiescent and bounds the skew to one in-flight update
+/// otherwise. Counters that are only ever touched by the visiting thread
+/// itself (`spill_requests`, `prefetch_hits`, `prefetch_misses`) are
+/// exact the moment every visit has returned — the stress and
+/// fault-injection suites assert `hits + misses == spill_requests`
+/// ([`IoSnapshot::assert_consistent`]).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Physical spill reads performed (a coalesced ring read counts once).
+    pub disk_reads: AtomicU64,
+    /// Bytes read from spill files.
+    pub bytes_read: AtomicU64,
+    /// Spilled visits served by the prefetch pipeline (the batch was
+    /// already decoded, or its read was in flight and overlapped compute).
+    pub prefetch_hits: AtomicU64,
+    /// Spilled visits that found no prefetch slot and read synchronously.
+    pub prefetch_misses: AtomicU64,
+    /// Spilled visits requested through the prefetch pipeline; every one
+    /// resolves to exactly one hit or miss by the time `visit` returns.
+    pub spill_requests: AtomicU64,
+    /// Simulated bandwidth delay accounted against the shard clocks, in
+    /// nanoseconds (see [`crate::store::StoreConfig::disk_mbps`]).
+    pub throttle_ns: AtomicU64,
+    /// Requests submitted to an async [`SpillIo`] engine.
+    pub submitted: AtomicU64,
+    /// Completions surfaced by an async [`SpillIo`] engine.
+    pub completed: AtomicU64,
+    /// Requests that rode along a coalesced ring read instead of costing
+    /// their own physical read.
+    pub coalesced_reads: AtomicU64,
+    /// Submitted-but-not-completed requests right now (gauge).
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    pub max_in_flight: AtomicU64,
+    /// Submit→complete latency distribution for async requests.
+    pub latency: LatencyHistogram,
+}
+
+impl IoStats {
+    /// Point-in-time copy of all counters. Each counter is read once with
+    /// relaxed ordering; see the type docs for the (bounded) skew a
+    /// mid-run snapshot can observe.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_misses: self.prefetch_misses.load(Ordering::Relaxed),
+            spill_requests: self.spill_requests.load(Ordering::Relaxed),
+            throttle_ns: self.throttle_ns.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            coalesced_reads: self.coalesced_reads.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            latency_us: self.latency.snapshot(),
+        }
+    }
+
+    /// Seqlock-style stable snapshot: re-read until two consecutive
+    /// snapshots agree (bounded retries). At quiescence the first retry
+    /// already agrees; under concurrent writers this still bounds the
+    /// cross-counter skew to whatever changed during one read pass.
+    pub fn snapshot_stable(&self) -> IoSnapshot {
+        let mut prev = self.snapshot();
+        for _ in 0..64 {
+            let cur = self.snapshot();
+            if cur == prev {
+                return cur;
+            }
+            prev = cur;
+        }
+        prev
+    }
+
+    pub(crate) fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let cur = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_in_flight.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_complete(&self, submitted_at: Instant) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.latency.record(submitted_at.elapsed());
+    }
+}
+
+/// Plain-value copy of [`IoStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub disk_reads: u64,
+    pub bytes_read: u64,
+    pub prefetch_hits: u64,
+    pub prefetch_misses: u64,
+    pub spill_requests: u64,
+    pub throttle_ns: u64,
+    pub submitted: u64,
+    pub completed: u64,
+    pub coalesced_reads: u64,
+    pub in_flight: u64,
+    pub max_in_flight: u64,
+    pub latency_us: [u64; LATENCY_BUCKETS],
+}
+
+impl IoSnapshot {
+    /// Approximate latency percentile (`p` in 0..=100): the upper bound of
+    /// the bucket containing that quantile, in microseconds. 0 when no
+    /// async completions were recorded.
+    pub fn latency_percentile_us(&self, p: u64) -> u64 {
+        let total: u64 = self.latency_us.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total * p).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.latency_us.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return latency_bucket_upper_us(b);
+            }
+        }
+        latency_bucket_upper_us(LATENCY_BUCKETS - 1)
+    }
+
+    /// Assert the cross-counter invariants that must hold once every
+    /// visit has returned (quiescent or not — these counters are only
+    /// written by the visiting threads themselves): every prefetch-path
+    /// request resolved to exactly one hit or miss. The engine-side
+    /// counters must satisfy `completed <= submitted` and physical reads
+    /// plus coalesced riders must cover every completion.
+    #[track_caller]
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.prefetch_hits + self.prefetch_misses,
+            self.spill_requests,
+            "prefetch hit/miss accounting diverged from requests: {self:?}"
+        );
+        assert!(
+            self.completed <= self.submitted,
+            "more completions than submissions: {self:?}"
+        );
+        assert!(
+            self.disk_reads + self.coalesced_reads >= self.completed,
+            "completions not covered by physical+coalesced reads: {self:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The SpillIo submission/completion seam.
+
+/// Engine selector threaded through `StoreConfig` and `toc train --io`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoEngineKind {
+    /// No engine: prefetch workers read synchronously (read latency
+    /// serializes with decode inside each worker — the PR 2 behavior).
+    #[default]
+    Sync,
+    /// Portable worker-pool backend ([`PoolIo`]).
+    Pool,
+    /// Batched per-shard backend with adjacent-read coalescing ([`RingIo`]).
+    Ring,
+}
+
+impl IoEngineKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            IoEngineKind::Sync => "sync",
+            IoEngineKind::Pool => "pool",
+            IoEngineKind::Ring => "ring",
+        }
+    }
+}
+
+impl std::fmt::Display for IoEngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for IoEngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sync" => Ok(IoEngineKind::Sync),
+            "pool" => Ok(IoEngineKind::Pool),
+            "ring" => Ok(IoEngineKind::Ring),
+            other => Err(format!("unknown io engine {other:?} (sync|pool|ring)")),
+        }
+    }
+}
+
+/// One read request: `len` bytes at `offset` of shard `shard`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpillRequest {
+    pub shard: usize,
+    pub offset: u64,
+    pub len: usize,
+}
+
+/// Engine-assigned request id, echoed by the matching [`Completion`].
+pub type Ticket = u64;
+
+/// A finished read: the caller's buffer back (filled on success) plus the
+/// IO result. Completions surface in whatever order reads finish —
+/// consumers must route by `ticket`, never by submission order.
+#[derive(Debug)]
+pub struct Completion {
+    pub ticket: Ticket,
+    pub shard: usize,
+    pub buf: Vec<u8>,
+    pub result: std::io::Result<()>,
+}
+
+/// The async spill-IO seam: submit positional reads, harvest completions
+/// out of order. All engines are `Send + Sync`; any number of threads may
+/// submit and complete concurrently.
+pub trait SpillIo: Send + Sync {
+    /// Queue a read. `buf` is recycled through the completion (resized to
+    /// `req.len`), so steady-state submission allocates nothing.
+    fn submit(&self, req: SpillRequest, buf: Vec<u8>) -> Ticket;
+
+    /// Block until a completion is available or the engine shuts down
+    /// (`None`). Concurrent callers each receive distinct completions.
+    fn complete(&self) -> Option<Completion>;
+
+    /// Wake every blocked `complete` caller and stop the IO threads.
+    /// Queued-but-unserved submissions are dropped.
+    fn shutdown(&self);
+
+    /// Submitted-but-not-completed request count (gauge).
+    fn in_flight(&self) -> usize;
+}
+
+/// Completion queue shared by the engine implementations: a condvar-woken
+/// deque plus the shutdown latch.
+pub(crate) struct CompletionQueue {
+    q: Mutex<(VecDeque<Completion>, bool)>,
+    cv: Condvar,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            q: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn push(&self, c: Completion) {
+        lock(&self.q).0.push_back(c);
+        self.cv.notify_one();
+    }
+
+    pub(crate) fn pop(&self) -> Option<Completion> {
+        let mut g = lock(&self.q);
+        loop {
+            if let Some(c) = g.0.pop_front() {
+                return Some(c);
+            }
+            if g.1 {
+                return None;
+            }
+            g = wait(&self.cv, g);
+        }
+    }
+
+    pub(crate) fn shut_down(&self) {
+        lock(&self.q).1 = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_shut_down(&self) -> bool {
+        lock(&self.q).1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared submission plumbing.
+
+pub(crate) struct Submission {
+    pub(crate) ticket: Ticket,
+    pub(crate) req: SpillRequest,
+    pub(crate) buf: Vec<u8>,
+    pub(crate) at: Instant,
+}
+
+/// Central submission queue shared by the pool engine and the
+/// fault-injection double: ticket assignment, `IoStats` accounting, and
+/// condvar wakeup live in exactly one place, so the test double can never
+/// drift from the production submission contract.
+pub(crate) struct SubmissionQueue {
+    q: Mutex<VecDeque<Submission>>,
+    cv: Condvar,
+    next_ticket: AtomicU64,
+}
+
+impl SubmissionQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Assign a ticket, account the submission, enqueue, wake one worker.
+    pub(crate) fn submit(&self, io: &IoShards, req: SpillRequest, buf: Vec<u8>) -> Ticket {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        io.stats.record_submit();
+        lock(&self.q).push_back(Submission {
+            ticket,
+            req,
+            buf,
+            at: Instant::now(),
+        });
+        self.cv.notify_one();
+        ticket
+    }
+
+    /// Non-blocking pop.
+    pub(crate) fn try_pop(&self) -> Option<Submission> {
+        lock(&self.q).pop_front()
+    }
+
+    /// Block until a submission arrives or `shut_down()` returns true.
+    pub(crate) fn pop_wait(&self, shut_down: impl Fn() -> bool) -> Option<Submission> {
+        let mut g = lock(&self.q);
+        loop {
+            if shut_down() {
+                return None;
+            }
+            if let Some(s) = g.pop_front() {
+                return Some(s);
+            }
+            g = wait(&self.cv, g);
+        }
+    }
+
+    /// Sleep until new work arrives or `timeout` elapses (spurious wakeups
+    /// allowed; callers loop).
+    pub(crate) fn wait_briefly(&self, timeout: Duration) {
+        let g = lock(&self.q);
+        if g.is_empty() {
+            let _ = self
+                .cv
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Wake every blocked `pop_wait` caller (shutdown path).
+    pub(crate) fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PoolIo: the portable worker-pool backend.
+
+struct PoolShared {
+    io: Arc<IoShards>,
+    subq: SubmissionQueue,
+    comp: CompletionQueue,
+}
+
+/// Portable worker-pool [`SpillIo`] backend: N threads pull submissions
+/// off a central queue and serve them with positional reads. Reads of
+/// different shards proceed fully in parallel; reads of one shard share
+/// its bandwidth clock. Completion order is read-finish order.
+pub struct PoolIo {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+pub(crate) const MAX_IO_THREADS: usize = 8;
+
+impl PoolIo {
+    pub(crate) fn start(io: Arc<IoShards>, workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            io,
+            subq: SubmissionQueue::new(),
+            comp: CompletionQueue::new(),
+        });
+        let threads = (0..workers.clamp(1, MAX_IO_THREADS))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker(&shared))
+            })
+            .collect();
+        Self { shared, threads }
+    }
+
+    fn worker(shared: &PoolShared) {
+        while let Some(sub) = shared.subq.pop_wait(|| shared.comp.is_shut_down()) {
+            let Submission {
+                ticket,
+                req,
+                mut buf,
+                at,
+            } = sub;
+            let result = shared
+                .io
+                .read_range(req.shard, req.offset, req.len, &mut buf);
+            shared.io.stats.record_complete(at);
+            shared.comp.push(Completion {
+                ticket,
+                shard: req.shard,
+                buf,
+                result,
+            });
+        }
+    }
+}
+
+impl SpillIo for PoolIo {
+    fn submit(&self, req: SpillRequest, buf: Vec<u8>) -> Ticket {
+        self.shared.subq.submit(&self.shared.io, req, buf)
+    }
+
+    fn complete(&self) -> Option<Completion> {
+        self.shared.comp.pop()
+    }
+
+    fn shutdown(&self) {
+        self.shared.comp.shut_down();
+        self.shared.subq.notify_all();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.shared.io.stats.in_flight.load(Ordering::Relaxed) as usize
+    }
+}
+
+impl Drop for PoolIo {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RingIo: batched per-shard queues with adjacent-read coalescing.
+
+struct RingShared {
+    io: Arc<IoShards>,
+    /// One inbox per ring thread; shard `s` routes to inbox `s % threads`.
+    inboxes: Vec<(Mutex<Vec<Submission>>, Condvar)>,
+    comp: CompletionQueue,
+    next_ticket: AtomicU64,
+}
+
+/// Batched "ring" [`SpillIo`] backend. Submissions route to per-thread
+/// inboxes by shard; each ring thread drains its inbox in bursts, groups
+/// the burst by shard, sorts each group by file offset and **coalesces
+/// adjacent ranges into one physical read** (one bandwidth-clock charge
+/// for the merged length), then completes the members out of order. A
+/// burst of K lookahead submissions over contiguously-placed batches
+/// (`ShardPlacement::Pack`) thus costs a handful of large reads instead
+/// of K small ones.
+pub struct RingIo {
+    shared: Arc<RingShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RingIo {
+    pub(crate) fn start(io: Arc<IoShards>) -> Self {
+        let n_threads = io.devices.len().clamp(1, MAX_IO_THREADS);
+        let shared = Arc::new(RingShared {
+            io,
+            inboxes: (0..n_threads)
+                .map(|_| (Mutex::new(Vec::new()), Condvar::new()))
+                .collect(),
+            comp: CompletionQueue::new(),
+            next_ticket: AtomicU64::new(0),
+        });
+        let threads = (0..n_threads)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::ring_thread(&shared, t))
+            })
+            .collect();
+        Self { shared, threads }
+    }
+
+    fn ring_thread(shared: &RingShared, t: usize) {
+        // Reusable staging for coalesced reads: the merged range lands
+        // here once, then splits into the members' recycled buffers — no
+        // per-burst allocation in steady state.
+        let mut merged = Vec::new();
+        loop {
+            // Drain the whole inbox in one burst — the batching window.
+            let mut burst = {
+                let (m, cv) = &shared.inboxes[t];
+                let mut g = lock(m);
+                loop {
+                    if shared.comp.is_shut_down() {
+                        return;
+                    }
+                    if !g.is_empty() {
+                        break std::mem::take(&mut *g);
+                    }
+                    g = wait(cv, g);
+                }
+            };
+            // Group by shard, then serve each group offset-sorted with
+            // adjacent ranges merged into one read.
+            for r in plan_runs(&mut burst) {
+                Self::serve_run(shared, &mut burst[r], &mut merged);
+            }
+            // Return the burst members' buffers through completions; the
+            // drained Vec itself is dropped (its capacity is tiny).
+        }
+    }
+
+    /// Serve one maximal run of same-shard, file-adjacent requests
+    /// (one range from [`plan_runs`]): a single physical read of the
+    /// merged range, split back into the members' buffers. A run of one
+    /// degenerates to a plain read.
+    fn serve_run(shared: &RingShared, run: &mut [Submission], merged: &mut Vec<u8>) {
+        let shard = run[0].req.shard;
+        let base = run[0].req.offset;
+        let merged_len: usize = run.iter().map(|s| s.req.len).sum();
+        let io = &shared.io;
+        if run.len() == 1 {
+            let Submission { req, .. } = run[0];
+            let mut buf = std::mem::take(&mut run[0].buf);
+            let result = io.read_range(req.shard, req.offset, req.len, &mut buf);
+            io.stats.record_complete(run[0].at);
+            shared.comp.push(Completion {
+                ticket: run[0].ticket,
+                shard,
+                buf,
+                result,
+            });
+            return;
+        }
+        // One physical read for the whole run, staged through the ring
+        // thread's reusable buffer (read_range clears and resizes it).
+        let result = io.read_range(shard, base, merged_len, merged);
+        io.stats
+            .coalesced_reads
+            .fetch_add(run.len() as u64 - 1, Ordering::Relaxed);
+        let mut cursor = 0usize;
+        for sub in run.iter_mut() {
+            let mut buf = std::mem::take(&mut sub.buf);
+            let member_result = match &result {
+                Ok(()) => {
+                    buf.clear();
+                    buf.extend_from_slice(&merged[cursor..cursor + sub.req.len]);
+                    Ok(())
+                }
+                Err(e) => Err(std::io::Error::new(e.kind(), e.to_string())),
+            };
+            cursor += sub.req.len;
+            io.stats.record_complete(sub.at);
+            shared.comp.push(Completion {
+                ticket: sub.ticket,
+                shard,
+                buf,
+                result: member_result,
+            });
+        }
+    }
+}
+
+/// The ring engine's batching plan, separated from serving so it can be
+/// tested deterministically (whether adjacent requests actually land in
+/// one burst is scheduling-dependent; what a burst merges into is not):
+/// sort a drained burst by `(shard, offset)` and return the maximal runs
+/// of same-shard, file-adjacent requests as index ranges into the sorted
+/// burst.
+fn plan_runs(burst: &mut [Submission]) -> Vec<std::ops::Range<usize>> {
+    burst.sort_by_key(|s| (s.req.shard, s.req.offset));
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < burst.len() {
+        let shard = burst[i].req.shard;
+        let start = i;
+        let mut end_off = burst[i].req.offset + burst[i].req.len as u64;
+        i += 1;
+        while i < burst.len() && burst[i].req.shard == shard && burst[i].req.offset == end_off {
+            end_off += burst[i].req.len as u64;
+            i += 1;
+        }
+        runs.push(start..i);
+    }
+    runs
+}
+
+impl SpillIo for RingIo {
+    fn submit(&self, req: SpillRequest, buf: Vec<u8>) -> Ticket {
+        let ticket = self.shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.shared.io.stats.record_submit();
+        let t = req.shard % self.shared.inboxes.len();
+        let (m, cv) = &self.shared.inboxes[t];
+        lock(m).push(Submission {
+            ticket,
+            req,
+            buf,
+            at: Instant::now(),
+        });
+        cv.notify_one();
+        ticket
+    }
+
+    fn complete(&self) -> Option<Completion> {
+        self.shared.comp.pop()
+    }
+
+    fn shutdown(&self) {
+        self.shared.comp.shut_down();
+        for (_, cv) in &self.shared.inboxes {
+            cv.notify_all();
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.shared.io.stats.in_flight.load(Ordering::Relaxed) as usize
+    }
+}
+
+impl Drop for RingIo {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::io::Write;
+
+    /// Build an IoShards over `n_shards` temp files, each holding the
+    /// given chunks laid out back to back. Returns the shard layouts
+    /// (shard, offset, bytes) in write order.
+    #[allow(clippy::type_complexity)]
+    fn test_shards(
+        n_shards: usize,
+        chunks: &[(usize, Vec<u8>)],
+    ) -> (
+        Arc<IoShards>,
+        Vec<(SpillRequest, Vec<u8>)>,
+        Vec<std::path::PathBuf>,
+    ) {
+        let dir = std::env::temp_dir();
+        let mut files = Vec::new();
+        let mut paths = Vec::new();
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        for s in 0..n_shards {
+            let path = dir.join(format!("toc-io-test-{}-{id}-{s}.bin", std::process::id()));
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .read(true)
+                .truncate(true)
+                .open(&path)
+                .unwrap();
+            files.push(f);
+            paths.push(path);
+        }
+        let mut offsets = vec![0u64; n_shards];
+        let mut layout = Vec::new();
+        for (shard, bytes) in chunks {
+            files[*shard].write_all(bytes).unwrap();
+            layout.push((
+                SpillRequest {
+                    shard: *shard,
+                    offset: offsets[*shard],
+                    len: bytes.len(),
+                },
+                bytes.clone(),
+            ));
+            offsets[*shard] += bytes.len() as u64;
+        }
+        let devices = files.into_iter().map(SpillDevice::new).collect();
+        (
+            Arc::new(IoShards {
+                devices,
+                disk_mbps: None,
+                epoch: Instant::now(),
+                stats: IoStats::default(),
+            }),
+            layout,
+            paths,
+        )
+    }
+
+    fn chunk(shard: usize, fill: u8, len: usize) -> (usize, Vec<u8>) {
+        (shard, vec![fill; len])
+    }
+
+    fn drain_and_check(engine: &dyn SpillIo, expected: &HashMap<Ticket, Vec<u8>>) {
+        for _ in 0..expected.len() {
+            let c = engine.complete().expect("engine shut down early");
+            assert!(c.result.is_ok(), "{:?}", c.result);
+            assert_eq!(&c.buf, &expected[&c.ticket], "ticket {}", c.ticket);
+        }
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[test]
+    fn pool_engine_completes_all_requests_out_of_order_safe() {
+        let chunks: Vec<_> = (0..10u8)
+            .map(|i| chunk(i as usize % 3, i, 64 + i as usize))
+            .collect();
+        let (io, layout, paths) = test_shards(3, &chunks);
+        let engine = PoolIo::start(Arc::clone(&io), 4);
+        let mut expected = HashMap::new();
+        for (req, bytes) in &layout {
+            let t = engine.submit(*req, Vec::new());
+            expected.insert(t, bytes.clone());
+        }
+        drain_and_check(&engine, &expected);
+        let s = io.stats.snapshot_stable();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.disk_reads, 10);
+        assert!(s.max_in_flight >= 1);
+        assert_eq!(s.latency_us.iter().sum::<u64>(), 10);
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn ring_engine_coalesces_adjacent_reads() {
+        // 6 chunks on one shard, all adjacent: submitted in one burst
+        // before the ring thread wakes they should merge into few reads.
+        let chunks: Vec<_> = (0..6u8).map(|i| chunk(0, i, 128)).collect();
+        let (io, layout, paths) = test_shards(1, &chunks);
+        let engine = RingIo::start(Arc::clone(&io));
+        // Hold the ring thread busy-less: submit everything in one burst
+        // under no lock, then harvest. The thread drains the inbox as one
+        // batch, so at least some requests must coalesce.
+        let mut expected = HashMap::new();
+        for (req, bytes) in &layout {
+            let t = engine.submit(*req, Vec::new());
+            expected.insert(t, bytes.clone());
+        }
+        drain_and_check(&engine, &expected);
+        let s = io.stats.snapshot_stable();
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 6);
+        // Whatever the interleaving, reads + riders covers all 6; and the
+        // byte totals match exactly (coalescing must not re-read).
+        assert_eq!(s.disk_reads + s.coalesced_reads, 6, "{s:?}");
+        assert_eq!(s.bytes_read, 6 * 128);
+        s.assert_consistent();
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn plan_runs_merges_adjacent_ranges_deterministically() {
+        let sub = |shard: usize, offset: u64, len: usize| Submission {
+            ticket: offset, // arbitrary
+            req: SpillRequest { shard, offset, len },
+            buf: Vec::new(),
+            at: Instant::now(),
+        };
+        // Submitted out of order, across two shards, with one gap:
+        // shard 0 holds [0,100), [100,250), gap, [300,350);
+        // shard 1 holds [0,80), [80,160).
+        let mut burst = vec![
+            sub(1, 80, 80),
+            sub(0, 100, 150),
+            sub(0, 300, 50),
+            sub(0, 0, 100),
+            sub(1, 0, 80),
+        ];
+        let runs = plan_runs(&mut burst);
+        // Sorted: (0,0) (0,100) (0,300) (1,0) (1,80) → runs of 2, 1, 2.
+        assert_eq!(runs, vec![0..2, 2..3, 3..5]);
+        let lens: Vec<usize> = runs
+            .iter()
+            .map(|r| burst[r.clone()].iter().map(|s| s.req.len).sum())
+            .collect();
+        assert_eq!(lens, vec![250, 50, 160]);
+        // Degenerate bursts.
+        assert_eq!(plan_runs(&mut []), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(plan_runs(&mut [sub(2, 7, 3)]), vec![0..1]);
+    }
+
+    #[test]
+    fn ring_engine_serves_interleaved_shards() {
+        let chunks: Vec<_> = (0..12u8).map(|i| chunk(i as usize % 4, i, 96)).collect();
+        let (io, layout, paths) = test_shards(4, &chunks);
+        let engine = RingIo::start(Arc::clone(&io));
+        let mut expected = HashMap::new();
+        for (req, bytes) in &layout {
+            let t = engine.submit(*req, Vec::new());
+            expected.insert(t, bytes.clone());
+        }
+        drain_and_check(&engine, &expected);
+        io.stats.snapshot_stable().assert_consistent();
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn engines_surface_read_errors_per_request() {
+        let (io, layout, paths) = test_shards(1, &[chunk(0, 7, 64)]);
+        let engine = PoolIo::start(Arc::clone(&io), 2);
+        // Past-EOF read must complete with an error, not hang or panic.
+        let t_bad = engine.submit(
+            SpillRequest {
+                shard: 0,
+                offset: 1 << 20,
+                len: 32,
+            },
+            Vec::new(),
+        );
+        let t_good = engine.submit(layout[0].0, Vec::new());
+        let mut seen = HashMap::new();
+        for _ in 0..2 {
+            let c = engine.complete().unwrap();
+            seen.insert(c.ticket, c.result.is_ok());
+        }
+        assert!(!seen[&t_bad]);
+        assert!(seen[&t_good]);
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_completers() {
+        let (io, _, paths) = test_shards(1, &[chunk(0, 1, 8)]);
+        for engine in [
+            Box::new(PoolIo::start(Arc::clone(&io), 2)) as Box<dyn SpillIo>,
+            Box::new(RingIo::start(Arc::clone(&io))) as Box<dyn SpillIo>,
+        ] {
+            let waiter = {
+                let engine: &dyn SpillIo = &*engine;
+                std::thread::scope(|s| {
+                    let h = s.spawn(|| engine.complete().is_none());
+                    std::thread::sleep(Duration::from_millis(10));
+                    engine.shutdown();
+                    h.join().unwrap()
+                })
+            };
+            assert!(waiter, "complete() must return None after shutdown");
+        }
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn engine_kind_parses_and_prints() {
+        for (s, k) in [
+            ("sync", IoEngineKind::Sync),
+            ("POOL", IoEngineKind::Pool),
+            ("Ring", IoEngineKind::Ring),
+        ] {
+            assert_eq!(s.parse::<IoEngineKind>().unwrap(), k);
+            assert_eq!(k.name().parse::<IoEngineKind>().unwrap(), k);
+        }
+        assert!("uring".parse::<IoEngineKind>().is_err());
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.iter().sum::<u64>(), 4);
+        assert_eq!(snap[0], 1); // <1us
+        assert_eq!(snap[2], 2); // [2,4)us
+        let s = IoSnapshot {
+            latency_us: snap,
+            ..Default::default()
+        };
+        assert_eq!(s.latency_percentile_us(50), 4);
+        assert_eq!(s.latency_percentile_us(99), 1024);
+        assert_eq!(IoSnapshot::default().latency_percentile_us(50), 0);
+    }
+}

@@ -7,10 +7,17 @@
 //! with real disk spill that reproduce the in-memory/out-of-core regimes
 //! of the end-to-end experiments (Tables 6–7, Figures 9–11): the
 //! single-file [`MiniBatchStore`] and the sharded, prefetching
-//! [`ShardedSpillStore`].
+//! [`ShardedSpillStore`]. [`io`] is the async spill-IO seam underneath —
+//! a submission/completion [`SpillIo`] trait with a portable worker-pool
+//! backend and a coalescing ring backend — and [`testing`] provides a
+//! fault-injecting engine double for adversarial scheduling tests.
 
+pub mod io;
 pub mod store;
 pub mod synth;
+pub mod testing;
 
-pub use store::{IoSnapshot, IoStats, MiniBatchStore, ShardedSpillStore, StoreConfig};
+pub use io::{IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, SpillIo, LATENCY_BUCKETS};
+pub use store::{MiniBatchStore, ShardPlacement, ShardedSpillStore, StoreConfig};
 pub use synth::{generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind};
+pub use testing::{FaultPlan, FaultStats};

@@ -1,0 +1,132 @@
+//! End-to-end determinism: the same seed must produce a **bit-identical**
+//! training run regardless of where the batches physically live or which
+//! IO path serves them. Six store configurations — in-memory, single
+//! spill file, sharded, sharded+sync-prefetch, async pool, async ring —
+//! feed the identical batch stream, so the final weights *and* the
+//! per-epoch error trajectory must agree with `==`, not a tolerance.
+
+use toc_data::store::{
+    IoEngineKind, MiniBatchStore, ShardPlacement, ShardedSpillStore, StoreConfig,
+};
+use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_formats::Scheme;
+use toc_ml::mgd::{BatchProvider, MgdConfig, ModelSpec, Trainer};
+use toc_ml::LossKind;
+
+struct Run {
+    name: &'static str,
+    weights: Vec<f64>,
+    curve: Vec<f64>,
+}
+
+fn train(
+    name: &'static str,
+    provider: &dyn BatchProvider,
+    eval: (&toc_formats::AnyBatch, &[f64]),
+) -> Run {
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 6,
+        lr: 0.25,
+        record_curve: true,
+        shuffle_batches: true, // per-epoch random visit order must also agree
+        ..Default::default()
+    });
+    let report = trainer.train(&ModelSpec::Linear(LossKind::Logistic), provider, Some(eval));
+    Run {
+        name,
+        weights: report.model.weights(),
+        curve: report.curve.iter().map(|p| p.error_rate).collect(),
+    }
+}
+
+#[test]
+fn loss_trajectory_is_bit_identical_across_store_configs() {
+    let ds = generate_preset(DatasetPreset::CensusLike, 480, 13);
+    let scheme = Scheme::Toc;
+    let batch_rows = 60;
+    let eval_batch = Scheme::Den.encode(&ds.x);
+    let eval = (&eval_batch, ds.labels.as_slice());
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // (1) In-memory reference.
+    {
+        let provider = toc_ml::mgd::MemoryProvider {
+            batches: (0..8)
+                .map(|i| {
+                    (
+                        scheme.encode(&ds.x.slice_rows(i * batch_rows, (i + 1) * batch_rows)),
+                        ds.labels[i * batch_rows..(i + 1) * batch_rows].to_vec(),
+                    )
+                })
+                .collect(),
+            features: ds.x.cols(),
+        };
+        runs.push(train("in-memory", &provider, eval));
+    }
+
+    // (2) Single spill file, everything on disk.
+    {
+        let store =
+            MiniBatchStore::build(&ds.x, &ds.labels, &StoreConfig::new(scheme, batch_rows, 0))
+                .unwrap();
+        assert_eq!(store.spilled_batches(), 8);
+        runs.push(train("single-file", &store, eval));
+    }
+
+    // (3)–(6) Sharded variants.
+    let sharded_configs: [(&'static str, StoreConfig); 4] = [
+        (
+            "sharded",
+            StoreConfig::new(scheme, batch_rows, 0).with_shards(3),
+        ),
+        (
+            "sharded+prefetch",
+            StoreConfig::new(scheme, batch_rows, 0)
+                .with_shards(3)
+                .with_prefetch(3),
+        ),
+        (
+            "async-pool",
+            StoreConfig::new(scheme, batch_rows, 0)
+                .with_shards(3)
+                .with_prefetch(3)
+                .with_io(IoEngineKind::Pool),
+        ),
+        (
+            "async-ring",
+            StoreConfig::new(scheme, batch_rows, 0)
+                .with_shards(3)
+                .with_prefetch(3)
+                .with_io(IoEngineKind::Ring)
+                .with_placement(ShardPlacement::Pack),
+        ),
+    ];
+    for (name, config) in sharded_configs {
+        let store = ShardedSpillStore::build(&ds.x, &ds.labels, &config).unwrap();
+        assert_eq!(store.spilled_batches(), 8, "{name}");
+        runs.push(train(name, &store, eval));
+        store.stats().snapshot_stable().assert_consistent();
+    }
+
+    // The model must actually have learned something (guards against all
+    // six agreeing on garbage), and every run must agree bitwise.
+    let reference = &runs[0];
+    assert!(
+        *reference.curve.last().unwrap() < 0.35,
+        "reference run did not converge: {:?}",
+        reference.curve
+    );
+    for run in &runs[1..] {
+        assert_eq!(
+            run.weights, reference.weights,
+            "{} diverged from {} in final weights",
+            run.name, reference.name
+        );
+        assert_eq!(
+            run.curve, reference.curve,
+            "{} diverged from {} in the loss trajectory",
+            run.name, reference.name
+        );
+    }
+}

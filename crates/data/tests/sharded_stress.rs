@@ -4,7 +4,7 @@
 //! the `IoStats` totals must add up exactly. Run it in release too — the
 //! CI has a `cargo test --release` job precisely for these.
 
-use toc_data::store::{ShardedSpillStore, StoreConfig};
+use toc_data::store::{IoEngineKind, ShardPlacement, ShardedSpillStore, StoreConfig};
 use toc_data::synth::{generate_preset, DatasetPreset};
 use toc_formats::{MatrixBatch, Scheme};
 use toc_ml::mgd::BatchProvider;
@@ -26,10 +26,18 @@ fn eight_concurrent_visitors_get_byte_identical_batches() {
         })
         .collect();
 
-    for prefetch in [0usize, 6] {
+    for (prefetch, io, placement) in [
+        (0usize, IoEngineKind::Sync, ShardPlacement::Stripe),
+        (6, IoEngineKind::Sync, ShardPlacement::Stripe),
+        (6, IoEngineKind::Pool, ShardPlacement::Stripe),
+        (6, IoEngineKind::Ring, ShardPlacement::Stripe),
+        (6, IoEngineKind::Ring, ShardPlacement::Pack),
+    ] {
         let config = StoreConfig::new(Scheme::Toc, BATCH_ROWS, 0)
             .with_shards(4)
-            .with_prefetch(prefetch);
+            .with_prefetch(prefetch)
+            .with_io(io)
+            .with_placement(placement);
         let store = ShardedSpillStore::build(&ds.x, &ds.labels, &config).unwrap();
         assert_eq!(store.spilled_batches(), n_batches);
         assert_eq!(store.num_shards(), 4);
@@ -55,7 +63,12 @@ fn eight_concurrent_visitors_get_byte_identical_batches() {
         });
 
         let visits = (THREADS * ROUNDS * n_batches) as u64;
-        let s = store.stats().snapshot();
+        // `snapshot_stable` because async engine workers may still be
+        // retiring lookahead reads when the last visit returns; the
+        // visitor-owned counters (requests/hits/misses) are exact either
+        // way and `assert_consistent` checks they add up.
+        let s = store.stats().snapshot_stable();
+        s.assert_consistent();
         if prefetch == 0 {
             // No pipeline: every spilled visit is exactly one read.
             assert_eq!(s.disk_reads, visits);
@@ -65,13 +78,19 @@ fn eight_concurrent_visitors_get_byte_identical_batches() {
             );
             assert_eq!(s.prefetch_hits, 0);
             assert_eq!(s.prefetch_misses, 0);
+            assert_eq!(s.spill_requests, 0);
         } else {
             // Pipeline: every spilled visit is accounted as exactly one
-            // hit or miss, and consumed exactly one read; at most a
-            // lookahead window of reads stays unconsumed at shutdown.
-            assert_eq!(s.prefetch_hits + s.prefetch_misses, visits, "{s:?}");
-            assert!(s.disk_reads >= visits, "{s:?}");
-            assert!(s.disk_reads <= visits + (4 * prefetch) as u64, "{s:?}");
+            // hit or miss, and consumed exactly one read (or rode along a
+            // coalesced ring read); at most a lookahead window of reads
+            // stays unconsumed at shutdown.
+            assert_eq!(s.spill_requests, visits, "{io:?} {s:?}");
+            assert_eq!(s.prefetch_hits + s.prefetch_misses, visits, "{io:?} {s:?}");
+            assert!(s.disk_reads + s.coalesced_reads >= visits, "{io:?} {s:?}");
+            assert!(
+                s.disk_reads + s.coalesced_reads <= visits + (8 * prefetch) as u64,
+                "{io:?} {s:?}"
+            );
         }
         assert_eq!(s.throttle_ns, 0); // no bandwidth model configured
     }

@@ -1,10 +1,10 @@
 //! Property tests for the out-of-core path: arbitrary (scheme ×
-//! batch_rows × budget × shards × prefetch) configurations round-trip
-//! through spill with decode-equality against the source matrix, for both
-//! the single-file and the sharded store.
+//! batch_rows × budget × shards × prefetch × io engine) configurations
+//! round-trip through spill with decode-equality against the source
+//! matrix, for both the single-file and the sharded store.
 
 use proptest::prelude::*;
-use toc_data::store::{MiniBatchStore, ShardedSpillStore, StoreConfig};
+use toc_data::store::{IoEngineKind, MiniBatchStore, ShardedSpillStore, StoreConfig};
 use toc_data::synth::{generate_preset, DatasetPreset};
 use toc_formats::{MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
@@ -41,8 +41,10 @@ proptest! {
         budget_pct in 0usize..=120,
         shards in 1usize..5,
         prefetch in 0usize..4,
+        io_idx in 0usize..3,
     ) {
         let scheme = Scheme::PAPER_SET[scheme_idx];
+        let io = [IoEngineKind::Sync, IoEngineKind::Pool, IoEngineKind::Ring][io_idx];
         let ds = generate_preset(DatasetPreset::CensusLike, rows, 17);
         let n_batches = rows.div_ceil(batch_rows);
 
@@ -58,7 +60,8 @@ proptest! {
 
         let config = StoreConfig::new(scheme, batch_rows, budget)
             .with_shards(shards)
-            .with_prefetch(prefetch);
+            .with_prefetch(prefetch)
+            .with_io(io);
         let flat = MiniBatchStore::build(&ds.x, &ds.labels, &config).unwrap();
         let sharded = ShardedSpillStore::build(&ds.x, &ds.labels, &config).unwrap();
 
@@ -77,12 +80,17 @@ proptest! {
         // IO totals are exact: two sweeps read every spilled byte twice
         // (plus whatever the prefetcher read ahead but nobody consumed).
         let spilled_visits = 2 * flat.spilled_batches() as u64;
-        let snap = flat.stats.snapshot();
+        let snap = flat.stats().snapshot();
         prop_assert_eq!(snap.disk_reads, spilled_visits);
         prop_assert_eq!(snap.bytes_read, 2 * flat.spilled_bytes() as u64);
-        let snap = sharded.stats().snapshot();
+        let snap = sharded.stats().snapshot_stable();
+        snap.assert_consistent();
+        prop_assert_eq!(snap.spill_requests,
+                        if prefetch > 0 { spilled_visits } else { 0 });
         prop_assert_eq!(snap.prefetch_hits + snap.prefetch_misses,
                         if prefetch > 0 { spilled_visits } else { 0 });
-        prop_assert!(snap.disk_reads >= spilled_visits);
+        // Every spilled visit consumed one physical read or rode along a
+        // coalesced one (the ring engine may merge adjacent reads).
+        prop_assert!(snap.disk_reads + snap.coalesced_reads >= spilled_visits);
     }
 }

@@ -65,6 +65,28 @@ pub enum TrainedModel {
 }
 
 impl TrainedModel {
+    /// Every learned parameter, flattened in a deterministic order. Two
+    /// runs trained on byte-identical batch streams must produce
+    /// *bit-identical* vectors here — the cross-store determinism and
+    /// fault-injection suites compare training runs with `==`, not with a
+    /// tolerance, because out-of-core reads must never perturb the math.
+    pub fn weights(&self) -> Vec<f64> {
+        match self {
+            TrainedModel::Linear(m) => m.w.clone(),
+            TrainedModel::OneVsRest(m) => m
+                .models
+                .iter()
+                .flat_map(|lm| lm.w.iter().copied())
+                .collect(),
+            TrainedModel::NeuralNet(nn) => nn
+                .weights
+                .iter()
+                .flat_map(|w| w.data().iter().copied())
+                .chain(nn.biases.iter().flat_map(|b| b.iter().copied()))
+                .collect(),
+        }
+    }
+
     /// Classification error rate on a labeled batch (1 − accuracy).
     pub fn error_rate(&mut self, batch: &AnyBatch, labels: &[f64]) -> f64 {
         match self {
@@ -435,6 +457,30 @@ mod tests {
         // A different seed gives a different (but also working) model.
         let w3 = run(&MgdConfig { seed: 7, ..config });
         assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_cover_every_family() {
+        let (provider, _, _) = make_provider(Scheme::Toc, 200, 6, 25, 11);
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 3,
+            lr: 0.2,
+            ..Default::default()
+        });
+        // Linear: weights == w.
+        let r = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
+        assert_eq!(r.model.weights().len(), 6);
+        let r2 = trainer.train(&ModelSpec::Linear(LossKind::Logistic), &provider, None);
+        assert_eq!(r.model.weights(), r2.model.weights());
+        // NN: weights covers every layer matrix and bias.
+        let spec = ModelSpec::NeuralNet {
+            hidden: vec![4],
+            outputs: 1,
+        };
+        let r = trainer.train(&spec, &provider, None);
+        assert_eq!(r.model.weights().len(), (6 * 4 + 4) + (4 + 1));
+        let r2 = trainer.train(&spec, &provider, None);
+        assert_eq!(r.model.weights(), r2.model.weights());
     }
 
     #[test]
