@@ -55,7 +55,8 @@ USAGE:
   toc bench <in.csv> [--batch-rows <n>]
   toc train <in.csv> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
             [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
-            [--io <sync|pool|ring>] [--placement <stripe|pack>]
+            [--io <sync|pool|ring>] [--placement <stripe|pack|adaptive>] [--adaptive]
+            [--pin] [--pin-map <t0,t1,...>] [--io-threads <n>] [--decode-workers <n>]
             (the last CSV column is the ±1 label; --budget trains over the
              out-of-core sharded spill store: batches beyond the budget
              spill to --shards files and are read back through a
@@ -64,7 +65,14 @@ USAGE:
              sync reads inside each prefetch worker, an async worker pool,
              or the batched ring engine that coalesces adjacent reads;
              --placement pack lays consecutive spilled batches out
-             file-adjacent so ring submissions merge)
+             file-adjacent so ring submissions merge, and adaptive
+             (shorthand: --adaptive) profiles per-shard bandwidth at
+             runtime and re-packs hot batches onto the fastest shards
+             between epochs. --pin gives ring threads a stable automatic
+             shard assignment and stripes completions into per-decode-
+             worker lanes; --pin-map pins shard i to IO thread t_i
+             explicitly (exactly one entry per shard, each < --io-threads);
+             --io-threads/--decode-workers size the engine (0 = auto))
 
   compress/bench/train also accept the CLA co-coding knobs:
     --cla-planner <greedy|sample>   column grouping algorithm (default sample)
@@ -72,6 +80,10 @@ USAGE:
   `--scheme auto` (compress) picks the smallest-estimate scheme per dataset,
   judging CLA by its planner estimate instead of a full encode probe.
 ";
+
+/// Options that are plain flags (no value follows them). Everything else
+/// starting with `--` consumes the next token as its value.
+const BOOL_FLAGS: &[&str] = &["--adaptive", "--pin"];
 
 /// Fetch `--name value` from an argument list.
 fn opt(args: &[String], name: &str) -> Option<String> {
@@ -81,18 +93,23 @@ fn opt(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Whether the boolean flag `name` (a [`BOOL_FLAGS`] member) was passed.
+fn has_flag(args: &[String], name: &str) -> bool {
+    debug_assert!(BOOL_FLAGS.contains(&name));
+    args.iter().any(|a| a == name)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip {
             skip = false;
             continue;
         }
         if a.starts_with("--") {
-            // All options take a value.
-            let _ = i;
-            skip = true;
+            // Value-less flags don't consume the next token.
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
@@ -385,19 +402,53 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         Some(s) => s.parse()?,
         None => toc_data::IoEngineKind::Sync,
     };
-    let placement: toc_data::ShardPlacement = match opt(args, "--placement") {
+    let mut placement: toc_data::ShardPlacement = match opt(args, "--placement") {
         Some(s) => s.parse()?,
         None => toc_data::ShardPlacement::Stripe,
+    };
+    if has_flag(args, "--adaptive") {
+        if opt(args, "--placement").is_some_and(|p| !p.eq_ignore_ascii_case("adaptive")) {
+            return Err("--adaptive conflicts with the explicit --placement".into());
+        }
+        placement = toc_data::ShardPlacement::Adaptive;
+    }
+    let pinning = match (has_flag(args, "--pin"), opt(args, "--pin-map")) {
+        (true, Some(_)) => {
+            return Err("--pin (automatic) and --pin-map (explicit) are mutually exclusive".into())
+        }
+        (true, None) => toc_data::Pinning::Auto,
+        (false, Some(map)) => {
+            let map: Vec<usize> = map
+                .split(',')
+                .map(|t| t.trim().parse().map_err(|e| format!("--pin-map: {e}")))
+                .collect::<Result<_, String>>()?;
+            toc_data::Pinning::Fixed(map)
+        }
+        (false, None) => toc_data::Pinning::Off,
+    };
+    let scheduler = toc_data::SchedulerConfig {
+        io_threads: match opt(args, "--io-threads") {
+            Some(s) => s.parse().map_err(|e| format!("--io-threads: {e}"))?,
+            None => 0,
+        },
+        decode_workers: match opt(args, "--decode-workers") {
+            Some(s) => s.parse().map_err(|e| format!("--decode-workers: {e}"))?,
+            None => 0,
+        },
+        pinning,
     };
     if budget.is_none()
         && (shards > 0
             || prefetch > 0
             || mbps.is_some()
             || opt(args, "--io").is_some()
-            || opt(args, "--placement").is_some())
+            || opt(args, "--placement").is_some()
+            || has_flag(args, "--adaptive")
+            || scheduler != toc_data::SchedulerConfig::default())
     {
         return Err(
-            "--shards/--prefetch/--mbps/--io/--placement configure the out-of-core store; \
+            "--shards/--prefetch/--mbps/--io/--placement/--adaptive/--pin/--pin-map/\
+             --io-threads/--decode-workers configure the out-of-core store; \
              pass --budget <bytes> to enable it"
                 .into(),
         );
@@ -411,6 +462,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .with_prefetch(prefetch)
             .with_io(io)
             .with_placement(placement)
+            .with_scheduler(scheduler)
             .with_encode_options(encode_opts);
         if let Some(mbps) = mbps {
             config = config.with_disk_mbps(mbps);
@@ -446,6 +498,40 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             s.max_in_flight,
             s.latency_percentile_us(50),
             s.latency_percentile_us(99),
+        );
+        // Machine-parseable placement/scheduling stats (the CLI smoke
+        // tests parse this line too): key=value pairs, list values joined
+        // with '/'.
+        let p = store.placement_report();
+        let join = |it: Vec<String>| {
+            if it.is_empty() {
+                "-".to_string()
+            } else {
+                it.join("/")
+            }
+        };
+        println!(
+            "placement: policy={} pin={} io-threads={} decode-workers={} rebalances={} \
+             migrated={} migrated-kb={} ewma-mbps={} shard-kb={}",
+            p.policy,
+            p.pinning.name(),
+            p.io_threads,
+            p.decode_workers,
+            p.rebalances,
+            p.migrated_batches,
+            p.migrated_bytes / 1024,
+            join(
+                p.shard_ewma_mbps
+                    .iter()
+                    .map(|m| format!("{m:.1}"))
+                    .collect()
+            ),
+            join(
+                p.shard_bytes
+                    .iter()
+                    .map(|b| (b / 1024).to_string())
+                    .collect()
+            ),
         );
         let bytes = store.total_bytes();
         (report, encode_time, bytes)
@@ -506,6 +592,76 @@ mod tests {
             .collect();
         assert_eq!(opt(&args, "--scheme").as_deref(), Some("toc"));
         assert_eq!(positional(&args), vec!["a.csv", "b.tocz"]);
+    }
+
+    #[test]
+    fn boolean_flags_do_not_swallow_positionals() {
+        // `--adaptive` and `--pin` take no value: the token after them is
+        // still positional.
+        let args: Vec<String> = ["--adaptive", "a.csv", "--pin", "--epochs", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(has_flag(&args, "--adaptive"));
+        assert!(has_flag(&args, "--pin"));
+        assert_eq!(positional(&args), vec!["a.csv"]);
+        assert_eq!(opt(&args, "--epochs").as_deref(), Some("3"));
+        let none: Vec<String> = vec!["a.csv".into()];
+        assert!(!has_flag(&none, "--adaptive"));
+    }
+
+    #[test]
+    fn adaptive_and_pin_flag_combinations() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("toc-cli-adaptive-{pid}.csv"));
+        cmd_gen(&[
+            "--preset".into(),
+            "census".into(),
+            "--rows".into(),
+            "300".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        let base = |extra: &[&str]| {
+            let mut args: Vec<String> = vec![
+                csv.display().to_string(),
+                "--epochs".into(),
+                "2".into(),
+                "--budget".into(),
+                "0".into(),
+                "--shards".into(),
+                "2".into(),
+            ];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args
+        };
+        // --adaptive shorthand == --placement adaptive; both together OK.
+        cmd_train(&base(&["--adaptive"])).unwrap();
+        cmd_train(&base(&["--placement", "adaptive", "--adaptive"])).unwrap();
+        // Conflicting explicit placement rejected.
+        assert!(cmd_train(&base(&["--placement", "pack", "--adaptive"])).is_err());
+        // --pin and --pin-map are mutually exclusive; a fixed map must
+        // validate against the shard/thread shape.
+        assert!(cmd_train(&base(&["--pin", "--pin-map", "0,1"])).is_err());
+        assert!(cmd_train(&base(&["--pin-map", "0,x"])).is_err());
+        cmd_train(&base(&[
+            "--prefetch",
+            "2",
+            "--io",
+            "ring",
+            "--pin-map",
+            "1,0",
+            "--io-threads",
+            "2",
+            "--decode-workers",
+            "2",
+        ]))
+        .unwrap();
+        // Out-of-core flags still demand --budget.
+        assert!(cmd_train(&[csv.display().to_string(), "--adaptive".into()]).is_err());
+        assert!(cmd_train(&[csv.display().to_string(), "--pin".into()]).is_err());
+        std::fs::remove_file(csv).ok();
     }
 
     #[test]

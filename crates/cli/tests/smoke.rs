@@ -168,6 +168,151 @@ fn train_over_async_engines_prints_parseable_io_stats() {
 }
 
 #[test]
+fn adaptive_and_pinned_training_print_parseable_placement_stats() {
+    let csv = gen_csv(400);
+    // Legs: the --adaptive shorthand with automatic pinning, the explicit
+    // --placement adaptive with a fixed pin map on the ring engine, and a
+    // pinned non-adaptive run (placement line must still appear).
+    let legs: [(&str, Vec<&str>); 3] = [
+        ("adaptive+pin", vec!["--adaptive", "--pin", "--io", "pool"]),
+        (
+            "adaptive+pin-map",
+            vec![
+                "--placement",
+                "adaptive",
+                "--io",
+                "ring",
+                "--pin-map",
+                "1,0",
+                "--io-threads",
+                "2",
+                "--decode-workers",
+                "2",
+            ],
+        ),
+        (
+            "pack+pin",
+            vec!["--placement", "pack", "--pin", "--io", "ring"],
+        ),
+    ];
+    for (leg, extra) in legs {
+        let mut args = vec![
+            "train",
+            csv.to_str().unwrap(),
+            "--epochs",
+            "3",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--prefetch",
+            "3",
+            "--mbps",
+            "2000",
+        ];
+        args.extend(extra.iter());
+        let stdout = assert_ok(&toc(&args), &format!("toc train [{leg}]"));
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("placement:"))
+            .unwrap_or_else(|| panic!("[{leg}] no placement: line in {stdout}"));
+        let kv = parse_kv(line);
+        let adaptive = leg.starts_with("adaptive");
+        assert_eq!(kv["policy"], if adaptive { "adaptive" } else { "pack" });
+        assert_eq!(
+            kv["pin"],
+            if leg.contains("pin-map") {
+                "fixed"
+            } else {
+                "auto"
+            },
+            "{line}"
+        );
+        let io_threads: u64 = kv["io-threads"].parse().expect("io-threads parses");
+        let decode_workers: u64 = kv["decode-workers"].parse().expect("decode-workers parses");
+        assert!(io_threads >= 1, "{line}");
+        assert!(decode_workers >= 1, "{line}");
+        let rebalances: u64 = kv["rebalances"].parse().expect("rebalances parses");
+        let migrated: u64 = kv["migrated"].parse().expect("migrated parses");
+        let _migrated_kb: u64 = kv["migrated-kb"].parse().expect("migrated-kb parses");
+        if adaptive {
+            // 3 epochs over a spilled store with uniform --mbps: every
+            // boundary has profiler signal, so passes must have run (the
+            // flat profile makes actual migration legitimately rare).
+            assert!(rebalances >= 1, "{line}");
+        } else {
+            assert_eq!(rebalances, 0, "{line}");
+            assert_eq!(migrated, 0, "{line}");
+        }
+        // Slash-separated per-shard lists parse as floats/ints and cover
+        // both shards.
+        let ewma: Vec<f64> = kv["ewma-mbps"]
+            .split('/')
+            .map(|t| t.parse().expect("ewma parses"))
+            .collect();
+        assert_eq!(ewma.len(), 2, "{line}");
+        assert!(ewma.iter().all(|&m| m > 0.0), "unobserved shard: {line}");
+        let shard_kb: Vec<u64> = kv["shard-kb"]
+            .split('/')
+            .map(|t| t.parse().expect("shard-kb parses"))
+            .collect();
+        assert_eq!(shard_kb.len(), 2, "{line}");
+    }
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn invalid_pin_maps_and_flag_conflicts_exit_nonzero() {
+    let csv = gen_csv(200);
+    let base = |extra: &[&str]| {
+        // --batch-rows 50 -> 4 spilled batches, so the store really has 2
+        // shards and the pin-map length/range checks bite.
+        let mut args = vec![
+            "train",
+            csv.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--batch-rows",
+            "50",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--prefetch",
+            "2",
+        ];
+        args.extend(extra.iter());
+        toc(&args)
+    };
+    // Pin map shorter than the shard count.
+    assert_fails(&base(&["--io", "ring", "--pin-map", "0"]), "short pin map");
+    // Pin map routing to a nonexistent IO thread.
+    assert_fails(
+        &base(&["--io", "ring", "--pin-map", "0,5", "--io-threads", "2"]),
+        "out-of-range pin map",
+    );
+    // Unparseable pin map.
+    assert_fails(&base(&["--pin-map", "0,x"]), "unparseable pin map");
+    // --pin and --pin-map together.
+    assert_fails(&base(&["--pin", "--pin-map", "0,1"]), "pin + pin-map");
+    // --adaptive against a conflicting explicit placement.
+    assert_fails(
+        &base(&["--adaptive", "--placement", "stripe"]),
+        "adaptive vs placement conflict",
+    );
+    // Scheduler flags without --budget.
+    assert_fails(
+        &toc(&["train", csv.to_str().unwrap(), "--pin"]),
+        "--pin without --budget",
+    );
+    assert_fails(
+        &toc(&["train", csv.to_str().unwrap(), "--adaptive"]),
+        "--adaptive without --budget",
+    );
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
 fn out_of_core_flags_require_budget_and_reject_bad_values() {
     let csv = gen_csv(120);
     assert_fails(

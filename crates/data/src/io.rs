@@ -41,7 +41,9 @@
 use std::collections::VecDeque;
 use std::fs::File;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,6 +51,14 @@ use std::time::{Duration, Instant};
 /// queues behind these locks in an invalid state.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn rlock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn wlock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 pub(crate) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
@@ -101,6 +111,23 @@ impl SpillFile {
             f.read_exact(buf)
         }
     }
+
+    /// Write all of `buf` at `offset` (the adaptive-placement migration
+    /// path appends to shard files through this).
+    pub(crate) fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = lock(&self.file);
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(buf)
+        }
+    }
 }
 
 /// Simulated-bandwidth clock for one spill device (shard). Readers reserve
@@ -140,37 +167,199 @@ impl BandwidthClock {
     }
 }
 
-/// One spill device: a positional-read file plus its bandwidth clock.
+/// Simulated bandwidth profile for one spill device. The store applies
+/// one per shard ([`crate::store::StoreConfig::with_shard_profiles`], or
+/// [`crate::testing::FaultPlan::device_profiles`] for the test harness),
+/// which is how heterogeneous storage tiers — a fast NVMe shard next to
+/// slow network volumes — enter the device model that the adaptive
+/// placement planner then has to discover at runtime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Simulated read bandwidth for this device, in MB/s.
+    pub mbps: f64,
+    /// Fraction of the current bandwidth lost after each physical read
+    /// (`0.0` = stable device). Models a degrading/oversubscribed device:
+    /// the planner must notice the EWMA falling and migrate away.
+    pub degrade: f64,
+}
+
+impl DeviceProfile {
+    /// A stable device at `mbps`.
+    pub fn stable(mbps: f64) -> Self {
+        assert!(mbps.is_finite() && mbps > 0.0, "mbps must be > 0");
+        Self { mbps, degrade: 0.0 }
+    }
+
+    /// A device that starts at `mbps` and loses `degrade` (in `[0, 1)`)
+    /// of its remaining bandwidth per read, floored at
+    /// [`DEGRADE_FLOOR_MBPS`].
+    pub fn degrading(mbps: f64, degrade: f64) -> Self {
+        assert!(mbps.is_finite() && mbps > 0.0, "mbps must be > 0");
+        assert!((0.0..1.0).contains(&degrade), "degrade must be in [0,1)");
+        Self { mbps, degrade }
+    }
+}
+
+/// Lower bound a degrading device's bandwidth converges to, so a long run
+/// can never degrade into effectively-infinite simulated sleeps.
+pub const DEGRADE_FLOOR_MBPS: f64 = 1.0;
+
+/// One spill device: a positional-read file plus its bandwidth clock and
+/// optional per-device bandwidth profile (overrides the store-wide
+/// `disk_mbps` when set; mutable so degrading profiles can decay).
 #[derive(Debug)]
 pub(crate) struct SpillDevice {
     pub(crate) file: SpillFile,
     pub(crate) clock: BandwidthClock,
+    /// Current per-device MB/s as f64 bits; 0 bits = no override.
+    mbps_bits: AtomicU64,
+    degrade: f64,
 }
 
 impl SpillDevice {
     pub(crate) fn new(file: File) -> Self {
+        Self::with_profile(file, None)
+    }
+
+    pub(crate) fn with_profile(file: File, profile: Option<DeviceProfile>) -> Self {
         Self {
             file: SpillFile::new(file),
             clock: BandwidthClock::default(),
+            mbps_bits: AtomicU64::new(profile.map_or(0, |p| p.mbps.to_bits())),
+            degrade: profile.map_or(0.0, |p| p.degrade),
         }
+    }
+
+    /// The bandwidth this device currently simulates: its own profile if
+    /// one was set, else the store-wide fallback, else none (raw IO).
+    pub(crate) fn current_mbps(&self, fallback: Option<f64>) -> Option<f64> {
+        match self.mbps_bits.load(Ordering::Relaxed) {
+            0 => fallback,
+            bits => Some(f64::from_bits(bits)),
+        }
+    }
+
+    /// Apply the degrading profile after one physical read.
+    pub(crate) fn degrade_after_read(&self) {
+        if self.degrade <= 0.0 {
+            return;
+        }
+        let bits = self.mbps_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            return;
+        }
+        let next = (f64::from_bits(bits) * (1.0 - self.degrade)).max(DEGRADE_FLOOR_MBPS);
+        // Racing decays may lose one step; the decay is monotone either way.
+        self.mbps_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// EWMA smoothing factor for [`BandwidthProfile`]: heavy enough that a
+/// device going slow mid-run shows up within a handful of reads, light
+/// enough that one queueing hiccup doesn't flip the placement plan.
+const PROFILE_ALPHA: f64 = 0.25;
+
+/// Runtime per-shard bandwidth estimates: every physical read charges its
+/// observed throughput (bytes over wall time, *including* the simulated
+/// bandwidth-clock delay and any queueing behind other readers of the
+/// same device) into a per-shard EWMA. This is the measured signal the
+/// adaptive placement planner packs hot batches by — storage tiers are
+/// profiled, not assumed.
+#[derive(Debug, Default)]
+pub struct BandwidthProfile {
+    /// Per-shard `(ewma bytes/sec as f64 bits, sample count)`.
+    cells: Vec<(AtomicU64, AtomicU64)>,
+}
+
+impl BandwidthProfile {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            cells: (0..shards)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Charge one observed read of `len` bytes that took `elapsed`.
+    pub(crate) fn observe(&self, shard: usize, len: usize, elapsed: Duration) {
+        let Some((ewma, samples)) = self.cells.get(shard) else {
+            return;
+        };
+        let bps = len as f64 / elapsed.as_secs_f64().max(1e-9);
+        let mut cur = ewma.load(Ordering::Relaxed);
+        loop {
+            let next = if samples.load(Ordering::Relaxed) == 0 {
+                bps
+            } else {
+                PROFILE_ALPHA * bps + (1.0 - PROFILE_ALPHA) * f64::from_bits(cur)
+            };
+            match ewma.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Estimated bandwidth of `shard` in MB/s; `None` until the shard has
+    /// been observed at least once.
+    pub fn estimate_mbps(&self, shard: usize) -> Option<f64> {
+        let (ewma, samples) = self.cells.get(shard)?;
+        if samples.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some(f64::from_bits(ewma.load(Ordering::Relaxed)) / 1e6)
+    }
+
+    /// Number of observed reads for `shard`.
+    pub fn samples(&self, shard: usize) -> u64 {
+        self.cells
+            .get(shard)
+            .map_or(0, |(_, s)| s.load(Ordering::Relaxed))
+    }
+
+    /// Per-shard estimates in MB/s (`0.0` for never-observed shards).
+    pub fn snapshot_mbps(&self) -> Vec<f64> {
+        (0..self.cells.len())
+            .map(|s| self.estimate_mbps(s).unwrap_or(0.0))
+            .collect()
     }
 }
 
 /// The shared spill-device context every read path goes through: the
-/// shard files, the bandwidth model, and the store's [`IoStats`]. Both
-/// the synchronous paths and the [`SpillIo`] engines read exclusively via
-/// [`IoShards::read_range`], so the throttle model and the accounting can
-/// never drift apart between them.
+/// shard files, the bandwidth model, the runtime bandwidth profiler, and
+/// the store's [`IoStats`]. Both the synchronous paths and the
+/// [`SpillIo`] engines read exclusively via [`IoShards::read_range`], so
+/// the throttle model, the profiler, and the accounting can never drift
+/// apart between them.
 pub(crate) struct IoShards {
     pub(crate) devices: Vec<SpillDevice>,
     pub(crate) disk_mbps: Option<f64>,
     pub(crate) epoch: Instant,
     pub(crate) stats: IoStats,
+    pub(crate) profile: BandwidthProfile,
 }
 
 impl IoShards {
+    pub(crate) fn new(devices: Vec<SpillDevice>, disk_mbps: Option<f64>) -> Self {
+        let profile = BandwidthProfile::new(devices.len());
+        Self {
+            devices,
+            disk_mbps,
+            epoch: Instant::now(),
+            stats: IoStats::default(),
+            profile,
+        }
+    }
+
     /// Read `len` raw bytes at `offset` of `shard` into `buf` (cleared and
-    /// resized): positional read, bandwidth charge, stats accounting.
+    /// resized): positional read, bandwidth charge, stats accounting, and
+    /// an observed-throughput sample into the [`BandwidthProfile`].
     pub(crate) fn read_range(
         &self,
         shard: usize,
@@ -178,18 +367,32 @@ impl IoShards {
         len: usize,
         buf: &mut Vec<u8>,
     ) -> std::io::Result<()> {
+        let t0 = Instant::now();
         buf.clear();
         buf.resize(len, 0);
+        self.devices[shard].file.read_exact_at(buf, offset)?;
+        self.account_read(shard, len, t0);
+        Ok(())
+    }
+
+    /// Post-read accounting shared by every read path (this module's
+    /// [`IoShards::read_range`] and the fault double's chunked partial
+    /// reads): the bandwidth-clock charge plus degradation step, the
+    /// `disk_reads`/`bytes_read` counters, and the profiler observation
+    /// for one physical read of `len` bytes that started at `t0`. Keeping
+    /// this in one place is what makes "the throttle model, the profiler
+    /// and the accounting can never drift apart" true.
+    pub(crate) fn account_read(&self, shard: usize, len: usize, t0: Instant) {
         let dev = &self.devices[shard];
-        dev.file.read_exact_at(buf, offset)?;
-        if let Some(mbps) = self.disk_mbps {
+        if let Some(mbps) = dev.current_mbps(self.disk_mbps) {
             dev.clock.charge(self.epoch, len, mbps, &self.stats);
+            dev.degrade_after_read();
         }
         self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_read
             .fetch_add(len as u64, Ordering::Relaxed);
-        Ok(())
+        self.profile.observe(shard, len, t0.elapsed());
     }
 }
 
@@ -343,7 +546,10 @@ pub struct IoSnapshot {
 impl IoSnapshot {
     /// Approximate latency percentile (`p` in 0..=100): the upper bound of
     /// the bucket containing that quantile, in microseconds. 0 when no
-    /// async completions were recorded.
+    /// async completions were recorded, and 0 when the quantile lands in
+    /// bucket 0 (sub-microsecond completions): reporting bucket 0's upper
+    /// bound would claim `1 µs` of latency for a histogram that only ever
+    /// saw reads faster than the histogram can resolve.
     pub fn latency_percentile_us(&self, p: u64) -> u64 {
         let total: u64 = self.latency_us.iter().sum();
         if total == 0 {
@@ -354,7 +560,11 @@ impl IoSnapshot {
         for (b, &n) in self.latency_us.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return latency_bucket_upper_us(b);
+                return if b == 0 {
+                    0
+                } else {
+                    latency_bucket_upper_us(b)
+                };
             }
         }
         latency_bucket_upper_us(LATENCY_BUCKETS - 1)
@@ -428,6 +638,128 @@ impl std::str::FromStr for IoEngineKind {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Affinity-aware scheduling of IO threads and decode workers.
+
+/// How shards are pinned to IO threads and how decode workers drain
+/// completions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Pinning {
+    /// No affinity: ring threads still own shard inboxes (inherent to the
+    /// ring design), but completions funnel through one shared queue that
+    /// any decode worker may drain — the pre-affinity behavior.
+    #[default]
+    Off,
+    /// Stable automatic affinity: shard `s` routes to ring thread
+    /// `s % io_threads`, and completions stripe into per-decode-worker
+    /// lanes by `shard % lanes`, so a given shard's batches always decode
+    /// on the same worker (warm scratch, no cross-worker contention).
+    Auto,
+    /// Explicit shard→IO-thread map: entry `s` names the ring thread that
+    /// serves shard `s`. Must cover every shard with thread indices below
+    /// `io_threads`; validated at store build. Completions stripe as in
+    /// `Auto`.
+    Fixed(Vec<usize>),
+}
+
+impl Pinning {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pinning::Off => "off",
+            Pinning::Auto => "auto",
+            Pinning::Fixed(_) => "fixed",
+        }
+    }
+}
+
+/// Scheduling knobs for the prefetch pipeline's IO threads and decode
+/// workers, threaded through `StoreConfig` and `toc train
+/// --io-threads/--decode-workers/--pin/--pin-map`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// IO threads for the async engines (`0` = auto: the prefetch depth
+    /// for the pool engine, one per shard for the ring engine; both
+    /// clamped to [`MAX_IO_THREADS`]).
+    pub io_threads: usize,
+    /// Decode workers draining completions (`0` = auto: the prefetch
+    /// depth, clamped to the worker cap).
+    pub decode_workers: usize,
+    /// Shard→IO-thread affinity and completion-lane striping.
+    pub pinning: Pinning,
+}
+
+impl SchedulerConfig {
+    /// Resolved IO thread count for `kind` over `shards` shard devices at
+    /// prefetch depth `depth`.
+    pub(crate) fn resolved_io_threads(
+        &self,
+        kind: IoEngineKind,
+        shards: usize,
+        depth: usize,
+    ) -> usize {
+        let auto = match kind {
+            IoEngineKind::Ring => shards,
+            _ => depth,
+        };
+        let chosen = if self.io_threads > 0 {
+            self.io_threads
+        } else {
+            auto
+        };
+        chosen.clamp(1, MAX_IO_THREADS)
+    }
+
+    /// Resolved decode-worker count at prefetch depth `depth` (the cap is
+    /// shared with the sync prefetch workers).
+    pub(crate) fn resolved_decode_workers(&self, depth: usize, cap: usize) -> usize {
+        let chosen = if self.decode_workers > 0 {
+            self.decode_workers
+        } else {
+            depth
+        };
+        chosen.clamp(1, cap)
+    }
+
+    /// Completion lanes for `decode_workers` workers over `shards` shards:
+    /// one shared lane when pinning is off, else one lane per worker —
+    /// but never more lanes than shards, or lanes `shard % lanes` can
+    /// never route to would starve their workers.
+    pub(crate) fn completion_lanes(&self, decode_workers: usize, shards: usize) -> usize {
+        match self.pinning {
+            Pinning::Off => 1,
+            _ => decode_workers.min(shards).max(1),
+        }
+    }
+
+    /// The stable shard→ring-thread assignment: `s % threads` for
+    /// off/auto, the user's map for fixed (validated: exactly one entry
+    /// per shard, every entry below `threads`).
+    pub(crate) fn ring_assignment(
+        &self,
+        shards: usize,
+        threads: usize,
+    ) -> Result<Vec<usize>, String> {
+        match &self.pinning {
+            Pinning::Off | Pinning::Auto => Ok((0..shards).map(|s| s % threads).collect()),
+            Pinning::Fixed(map) => {
+                if map.len() != shards {
+                    return Err(format!(
+                        "pin map covers {} shards but the store has {shards}",
+                        map.len()
+                    ));
+                }
+                if let Some(&bad) = map.iter().find(|&&t| t >= threads) {
+                    return Err(format!(
+                        "pin map routes a shard to IO thread {bad}, but only {threads} \
+                         IO threads exist"
+                    ));
+                }
+                Ok(map.clone())
+            }
+        }
+    }
+}
+
 /// One read request: `len` bytes at `offset` of shard `shard`.
 #[derive(Clone, Copy, Debug)]
 pub struct SpillRequest {
@@ -460,7 +792,18 @@ pub trait SpillIo: Send + Sync {
 
     /// Block until a completion is available or the engine shuts down
     /// (`None`). Concurrent callers each receive distinct completions.
+    /// Engines with striped completion lanes serve lane 0 here; use
+    /// [`SpillIo::complete_on`] to drain a specific lane.
     fn complete(&self) -> Option<Completion>;
+
+    /// Lane-affine completion harvest: with striped lanes
+    /// ([`SchedulerConfig`] pinning on), completions route to lane
+    /// `shard % lanes` and decode worker `w` drains lane `w` — a shard's
+    /// batches always decode on the same worker. Engines without lanes
+    /// fall back to the shared queue.
+    fn complete_on(&self, _lane: usize) -> Option<Completion> {
+        self.complete()
+    }
 
     /// Wake every blocked `complete` caller and stop the IO threads.
     /// Queued-but-unserved submissions are dropped.
@@ -510,6 +853,39 @@ impl CompletionQueue {
 
     pub(crate) fn is_shut_down(&self) -> bool {
         lock(&self.q).1
+    }
+}
+
+/// Striped completion queues: completions route to lane `shard % lanes`
+/// so each decode worker drains a stable subset of shards. One lane
+/// degenerates to the shared-queue behavior.
+pub(crate) struct CompletionLanes {
+    lanes: Vec<CompletionQueue>,
+}
+
+impl CompletionLanes {
+    pub(crate) fn new(lanes: usize) -> Self {
+        Self {
+            lanes: (0..lanes.max(1)).map(|_| CompletionQueue::new()).collect(),
+        }
+    }
+
+    pub(crate) fn push(&self, c: Completion) {
+        self.lanes[c.shard % self.lanes.len()].push(c);
+    }
+
+    pub(crate) fn pop_lane(&self, lane: usize) -> Option<Completion> {
+        self.lanes[lane % self.lanes.len()].pop()
+    }
+
+    pub(crate) fn shut_down(&self) {
+        for l in &self.lanes {
+            l.shut_down();
+        }
+    }
+
+    pub(crate) fn is_shut_down(&self) -> bool {
+        self.lanes[0].is_shut_down()
     }
 }
 
@@ -599,13 +975,14 @@ impl SubmissionQueue {
 struct PoolShared {
     io: Arc<IoShards>,
     subq: SubmissionQueue,
-    comp: CompletionQueue,
+    comp: CompletionLanes,
 }
 
 /// Portable worker-pool [`SpillIo`] backend: N threads pull submissions
 /// off a central queue and serve them with positional reads. Reads of
 /// different shards proceed fully in parallel; reads of one shard share
-/// its bandwidth clock. Completion order is read-finish order.
+/// its bandwidth clock. Completion order is read-finish order; with
+/// `lanes > 1` completions stripe into per-decode-worker lanes by shard.
 pub struct PoolIo {
     shared: Arc<PoolShared>,
     threads: Vec<JoinHandle<()>>,
@@ -614,11 +991,11 @@ pub struct PoolIo {
 pub(crate) const MAX_IO_THREADS: usize = 8;
 
 impl PoolIo {
-    pub(crate) fn start(io: Arc<IoShards>, workers: usize) -> Self {
+    pub(crate) fn start(io: Arc<IoShards>, workers: usize, lanes: usize) -> Self {
         let shared = Arc::new(PoolShared {
             io,
             subq: SubmissionQueue::new(),
-            comp: CompletionQueue::new(),
+            comp: CompletionLanes::new(lanes),
         });
         let threads = (0..workers.clamp(1, MAX_IO_THREADS))
             .map(|_| {
@@ -657,7 +1034,11 @@ impl SpillIo for PoolIo {
     }
 
     fn complete(&self) -> Option<Completion> {
-        self.shared.comp.pop()
+        self.shared.comp.pop_lane(0)
+    }
+
+    fn complete_on(&self, lane: usize) -> Option<Completion> {
+        self.shared.comp.pop_lane(lane)
     }
 
     fn shutdown(&self) {
@@ -684,34 +1065,47 @@ impl Drop for PoolIo {
 
 struct RingShared {
     io: Arc<IoShards>,
-    /// One inbox per ring thread; shard `s` routes to inbox `s % threads`.
+    /// One inbox per ring thread; shard `s` routes to inbox `assign[s]`.
     inboxes: Vec<(Mutex<Vec<Submission>>, Condvar)>,
-    comp: CompletionQueue,
+    /// Stable shard→ring-thread assignment ([`SchedulerConfig`]).
+    assign: Vec<usize>,
+    comp: CompletionLanes,
     next_ticket: AtomicU64,
 }
 
 /// Batched "ring" [`SpillIo`] backend. Submissions route to per-thread
-/// inboxes by shard; each ring thread drains its inbox in bursts, groups
-/// the burst by shard, sorts each group by file offset and **coalesces
-/// adjacent ranges into one physical read** (one bandwidth-clock charge
-/// for the merged length), then completes the members out of order. A
-/// burst of K lookahead submissions over contiguously-placed batches
-/// (`ShardPlacement::Pack`) thus costs a handful of large reads instead
-/// of K small ones.
+/// inboxes through a **stable shard→thread assignment** (automatic
+/// `s % threads` or a user pin map); each ring thread drains its inbox
+/// in bursts, groups the burst by shard, sorts each group by file offset
+/// and **coalesces adjacent ranges into one physical read** (one
+/// bandwidth-clock charge for the merged length), then completes the
+/// members out of order. A burst of K lookahead submissions over
+/// contiguously-placed batches (`ShardPlacement::Pack`) thus costs a
+/// handful of large reads instead of K small ones.
 pub struct RingIo {
     shared: Arc<RingShared>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl RingIo {
-    pub(crate) fn start(io: Arc<IoShards>) -> Self {
-        let n_threads = io.devices.len().clamp(1, MAX_IO_THREADS);
+    /// Start with `threads` ring threads, the given shard→thread
+    /// assignment (every entry must be `< threads`; validated by
+    /// [`SchedulerConfig::ring_assignment`]) and `lanes` completion lanes.
+    pub(crate) fn start(
+        io: Arc<IoShards>,
+        threads: usize,
+        assign: Vec<usize>,
+        lanes: usize,
+    ) -> Self {
+        let n_threads = threads.max(1);
+        debug_assert!(assign.iter().all(|&t| t < n_threads));
         let shared = Arc::new(RingShared {
             io,
             inboxes: (0..n_threads)
                 .map(|_| (Mutex::new(Vec::new()), Condvar::new()))
                 .collect(),
-            comp: CompletionQueue::new(),
+            assign,
+            comp: CompletionLanes::new(lanes),
             next_ticket: AtomicU64::new(0),
         });
         let threads = (0..n_threads)
@@ -721,6 +1115,15 @@ impl RingIo {
             })
             .collect();
         Self { shared, threads }
+    }
+
+    /// The pre-affinity default: one thread per shard device (capped),
+    /// automatic assignment, a single shared completion lane.
+    #[cfg(test)]
+    pub(crate) fn start_default(io: Arc<IoShards>) -> Self {
+        let threads = io.devices.len().clamp(1, MAX_IO_THREADS);
+        let assign = (0..io.devices.len()).map(|s| s % threads).collect();
+        Self::start(io, threads, assign, 1)
     }
 
     fn ring_thread(shared: &RingShared, t: usize) {
@@ -832,7 +1235,12 @@ impl SpillIo for RingIo {
     fn submit(&self, req: SpillRequest, buf: Vec<u8>) -> Ticket {
         let ticket = self.shared.next_ticket.fetch_add(1, Ordering::Relaxed);
         self.shared.io.stats.record_submit();
-        let t = req.shard % self.shared.inboxes.len();
+        let t = self
+            .shared
+            .assign
+            .get(req.shard)
+            .copied()
+            .unwrap_or(req.shard % self.shared.inboxes.len());
         let (m, cv) = &self.shared.inboxes[t];
         lock(m).push(Submission {
             ticket,
@@ -845,7 +1253,11 @@ impl SpillIo for RingIo {
     }
 
     fn complete(&self) -> Option<Completion> {
-        self.shared.comp.pop()
+        self.shared.comp.pop_lane(0)
+    }
+
+    fn complete_on(&self, lane: usize) -> Option<Completion> {
+        self.shared.comp.pop_lane(lane)
     }
 
     fn shutdown(&self) {
@@ -919,16 +1331,7 @@ mod tests {
             offsets[*shard] += bytes.len() as u64;
         }
         let devices = files.into_iter().map(SpillDevice::new).collect();
-        (
-            Arc::new(IoShards {
-                devices,
-                disk_mbps: None,
-                epoch: Instant::now(),
-                stats: IoStats::default(),
-            }),
-            layout,
-            paths,
-        )
+        (Arc::new(IoShards::new(devices, None)), layout, paths)
     }
 
     fn chunk(shard: usize, fill: u8, len: usize) -> (usize, Vec<u8>) {
@@ -950,7 +1353,7 @@ mod tests {
             .map(|i| chunk(i as usize % 3, i, 64 + i as usize))
             .collect();
         let (io, layout, paths) = test_shards(3, &chunks);
-        let engine = PoolIo::start(Arc::clone(&io), 4);
+        let engine = PoolIo::start(Arc::clone(&io), 4, 1);
         let mut expected = HashMap::new();
         for (req, bytes) in &layout {
             let t = engine.submit(*req, Vec::new());
@@ -975,7 +1378,7 @@ mod tests {
         // before the ring thread wakes they should merge into few reads.
         let chunks: Vec<_> = (0..6u8).map(|i| chunk(0, i, 128)).collect();
         let (io, layout, paths) = test_shards(1, &chunks);
-        let engine = RingIo::start(Arc::clone(&io));
+        let engine = RingIo::start_default(Arc::clone(&io));
         // Hold the ring thread busy-less: submit everything in one burst
         // under no lock, then harvest. The thread drains the inbox as one
         // batch, so at least some requests must coalesce.
@@ -1034,7 +1437,7 @@ mod tests {
     fn ring_engine_serves_interleaved_shards() {
         let chunks: Vec<_> = (0..12u8).map(|i| chunk(i as usize % 4, i, 96)).collect();
         let (io, layout, paths) = test_shards(4, &chunks);
-        let engine = RingIo::start(Arc::clone(&io));
+        let engine = RingIo::start_default(Arc::clone(&io));
         let mut expected = HashMap::new();
         for (req, bytes) in &layout {
             let t = engine.submit(*req, Vec::new());
@@ -1051,7 +1454,7 @@ mod tests {
     #[test]
     fn engines_surface_read_errors_per_request() {
         let (io, layout, paths) = test_shards(1, &[chunk(0, 7, 64)]);
-        let engine = PoolIo::start(Arc::clone(&io), 2);
+        let engine = PoolIo::start(Arc::clone(&io), 2, 1);
         // Past-EOF read must complete with an error, not hang or panic.
         let t_bad = engine.submit(
             SpillRequest {
@@ -1079,8 +1482,8 @@ mod tests {
     fn shutdown_wakes_blocked_completers() {
         let (io, _, paths) = test_shards(1, &[chunk(0, 1, 8)]);
         for engine in [
-            Box::new(PoolIo::start(Arc::clone(&io), 2)) as Box<dyn SpillIo>,
-            Box::new(RingIo::start(Arc::clone(&io))) as Box<dyn SpillIo>,
+            Box::new(PoolIo::start(Arc::clone(&io), 2, 1)) as Box<dyn SpillIo>,
+            Box::new(RingIo::start_default(Arc::clone(&io))) as Box<dyn SpillIo>,
         ] {
             let waiter = {
                 let engine: &dyn SpillIo = &*engine;
@@ -1129,5 +1532,223 @@ mod tests {
         assert_eq!(s.latency_percentile_us(50), 4);
         assert_eq!(s.latency_percentile_us(99), 1024);
         assert_eq!(IoSnapshot::default().latency_percentile_us(50), 0);
+    }
+
+    /// Pins the percentile boundary semantics: an empty histogram and a
+    /// histogram whose only occupied bucket is bucket 0 (sub-microsecond
+    /// completions) both report 0, never bucket 0's upper bound; a
+    /// histogram occupying exactly one bucket `b > 0` reports that
+    /// bucket's upper bound for every percentile.
+    #[test]
+    fn latency_percentile_boundary_values() {
+        // Empty: 0 at every percentile.
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(IoSnapshot::default().latency_percentile_us(p), 0);
+        }
+        // All samples sub-microsecond: the quantile lands in bucket 0 and
+        // must report 0, not 1 µs.
+        let mut sub_us = IoSnapshot::default();
+        sub_us.latency_us[0] = 17;
+        for p in [1, 50, 99, 100] {
+            assert_eq!(sub_us.latency_percentile_us(p), 0, "p{p}");
+        }
+        // One occupied bucket b > 0: every percentile reports 2^b.
+        for b in [1, 5, LATENCY_BUCKETS - 1] {
+            let mut one = IoSnapshot::default();
+            one.latency_us[b] = 3;
+            for p in [1, 50, 100] {
+                assert_eq!(
+                    one.latency_percentile_us(p),
+                    latency_bucket_upper_us(b),
+                    "bucket {b} p{p}"
+                );
+            }
+        }
+        // Mixed bucket-0 + higher bucket: quantiles below the bucket-0
+        // mass report 0, quantiles above it report the upper bucket.
+        let mut mixed = IoSnapshot::default();
+        mixed.latency_us[0] = 9;
+        mixed.latency_us[4] = 1;
+        assert_eq!(mixed.latency_percentile_us(50), 0);
+        assert_eq!(mixed.latency_percentile_us(100), 16);
+    }
+
+    #[test]
+    fn bandwidth_profile_tracks_observed_throughput() {
+        let p = BandwidthProfile::new(2);
+        assert_eq!(p.estimate_mbps(0), None);
+        assert_eq!(p.samples(1), 0);
+        // 1 MB in 10 ms = 100 MB/s; the first sample seeds the EWMA.
+        p.observe(0, 1_000_000, Duration::from_millis(10));
+        let e = p.estimate_mbps(0).unwrap();
+        assert!((e - 100.0).abs() < 1.0, "{e}");
+        // A slower sample pulls the estimate down by alpha.
+        p.observe(0, 1_000_000, Duration::from_millis(100)); // 10 MB/s
+        let e2 = p.estimate_mbps(0).unwrap();
+        assert!(e2 < e && e2 > 10.0, "{e2}");
+        // Shard 1 is independent and still unobserved.
+        assert_eq!(p.estimate_mbps(1), None);
+        assert_eq!(p.snapshot_mbps()[1], 0.0);
+        // Out-of-range shards are ignored, not panics.
+        p.observe(9, 100, Duration::from_micros(1));
+        assert_eq!(p.samples(0), 2);
+    }
+
+    #[test]
+    fn degrading_device_decays_to_floor() {
+        let dir = std::env::temp_dir().join(format!("toc-io-degrade-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.bin");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[7u8; 64]).unwrap();
+        let dev = SpillDevice::with_profile(f, Some(DeviceProfile::degrading(100.0, 0.5)));
+        assert_eq!(dev.current_mbps(None), Some(100.0));
+        dev.degrade_after_read();
+        assert_eq!(dev.current_mbps(None), Some(50.0));
+        for _ in 0..32 {
+            dev.degrade_after_read();
+        }
+        assert_eq!(dev.current_mbps(None), Some(DEGRADE_FLOOR_MBPS));
+        // A stable device never decays, and without an override the
+        // store-wide fallback applies.
+        let f2 = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .read(true)
+            .open(&path)
+            .unwrap();
+        let stable = SpillDevice::new(f2);
+        assert_eq!(stable.current_mbps(Some(42.0)), Some(42.0));
+        stable.degrade_after_read();
+        assert_eq!(stable.current_mbps(None), None);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn scheduler_config_resolution_and_pin_validation() {
+        let auto = SchedulerConfig::default();
+        // Auto: pool follows depth, ring follows shard count, both capped.
+        assert_eq!(auto.resolved_io_threads(IoEngineKind::Pool, 4, 3), 3);
+        assert_eq!(auto.resolved_io_threads(IoEngineKind::Ring, 4, 3), 4);
+        assert_eq!(
+            auto.resolved_io_threads(IoEngineKind::Ring, 99, 3),
+            MAX_IO_THREADS
+        );
+        assert_eq!(auto.resolved_decode_workers(3, 8), 3);
+        assert_eq!(auto.resolved_decode_workers(0, 8), 1);
+        // Off pinning = one shared completion lane.
+        assert_eq!(auto.completion_lanes(4, 8), 1);
+
+        let pinned = SchedulerConfig {
+            io_threads: 2,
+            decode_workers: 6,
+            pinning: Pinning::Auto,
+        };
+        assert_eq!(pinned.resolved_io_threads(IoEngineKind::Ring, 4, 3), 2);
+        assert_eq!(pinned.resolved_decode_workers(3, 8), 6);
+        // Lanes never exceed the shard count (starved lanes would idle
+        // their decode workers forever).
+        assert_eq!(pinned.completion_lanes(6, 3), 3);
+        assert_eq!(pinned.completion_lanes(2, 8), 2);
+        // Auto assignment is the stable modulo map.
+        assert_eq!(pinned.ring_assignment(5, 2).unwrap(), vec![0, 1, 0, 1, 0]);
+
+        // Fixed maps: valid, wrong length, out-of-range thread.
+        let fixed = |map: Vec<usize>| SchedulerConfig {
+            io_threads: 2,
+            decode_workers: 0,
+            pinning: Pinning::Fixed(map),
+        };
+        assert_eq!(
+            fixed(vec![1, 0, 1]).ring_assignment(3, 2).unwrap(),
+            vec![1, 0, 1]
+        );
+        assert!(fixed(vec![0]).ring_assignment(3, 2).is_err());
+        assert!(fixed(vec![0, 2, 1]).ring_assignment(3, 2).is_err());
+        assert_eq!(Pinning::Off.name(), "off");
+        assert_eq!(Pinning::Auto.name(), "auto");
+        assert_eq!(Pinning::Fixed(vec![0]).name(), "fixed");
+    }
+
+    #[test]
+    fn striped_completion_lanes_route_by_shard_and_wake_on_shutdown() {
+        let chunks: Vec<_> = (0..8u8).map(|i| chunk(i as usize % 2, i, 32)).collect();
+        let (io, layout, paths) = test_shards(2, &chunks);
+        // Two lanes over two shards: every completion for shard s must
+        // surface on lane s.
+        let engine = PoolIo::start(Arc::clone(&io), 2, 2);
+        let mut expected = HashMap::new();
+        for (req, bytes) in &layout {
+            let t = engine.submit(*req, Vec::new());
+            expected.insert(t, (req.shard, bytes.clone()));
+        }
+        for lane in 0..2 {
+            for _ in 0..4 {
+                let c = engine.complete_on(lane).expect("lane completion");
+                let (shard, bytes) = &expected[&c.ticket];
+                assert_eq!(c.shard % 2, lane, "completion crossed lanes");
+                assert_eq!(*shard, c.shard);
+                assert_eq!(&c.buf, bytes);
+            }
+        }
+        assert_eq!(engine.in_flight(), 0);
+        // Shutdown must wake a worker blocked on *any* lane.
+        let woke = std::thread::scope(|s| {
+            let e = &engine;
+            let h = s.spawn(move || e.complete_on(1).is_none());
+            std::thread::sleep(Duration::from_millis(10));
+            e.shutdown();
+            h.join().unwrap()
+        });
+        assert!(woke, "lane 1 waiter not woken by shutdown");
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn ring_engine_honors_fixed_assignment() {
+        // 3 shards pinned to 2 ring threads: shard 2 shares thread 0.
+        let chunks: Vec<_> = (0..9u8).map(|i| chunk(i as usize % 3, i, 48)).collect();
+        let (io, layout, paths) = test_shards(3, &chunks);
+        let engine = RingIo::start(Arc::clone(&io), 2, vec![0, 1, 0], 2);
+        let mut expected = HashMap::new();
+        for (req, bytes) in &layout {
+            let t = engine.submit(*req, Vec::new());
+            expected.insert(t, bytes.clone());
+        }
+        // Drain both lanes until every completion surfaced.
+        let mut seen = 0;
+        while seen < expected.len() {
+            for lane in 0..2 {
+                // Lanes can be empty; poll via a short-lived helper thread
+                // is overkill — completions for shard s land on lane s % 2,
+                // and both lanes receive work here, so blocking drain per
+                // lane in proportion works: lane 0 gets shards 0+2 (6), 1
+                // gets shard 1 (3).
+                let want = if lane == 0 { 6 } else { 3 };
+                for _ in 0..want {
+                    let c = engine.complete_on(lane).expect("completion");
+                    assert!(c.result.is_ok());
+                    assert_eq!(c.shard % 2, lane);
+                    assert_eq!(&c.buf, &expected[&c.ticket]);
+                    seen += 1;
+                }
+            }
+        }
+        io.stats.snapshot_stable().assert_consistent();
+        drop(engine);
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -17,7 +17,13 @@ pub mod store;
 pub mod synth;
 pub mod testing;
 
-pub use io::{IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, SpillIo, LATENCY_BUCKETS};
-pub use store::{MiniBatchStore, ShardPlacement, ShardedSpillStore, StoreConfig};
+pub use io::{
+    BandwidthProfile, DeviceProfile, IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, Pinning,
+    SchedulerConfig, SpillIo, LATENCY_BUCKETS,
+};
+pub use store::{
+    place_spilled, plan_adaptive, MiniBatchStore, PlacementReport, ShardPlacement,
+    ShardedSpillStore, StoreConfig,
+};
 pub use synth::{generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind};
 pub use testing::{FaultPlan, FaultStats};

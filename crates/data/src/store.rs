@@ -27,17 +27,20 @@ use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+
 use toc_formats::{AnyBatch, ExecScratch, MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
 use toc_ml::mgd::BatchProvider;
 
 use crate::io::{
-    lock, wait, IoShards, PoolIo, RingIo, SpillDevice, SpillRequest, Ticket, MAX_IO_THREADS,
+    lock, rlock, wait, wlock, IoShards, PoolIo, RingIo, SpillDevice, SpillRequest, Ticket,
+    MAX_IO_THREADS,
 };
-pub use crate::io::{IoEngineKind, IoSnapshot, IoStats, SpillIo};
+pub use crate::io::{
+    DeviceProfile, IoEngineKind, IoSnapshot, IoStats, Pinning, SchedulerConfig, SpillIo,
+};
 
 /// How spilled batches are laid out across the shard files.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,6 +57,16 @@ pub enum ShardPlacement {
     /// over them coalesces into a handful of large reads — one
     /// submission fetches several batches.
     Pack,
+    /// Bandwidth-profiled adaptive placement: batches start in the `Pack`
+    /// layout, every physical read charges its observed throughput into
+    /// the per-shard EWMA ([`crate::io::BandwidthProfile`]), and at each
+    /// epoch boundary ([`BatchProvider::end_epoch`], or
+    /// [`ShardedSpillStore::rebalance`] directly) the planner re-packs
+    /// hot (frequently re-visited) batches onto the shards measured
+    /// fastest, migrating by append-and-repoint so in-flight reads of the
+    /// old location stay valid. A slow or degrading device sheds its
+    /// batches instead of serializing every epoch.
+    Adaptive,
 }
 
 impl ShardPlacement {
@@ -61,6 +74,7 @@ impl ShardPlacement {
         match self {
             ShardPlacement::Stripe => "stripe",
             ShardPlacement::Pack => "pack",
+            ShardPlacement::Adaptive => "adaptive",
         }
     }
 }
@@ -77,7 +91,10 @@ impl std::str::FromStr for ShardPlacement {
         match s.to_ascii_lowercase().as_str() {
             "stripe" => Ok(ShardPlacement::Stripe),
             "pack" => Ok(ShardPlacement::Pack),
-            other => Err(format!("unknown placement {other:?} (stripe|pack)")),
+            "adaptive" => Ok(ShardPlacement::Adaptive),
+            other => Err(format!(
+                "unknown placement {other:?} (stripe|pack|adaptive)"
+            )),
         }
     }
 }
@@ -115,10 +132,18 @@ pub struct StoreConfig {
     pub io: IoEngineKind,
     /// Spilled-batch layout across shard files.
     pub placement: ShardPlacement,
+    /// IO-thread/decode-worker scheduling and shard pinning for the
+    /// prefetch pipeline (see [`SchedulerConfig`]).
+    pub scheduler: SchedulerConfig,
+    /// Per-shard simulated device profiles (cycled over the shards when
+    /// shorter). Overrides the uniform `disk_mbps` per device — this is
+    /// how heterogeneous storage tiers enter the model. Empty = uniform.
+    pub shard_profiles: Vec<DeviceProfile>,
     /// Fault-injection plan for the prefetch pipeline: when set, the
     /// pipeline runs on a [`crate::testing::FaultyIo`] engine that
     /// injects latency, chunked short reads, `EINTR`-style retries and
-    /// out-of-order completions (test support; overrides `io`).
+    /// out-of-order completions (test support; overrides `io`, and its
+    /// `device_profiles` override `shard_profiles`).
     pub fault: Option<crate::testing::FaultPlan>,
     /// Per-scheme encoding knobs (CLA planner choice and sample size).
     pub encode: toc_formats::EncodeOptions,
@@ -136,6 +161,8 @@ impl StoreConfig {
             prefetch: 0,
             io: IoEngineKind::Sync,
             placement: ShardPlacement::Stripe,
+            scheduler: SchedulerConfig::default(),
+            shard_profiles: Vec::new(),
             fault: None,
             encode: toc_formats::EncodeOptions::default(),
         }
@@ -182,6 +209,27 @@ impl StoreConfig {
     /// Builder-style shard-placement override.
     pub fn with_placement(mut self, placement: ShardPlacement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Builder-style scheduler override (IO threads, decode workers,
+    /// shard pinning).
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style per-shard device-profile override (cycled over the
+    /// shards when shorter than the shard count).
+    pub fn with_shard_profiles(mut self, profiles: Vec<DeviceProfile>) -> Self {
+        self.shard_profiles = profiles;
+        self
+    }
+
+    /// Convenience: stable per-shard bandwidths in MB/s (the asymmetric
+    /// storage-tier model without degradation).
+    pub fn with_shard_mbps(mut self, mbps: Vec<f64>) -> Self {
+        self.shard_profiles = mbps.into_iter().map(DeviceProfile::stable).collect();
         self
     }
 
@@ -364,12 +412,7 @@ impl MiniBatchStore {
             scheme: config.scheme,
             features: x.cols(),
             entries,
-            io: Arc::new(IoShards {
-                devices,
-                disk_mbps: config.disk_mbps,
-                epoch: Instant::now(),
-                stats: IoStats::default(),
-            }),
+            io: Arc::new(IoShards::new(devices, config.disk_mbps)),
             spill_path,
             owns_dir,
             memory_bytes,
@@ -447,12 +490,7 @@ impl Drop for MiniBatchStore {
         // the spill file first: fields drop only after this body, and the
         // portable (non-unix) path cannot unlink a file that is still
         // open.
-        self.io = Arc::new(IoShards {
-            devices: Vec::new(),
-            disk_mbps: None,
-            epoch: Instant::now(),
-            stats: IoStats::default(),
-        });
+        self.io = Arc::new(IoShards::new(Vec::new(), None));
         if let Some(p) = &self.spill_path {
             let _ = fs::remove_file(p);
         }
@@ -475,13 +513,28 @@ struct DiskLoc {
 
 enum Slot {
     Memory(AnyBatch),
-    Disk(DiskLoc),
+    /// Spilled: the index into `Inner::locs`/`Inner::visits` (spill ids
+    /// are assigned in entry order, so `Inner::spilled_order[id]` is this
+    /// entry's index). The location itself lives behind a lock because
+    /// adaptive placement repoints it between epochs.
+    Disk(usize),
 }
 
 /// Per-shard bookkeeping that is not part of the read path.
 struct ShardMeta {
     path: PathBuf,
-    bytes: u64,
+}
+
+/// Placement counters for the adaptive planner (exposed through
+/// [`PlacementReport`]).
+#[derive(Default)]
+struct PlacementStats {
+    /// Rebalance passes that had enough profiler signal to plan.
+    rebalances: AtomicU64,
+    /// Batches migrated to a different shard.
+    migrated_batches: AtomicU64,
+    /// Bytes those migrations copied.
+    migrated_bytes: AtomicU64,
 }
 
 /// State shared between the store handle and the prefetch workers.
@@ -494,14 +547,26 @@ struct Inner {
     /// in-memory batches between spilled ones; scanning `entries` for the
     /// next spilled index under the prefetch lock would be O(n)).
     spilled_order: Vec<usize>,
+    /// Current location of each spilled batch, by spill id. Written only
+    /// by [`ShardedSpillStore::rebalance`]; every reader takes a brief
+    /// read lock (cheap next to the file IO it precedes).
+    locs: RwLock<Vec<DiskLoc>>,
+    /// Per-spill-id visit counts — the hotness signal the adaptive
+    /// planner ranks batches by.
+    visits: Vec<AtomicU64>,
     shard_meta: Vec<ShardMeta>,
+    /// Per-shard append cursors (current file length). Doubles as the
+    /// placement mutation lock: rebalance holds it end to end, so plans
+    /// never interleave.
+    append: Mutex<Vec<u64>>,
+    placement_stats: PlacementStats,
     io: Arc<IoShards>,
 }
 
 impl Inner {
     fn disk_loc(&self, idx: usize) -> Option<DiskLoc> {
         match &self.entries[idx].0 {
-            Slot::Disk(loc) => Some(*loc),
+            Slot::Disk(id) => Some(rlock(&self.locs)[*id]),
             Slot::Memory(_) => None,
         }
     }
@@ -621,7 +686,12 @@ fn submit_lookahead(
 }
 
 impl Prefetcher {
-    fn start(inner: Arc<Inner>, depth: usize, engine: Option<Arc<dyn SpillIo>>) -> Self {
+    fn start(
+        inner: Arc<Inner>,
+        depth: usize,
+        engine: Option<Arc<dyn SpillIo>>,
+        decode_workers: usize,
+    ) -> Self {
         let shared = Arc::new(PrefetchShared {
             state: Mutex::new(PrefetchState {
                 in_flight_shard: vec![0; inner.io.devices.len()],
@@ -641,14 +711,17 @@ impl Prefetcher {
                     .extend(inner.spilled_order.iter().take(depth).copied()),
             }
         }
-        let threads = depth.clamp(1, MAX_PREFETCH_WORKERS);
+        let threads = decode_workers.clamp(1, MAX_PREFETCH_WORKERS);
         let workers = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
                 let shared = Arc::clone(&shared);
                 let engine = engine.clone();
                 std::thread::spawn(move || match engine {
-                    Some(e) => Self::async_worker_loop(&shared, e.as_ref(), depth),
+                    // Worker `w` drains completion lane `w`: with striped
+                    // lanes ([`SchedulerConfig`] pinning) a shard's
+                    // batches always decode on the same worker.
+                    Some(e) => Self::async_worker_loop(&shared, e.as_ref(), depth, w),
                     None => Self::sync_worker_loop(&inner, &shared, depth),
                 })
             })
@@ -705,8 +778,8 @@ impl Prefetcher {
     /// already in flight (submitted by the visitors' lookahead), so this
     /// thread's decode time overlaps the engine's IO time — the
     /// submit/complete split the synchronous loop can't express.
-    fn async_worker_loop(shared: &PrefetchShared, engine: &dyn SpillIo, depth: usize) {
-        while let Some(c) = engine.complete() {
+    fn async_worker_loop(shared: &PrefetchShared, engine: &dyn SpillIo, depth: usize, lane: usize) {
+        while let Some(c) = engine.complete_on(lane) {
             let idx = {
                 let mut st = lock(&shared.state);
                 match st.tickets.remove(&c.ticket) {
@@ -776,6 +849,11 @@ pub struct ShardedSpillStore {
     owns_dir: Option<PathBuf>,
     memory_bytes: usize,
     spilled_bytes: usize,
+    placement: ShardPlacement,
+    scheduler: SchedulerConfig,
+    /// Resolved scheduling (for [`PlacementReport`] / the CLI stats line).
+    io_threads: usize,
+    decode_workers: usize,
 }
 
 /// Pack placement: aim for this many contiguous runs per shard, so every
@@ -798,14 +876,15 @@ impl ShardedSpillStore {
         let spilled_count = spill_sizes.len();
 
         let mut entries = Vec::with_capacity(pending.len());
-        let (devices, shard_meta, owns_dir, spilled_bytes) = if !any_spilled {
+        let mut locs: Vec<DiskLoc> = Vec::with_capacity(spilled_count);
+        let (devices, shard_meta, append, owns_dir, spilled_bytes) = if !any_spilled {
             for (p, y) in pending {
                 match p {
                     Pending::Mem(b) => entries.push((Slot::Memory(b), y)),
                     Pending::Disk(_) => unreachable!(),
                 }
             }
-            (Vec::new(), Vec::new(), None, 0)
+            (Vec::new(), Vec::new(), Vec::new(), None, 0)
         } else {
             let (dir, owns) = resolve_spill_dir(config);
             fs::create_dir_all(&dir)?;
@@ -839,32 +918,40 @@ impl ShardedSpillStore {
                     Pending::Mem(b) => entries.push((Slot::Memory(b), y)),
                     Pending::Disk(bytes) => {
                         let s = assignment[spill_idx];
-                        spill_idx += 1;
                         files[s].write_all(&bytes)?;
-                        entries.push((
-                            Slot::Disk(DiskLoc {
-                                shard: s,
-                                offset: offsets[s],
-                                len: bytes.len(),
-                            }),
-                            y,
-                        ));
+                        entries.push((Slot::Disk(spill_idx), y));
+                        locs.push(DiskLoc {
+                            shard: s,
+                            offset: offsets[s],
+                            len: bytes.len(),
+                        });
+                        spill_idx += 1;
                         offsets[s] += bytes.len() as u64;
                         total += bytes.len();
                     }
                 }
             }
+            // Per-shard device profiles: the fault plan's (test harness)
+            // win over the config's; both cycle when shorter than the
+            // shard count.
+            let profiles: &[DeviceProfile] = config
+                .fault
+                .as_ref()
+                .map(|f| f.device_profiles.as_slice())
+                .filter(|p| !p.is_empty())
+                .unwrap_or(&config.shard_profiles);
             let shards: Vec<(SpillDevice, ShardMeta)> = files
                 .into_iter()
                 .zip(paths)
-                .zip(&offsets)
-                .map(|((f, path), &bytes)| {
+                .enumerate()
+                .map(|(s, (f, path))| {
+                    let profile = (!profiles.is_empty()).then(|| profiles[s % profiles.len()]);
                     f.sync_all()
-                        .map(|_| (SpillDevice::new(f), ShardMeta { path, bytes }))
+                        .map(|_| (SpillDevice::with_profile(f, profile), ShardMeta { path }))
                 })
                 .collect::<std::io::Result<_>>()?;
             let (devices, meta) = shards.into_iter().unzip();
-            (devices, meta, owns, total)
+            (devices, meta, offsets, owns, total)
         };
 
         let spilled_order: Vec<usize> = entries
@@ -872,21 +959,40 @@ impl ShardedSpillStore {
             .enumerate()
             .filter_map(|(i, (s, _))| matches!(s, Slot::Disk(_)).then_some(i))
             .collect();
-        let io = Arc::new(IoShards {
-            devices,
-            disk_mbps: config.disk_mbps,
-            epoch: Instant::now(),
-            stats: IoStats::default(),
-        });
+        let n_shards = devices.len();
+        let io = Arc::new(IoShards::new(devices, config.disk_mbps));
+        let visits = (0..locs.len()).map(|_| AtomicU64::new(0)).collect();
         let inner = Arc::new(Inner {
             scheme: config.scheme,
             features: x.cols(),
             entries,
             spilled_order,
+            locs: RwLock::new(locs),
+            visits,
             shard_meta,
+            append: Mutex::new(append),
+            placement_stats: PlacementStats::default(),
             io: Arc::clone(&io),
         });
+        // Resolve the scheduler even when no engine starts, so the report
+        // and the CLI stats line always name real numbers — and so an
+        // invalid pin map is rejected no matter which engine runs.
+        let sched = &config.scheduler;
+        let decode_workers = sched.resolved_decode_workers(config.prefetch, MAX_PREFETCH_WORKERS);
+        let io_threads = sched.resolved_io_threads(config.io, n_shards.max(1), config.prefetch);
+        // A fault plan replaces the configured engine with FaultyIo, whose
+        // worker count comes from the plan — report what actually runs.
+        let engine_io_threads = match &config.fault {
+            Some(plan) => plan.resolved_workers(),
+            None => io_threads,
+        };
+        if n_shards > 0 {
+            sched
+                .ring_assignment(n_shards, io_threads)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        }
         let prefetcher = if config.prefetch > 0 && spilled_count > 0 {
+            let lanes = sched.completion_lanes(decode_workers, n_shards);
             let engine: Option<Arc<dyn SpillIo>> = if let Some(plan) = &config.fault {
                 Some(Arc::new(crate::testing::FaultyIo::start(
                     Arc::clone(&io),
@@ -895,27 +1001,44 @@ impl ShardedSpillStore {
             } else {
                 match config.io {
                     IoEngineKind::Sync => None,
-                    IoEngineKind::Pool => Some(Arc::new(PoolIo::start(
-                        Arc::clone(&io),
-                        config.prefetch.clamp(1, MAX_IO_THREADS),
-                    ))),
-                    IoEngineKind::Ring => Some(Arc::new(RingIo::start(Arc::clone(&io)))),
+                    IoEngineKind::Pool => {
+                        Some(Arc::new(PoolIo::start(Arc::clone(&io), io_threads, lanes)))
+                    }
+                    IoEngineKind::Ring => {
+                        let assign = sched
+                            .ring_assignment(n_shards, io_threads)
+                            .expect("pin map validated above");
+                        Some(Arc::new(RingIo::start(
+                            Arc::clone(&io),
+                            io_threads,
+                            assign,
+                            lanes,
+                        )))
+                    }
                 }
             };
             Some(Prefetcher::start(
                 Arc::clone(&inner),
                 config.prefetch,
                 engine,
+                decode_workers,
             ))
         } else {
             None
         };
+        // Report IO threads only when an async engine actually runs them;
+        // the sync pipeline's reads happen inside the decode workers.
+        let engine_running = prefetcher.as_ref().is_some_and(|p| p.engine.is_some());
         Ok(Self {
             inner,
             prefetcher,
             owns_dir,
             memory_bytes,
             spilled_bytes,
+            placement: config.placement,
+            scheduler: config.scheduler.clone(),
+            io_threads: if engine_running { engine_io_threads } else { 0 },
+            decode_workers,
         })
     }
 
@@ -938,9 +1061,15 @@ impl ShardedSpillStore {
         self.inner.shard_meta.len()
     }
 
-    /// Bytes spilled to each shard.
+    /// Bytes of spilled batches currently assigned to each shard (follows
+    /// adaptive migrations; superseded copies left behind by
+    /// append-and-repoint are not counted).
     pub fn shard_bytes(&self) -> Vec<u64> {
-        self.inner.shard_meta.iter().map(|s| s.bytes).collect()
+        let mut out = vec![0u64; self.inner.shard_meta.len()];
+        for loc in rlock(&self.inner.locs).iter() {
+            out[loc.shard] += loc.len as u64;
+        }
+        out
     }
 
     /// Bytes of encoded batches resident in memory.
@@ -1041,13 +1170,149 @@ impl ShardedSpillStore {
             return self.inner.read_disk_sync(loc);
         }
     }
+
+    /// Current placement state: policy, resolved scheduling, rebalance and
+    /// migration counters, per-shard EWMA bandwidth estimates and the
+    /// bytes currently assigned to each shard.
+    pub fn placement_report(&self) -> PlacementReport {
+        let ps = &self.inner.placement_stats;
+        PlacementReport {
+            policy: self.placement,
+            pinning: self.scheduler.pinning.clone(),
+            io_threads: self.io_threads,
+            decode_workers: self.decode_workers,
+            rebalances: ps.rebalances.load(Ordering::Relaxed),
+            migrated_batches: ps.migrated_batches.load(Ordering::Relaxed),
+            migrated_bytes: ps.migrated_bytes.load(Ordering::Relaxed),
+            shard_ewma_mbps: self.inner.io.profile.snapshot_mbps(),
+            shard_bytes: self.shard_bytes(),
+        }
+    }
+
+    /// Re-plan the adaptive placement from the observed per-shard
+    /// bandwidth EWMAs and the per-batch visit counts, then migrate every
+    /// batch whose planned shard is meaningfully faster than its current
+    /// one ([`REBALANCE_HYSTERESIS`]). Returns the number of batches
+    /// migrated.
+    ///
+    /// Migration is append-and-repoint: the batch's bytes are copied to
+    /// the end of the target shard file and the location table repointed,
+    /// so reads already in flight against the old location still return
+    /// the right bytes — the pipeline never has to drain. Skipped until
+    /// every shard has at least one profiler observation (there is
+    /// nothing measured to plan by before that).
+    pub fn rebalance(&self) -> usize {
+        let inner = &self.inner;
+        let n_shards = inner.shard_meta.len();
+        if n_shards < 2 {
+            return 0;
+        }
+        if (0..n_shards).any(|s| inner.io.profile.samples(s) == 0) {
+            return 0;
+        }
+        // The append lock doubles as the placement mutation lock: one
+        // rebalance at a time, and append offsets stay consistent.
+        let mut append = lock(&inner.append);
+        inner
+            .placement_stats
+            .rebalances
+            .fetch_add(1, Ordering::Relaxed);
+        let bw: Vec<f64> = (0..n_shards)
+            .map(|s| inner.io.profile.estimate_mbps(s).unwrap_or(1.0))
+            .collect();
+        let current: Vec<DiskLoc> = rlock(&inner.locs).clone();
+        let sizes: Vec<usize> = current.iter().map(|l| l.len).collect();
+        let hot: Vec<u64> = inner
+            .visits
+            .iter()
+            .map(|v| v.load(Ordering::Relaxed))
+            .collect();
+        let capacity = vec![u64::MAX; n_shards];
+        let plan = plan_adaptive(&sizes, &hot, &bw, &capacity);
+        let mut moved = 0usize;
+        let mut moved_bytes = 0u64;
+        let mut buf = Vec::new();
+        for (id, (&target, loc)) in plan.iter().zip(&current).enumerate() {
+            if target == loc.shard || bw[target] < REBALANCE_HYSTERESIS * bw[loc.shard] {
+                continue;
+            }
+            // Copy through the charged read path (migration pays the
+            // source device's bandwidth and shows up in IoStats), then
+            // append to the target shard and repoint.
+            if inner
+                .io
+                .read_range(loc.shard, loc.offset, loc.len, &mut buf)
+                .is_err()
+            {
+                continue; // keep the old location; the visit path surfaces IO errors
+            }
+            let offset = append[target];
+            if inner.io.devices[target]
+                .file
+                .write_all_at(&buf, offset)
+                .is_err()
+            {
+                continue;
+            }
+            append[target] += loc.len as u64;
+            wlock(&inner.locs)[id] = DiskLoc {
+                shard: target,
+                offset,
+                len: loc.len,
+            };
+            moved += 1;
+            moved_bytes += loc.len as u64;
+        }
+        inner
+            .placement_stats
+            .migrated_batches
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        inner
+            .placement_stats
+            .migrated_bytes
+            .fetch_add(moved_bytes, Ordering::Relaxed);
+        moved
+    }
 }
 
-/// Decide which shard each spilled batch (in visit order) lands on.
-fn place_spilled(sizes: &[usize], n_shards: usize, placement: ShardPlacement) -> Vec<usize> {
+/// A migration must buy at least this bandwidth ratio between the target
+/// and the current shard, or the batch stays put. Keeps statistically
+/// flat profiles (every shard within noise of each other) from shuffling
+/// batches every epoch for nothing.
+pub const REBALANCE_HYSTERESIS: f64 = 1.25;
+
+/// Snapshot of the placement/scheduling state
+/// ([`ShardedSpillStore::placement_report`]; the CLI prints it as the
+/// machine-parseable `placement:` line).
+#[derive(Clone, Debug)]
+pub struct PlacementReport {
+    pub policy: ShardPlacement,
+    pub pinning: Pinning,
+    /// Async-engine IO threads actually running (0 when the pipeline is
+    /// sync or prefetch is off).
+    pub io_threads: usize,
+    pub decode_workers: usize,
+    /// Adaptive rebalance passes that had profiler signal to plan with.
+    pub rebalances: u64,
+    /// Batches the adaptive planner migrated to a different shard.
+    pub migrated_batches: u64,
+    /// Bytes those migrations copied.
+    pub migrated_bytes: u64,
+    /// Per-shard EWMA bandwidth estimates in MB/s (0.0 = never observed).
+    pub shard_ewma_mbps: Vec<f64>,
+    /// Bytes of spilled batches currently assigned to each shard.
+    pub shard_bytes: Vec<u64>,
+}
+
+/// Decide which shard each spilled batch (in visit order) lands on at
+/// build time. `Adaptive` starts from the `Pack` layout (file-adjacent
+/// runs, so ring coalescing works from epoch one) and diverges only once
+/// the runtime profiler has measured the shards
+/// ([`ShardedSpillStore::rebalance`]).
+pub fn place_spilled(sizes: &[usize], n_shards: usize, placement: ShardPlacement) -> Vec<usize> {
     match placement {
         ShardPlacement::Stripe => (0..sizes.len()).map(|i| i % n_shards).collect(),
-        ShardPlacement::Pack => {
+        ShardPlacement::Pack | ShardPlacement::Adaptive => {
             let total: usize = sizes.iter().sum();
             // A run must hold at least a couple of batches for adjacency
             // to buy anything, but never so many that a shard ends up
@@ -1080,6 +1345,64 @@ fn place_spilled(sizes: &[usize], n_shards: usize, placement: ShardPlacement) ->
     }
 }
 
+/// The adaptive placement plan: assign every spilled batch to a shard so
+/// the estimated epoch completion time is minimized on heterogeneous
+/// devices. Batches are ranked hottest first (visit count descending,
+/// index ascending for determinism) and greedily placed on the shard with
+/// the smallest projected finish time `(assigned_bytes + size) / mbps`
+/// whose byte `capacity` the batch still fits — LPT scheduling onto
+/// machines with speeds, which packs hot bytes onto fast shards in
+/// proportion to measured bandwidth. When no shard has capacity left the
+/// batch falls back to the least-loaded-by-time shard, so every batch is
+/// always assigned exactly once.
+///
+/// Pure and deterministic: same inputs, same plan. `sizes`, `hotness` and
+/// the returned assignment are indexed by spilled-batch id; `mbps` and
+/// `capacity` by shard. Non-finite or non-positive speeds are treated as
+/// a tiny positive speed so a never-measured shard never divides by zero.
+pub fn plan_adaptive(
+    sizes: &[usize],
+    hotness: &[u64],
+    mbps: &[f64],
+    capacity: &[u64],
+) -> Vec<usize> {
+    assert_eq!(sizes.len(), hotness.len(), "one hotness count per batch");
+    assert_eq!(mbps.len(), capacity.len(), "one capacity per shard");
+    let n_shards = mbps.len();
+    assert!(n_shards > 0, "need at least one shard");
+    let speed: Vec<f64> = mbps
+        .iter()
+        .map(|&m| if m.is_finite() && m > 0.0 { m } else { 1e-6 })
+        .collect();
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(hotness[i]), i));
+    let mut load = vec![0u64; n_shards];
+    let mut out = vec![0usize; sizes.len()];
+    for i in order {
+        let sz = sizes[i] as u64;
+        let finish = |s: usize| (load[s] + sz) as f64 / speed[s];
+        let mut best: Option<usize> = None;
+        for s in 0..n_shards {
+            if load[s] + sz > capacity[s] {
+                continue;
+            }
+            if best.is_none_or(|b| finish(s) < finish(b)) {
+                best = Some(s);
+            }
+        }
+        // Capacity exhausted everywhere: least projected finish time wins
+        // (coverage beats the capacity hint — every batch must land).
+        let s = best.unwrap_or_else(|| {
+            (0..n_shards)
+                .min_by(|&a, &b| finish(a).total_cmp(&finish(b)))
+                .unwrap()
+        });
+        load[s] += sz;
+        out[i] = s;
+    }
+    out
+}
+
 impl BatchProvider for ShardedSpillStore {
     fn num_batches(&self) -> usize {
         self.inner.entries.len()
@@ -1093,10 +1416,21 @@ impl BatchProvider for ShardedSpillStore {
         let (slot, labels) = &self.inner.entries[idx];
         match slot {
             Slot::Memory(b) => f(b, labels),
-            Slot::Disk(loc) => {
-                let b = self.fetch(idx, *loc);
+            Slot::Disk(id) => {
+                // Hotness signal for the adaptive planner.
+                self.inner.visits[*id].fetch_add(1, Ordering::Relaxed);
+                let loc = rlock(&self.inner.locs)[*id];
+                let b = self.fetch(idx, loc);
                 f(&b, labels);
             }
+        }
+    }
+
+    /// Epoch-boundary feedback from the trainer: the adaptive planner
+    /// re-packs hot batches onto the shards measured fastest.
+    fn end_epoch(&self) {
+        if self.placement == ShardPlacement::Adaptive {
+            self.rebalance();
         }
     }
 }
@@ -1112,12 +1446,7 @@ impl Drop for ShardedSpillStore {
         // ref count is unexpectedly higher we skip closing (unix unlinks
         // open files fine).
         if let Some(inner) = Arc::get_mut(&mut self.inner) {
-            inner.io = Arc::new(IoShards {
-                devices: Vec::new(),
-                disk_mbps: None,
-                epoch: Instant::now(),
-                stats: IoStats::default(),
-            });
+            inner.io = Arc::new(IoShards::new(Vec::new(), None));
         }
         for shard in &self.inner.shard_meta {
             let _ = fs::remove_file(&shard.path);
@@ -1132,7 +1461,7 @@ impl Drop for ShardedSpillStore {
 mod tests {
     use super::*;
     use crate::synth::{generate_preset, DatasetPreset};
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn dataset() -> (DenseMatrix, Vec<f64>) {
         let ds = generate_preset(DatasetPreset::CensusLike, 600, 21);
@@ -1429,9 +1758,7 @@ mod tests {
         // The accounted delay is deterministic: sum of len/mbps per read.
         let expected: u64 = (0..store.num_batches())
             .map(|i| {
-                let Slot::Disk(loc) = &store.inner.entries[i].0 else {
-                    unreachable!()
-                };
+                let loc = store.inner.disk_loc(i).expect("spilled");
                 (loc.len as f64 / (mbps * 1e6) * 1e9) as u64
             })
             .sum();
@@ -1532,5 +1859,147 @@ mod tests {
                 }
             }
         }
+        // Adaptive starts from the pack layout.
+        assert_eq!(
+            place_spilled(&[10; 8], 2, ShardPlacement::Adaptive),
+            place_spilled(&[10; 8], 2, ShardPlacement::Pack)
+        );
+    }
+
+    #[test]
+    fn plan_adaptive_packs_hot_bytes_onto_fast_shards() {
+        // Equal sizes, flat hotness: load splits roughly proportional to
+        // measured speed (400 of 500 MB/s → ~80% of batches on shard 0).
+        let sizes = vec![10usize; 100];
+        let hot = vec![1u64; 100];
+        let bw = [400.0, 50.0, 50.0];
+        let caps = [u64::MAX; 3];
+        let plan = plan_adaptive(&sizes, &hot, &bw, &caps);
+        assert_eq!(plan.len(), 100);
+        assert!(plan.iter().all(|&s| s < 3));
+        let on_fast = plan.iter().filter(|&&s| s == 0).count();
+        assert!((70..=90).contains(&on_fast), "{on_fast}");
+        // Deterministic: same inputs, same plan.
+        assert_eq!(plan, plan_adaptive(&sizes, &hot, &bw, &caps));
+        // The hottest batch lands on the fastest shard.
+        let plan2 = plan_adaptive(&[5; 4], &[0, 0, 9, 0], &[100.0, 1.0], &[u64::MAX; 2]);
+        assert_eq!(plan2[2], 0);
+        // Capacity respected: the fast shard only has room for one batch,
+        // so the other overflows to the slow one despite the speed gap.
+        let plan3 = plan_adaptive(&[10, 10], &[1, 1], &[1000.0, 1.0], &[10, 100]);
+        assert_eq!(plan3.iter().filter(|&&s| s == 0).count(), 1);
+        // Infeasible capacity still assigns every batch (coverage wins).
+        let plan4 = plan_adaptive(&[10, 10], &[1, 1], &[1.0, 1.0], &[0, 0]);
+        assert_eq!(plan4.len(), 2);
+        // Degenerate speeds must not divide by zero.
+        let _ = plan_adaptive(&[1], &[0], &[0.0], &[u64::MAX]);
+    }
+
+    #[test]
+    fn adaptive_rebalance_migrates_to_fast_shard_and_stays_byte_identical() {
+        let (x, y) = dataset();
+        let config = StoreConfig::new(Scheme::Den, 100, 0)
+            .with_shards(2)
+            .with_placement(ShardPlacement::Adaptive)
+            .with_shard_mbps(vec![2000.0, 10.0]);
+        let store = ShardedSpillStore::build(&x, &y, &config).unwrap();
+        assert_eq!(store.spilled_batches(), 6);
+        let initial = store.shard_bytes();
+        assert!(initial.iter().all(|&b| b > 0), "{initial:?}");
+        // Before any observation a rebalance has no signal and must no-op.
+        assert_eq!(store.rebalance(), 0);
+        assert_eq!(store.placement_report().rebalances, 0);
+        // Epoch 1 observes both shards; the boundary rebalance must pull
+        // (nearly) everything onto the 200×-faster shard 0.
+        for i in 0..store.num_batches() {
+            store.visit(i, &mut |_, _| {});
+        }
+        store.end_epoch();
+        let rep = store.placement_report();
+        assert_eq!(rep.policy, ShardPlacement::Adaptive);
+        assert_eq!(rep.rebalances, 1);
+        assert!(rep.migrated_batches >= 1, "{rep:?}");
+        assert!(rep.migrated_bytes >= 1, "{rep:?}");
+        assert!(rep.shard_ewma_mbps[0] > rep.shard_ewma_mbps[1], "{rep:?}");
+        assert!(rep.shard_bytes[0] > rep.shard_bytes[1], "{rep:?}");
+        assert_eq!(
+            rep.shard_bytes.iter().sum::<u64>(),
+            store.spilled_bytes() as u64
+        );
+        // Migration never changes a byte: every batch still decodes to
+        // exactly its source rows.
+        for i in 0..store.num_batches() {
+            store.visit(i, &mut |b, labels| {
+                assert_eq!(b.decode(), x.slice_rows(i * 100, (i + 1) * 100));
+                assert_eq!(labels, &y[i * 100..(i + 1) * 100]);
+            });
+        }
+        // A second epoch over the settled layout stays settled (the plan
+        // is deterministic and the hysteresis kills noise moves).
+        store.end_epoch();
+        let again = store.placement_report();
+        assert_eq!(again.migrated_batches, rep.migrated_batches);
+    }
+
+    #[test]
+    fn non_adaptive_placements_never_rebalance_on_end_epoch() {
+        let (x, y) = dataset();
+        for placement in [ShardPlacement::Stripe, ShardPlacement::Pack] {
+            let config = StoreConfig::new(Scheme::Toc, 100, 0)
+                .with_shards(2)
+                .with_placement(placement)
+                .with_shard_mbps(vec![2000.0, 10.0]);
+            let store = ShardedSpillStore::build(&x, &y, &config).unwrap();
+            for i in 0..store.num_batches() {
+                store.visit(i, &mut |_, _| {});
+            }
+            store.end_epoch();
+            let rep = store.placement_report();
+            assert_eq!(rep.rebalances, 0, "{placement}");
+            assert_eq!(rep.migrated_batches, 0, "{placement}");
+        }
+    }
+
+    #[test]
+    fn invalid_pin_maps_fail_store_build() {
+        let (x, y) = dataset();
+        // Wrong length (2 shards, 1 entry) and out-of-range thread index.
+        for pinning in [Pinning::Fixed(vec![0]), Pinning::Fixed(vec![0, 7])] {
+            let config = StoreConfig::new(Scheme::Toc, 100, 0)
+                .with_shards(2)
+                .with_prefetch(2)
+                .with_io(IoEngineKind::Ring)
+                .with_scheduler(SchedulerConfig {
+                    io_threads: 2,
+                    decode_workers: 2,
+                    pinning: pinning.clone(),
+                });
+            let err = match ShardedSpillStore::build(&x, &y, &config) {
+                Err(e) => e,
+                Ok(_) => panic!("pin map {pinning:?} must fail the build"),
+            };
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{pinning:?}");
+        }
+        // A valid map builds and serves batches through the pinned ring.
+        let config = StoreConfig::new(Scheme::Toc, 100, 0)
+            .with_shards(2)
+            .with_prefetch(2)
+            .with_io(IoEngineKind::Ring)
+            .with_scheduler(SchedulerConfig {
+                io_threads: 2,
+                decode_workers: 2,
+                pinning: Pinning::Fixed(vec![1, 0]),
+            });
+        let store = ShardedSpillStore::build(&x, &y, &config).unwrap();
+        for i in 0..store.num_batches() {
+            store.visit(i, &mut |b, _| {
+                assert_eq!(b.decode(), x.slice_rows(i * 100, (i + 1) * 100));
+            });
+        }
+        let rep = store.placement_report();
+        assert_eq!(rep.pinning, Pinning::Fixed(vec![1, 0]));
+        assert_eq!(rep.io_threads, 2);
+        assert_eq!(rep.decode_workers, 2);
+        store.stats().snapshot_stable().assert_consistent();
     }
 }

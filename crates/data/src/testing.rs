@@ -17,7 +17,7 @@
 //! references it.
 
 use crate::io::{
-    lock, Completion, CompletionQueue, IoShards, SpillIo, SpillRequest, Submission,
+    lock, Completion, CompletionQueue, DeviceProfile, IoShards, SpillIo, SpillRequest, Submission,
     SubmissionQueue, Ticket,
 };
 use rand::rngs::StdRng;
@@ -63,6 +63,13 @@ pub struct FaultPlan {
     pub reorder_window: usize,
     /// IO worker threads (clamped to 1..=4).
     pub workers: usize,
+    /// Per-shard asymmetric bandwidth profiles (cycled when shorter than
+    /// the shard count; empty = the store's uniform model). This is how
+    /// the scheduler harness gives the store fast, slow, and degrading
+    /// devices to discover: the profiles are applied to the shard devices
+    /// at store build, so *every* read path — faulty or not — simulates
+    /// them, and the adaptive planner has a real signal to migrate by.
+    pub device_profiles: Vec<DeviceProfile>,
     /// Observability counters (shared through clones of the plan).
     pub stats: FaultStats,
 }
@@ -76,6 +83,7 @@ impl Default for FaultPlan {
             eintr_per_mille: 250,
             reorder_window: 3,
             workers: 2,
+            device_profiles: Vec::new(),
             stats: FaultStats::default(),
         }
     }
@@ -89,6 +97,13 @@ impl FaultPlan {
             seed,
             ..Self::default()
         }
+    }
+
+    /// IO worker threads [`FaultyIo`] will actually start (the `workers`
+    /// knob after clamping) — what `PlacementReport::io_threads` reports
+    /// when the plan overrides the configured engine.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.clamp(1, 4)
     }
 }
 
@@ -112,7 +127,7 @@ pub struct FaultyIo {
 
 impl FaultyIo {
     pub(crate) fn start(io: Arc<IoShards>, plan: FaultPlan) -> Self {
-        let workers = plan.workers.clamp(1, 4);
+        let workers = plan.resolved_workers();
         let shared = Arc::new(FaultShared {
             io,
             plan,
@@ -183,15 +198,15 @@ impl FaultyIo {
                 std::thread::yield_now();
                 spins += 1;
             }
+            let t0 = std::time::Instant::now();
             dev.file
                 .read_exact_at(&mut buf[done..done + take], req.offset + done as u64)?;
-            if let Some(mbps) = io.disk_mbps {
-                dev.clock.charge(io.epoch, take, mbps, &io.stats);
-            }
-            io.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
-            io.stats
-                .bytes_read
-                .fetch_add(take as u64, Ordering::Relaxed);
+            // Shared accounting with `IoShards::read_range`: each chunk
+            // charges the (possibly asymmetric/degrading) device model,
+            // the stats counters, and the bandwidth profiler — the
+            // adaptive planner must keep learning under faulty
+            // scheduling too.
+            io.account_read(req.shard, take, t0);
             done += take;
         }
         Ok(())

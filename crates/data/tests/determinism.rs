@@ -1,14 +1,19 @@
 //! End-to-end determinism: the same seed must produce a **bit-identical**
 //! training run regardless of where the batches physically live or which
-//! IO path serves them. Six store configurations — in-memory, single
-//! spill file, sharded, sharded+sync-prefetch, async pool, async ring —
-//! feed the identical batch stream, so the final weights *and* the
-//! per-epoch error trajectory must agree with `==`, not a tolerance.
+//! IO path serves them. Eight store configurations — in-memory, single
+//! spill file, sharded, sharded+sync-prefetch, async pool, async ring,
+//! adaptive placement over asymmetric shards, and adaptive+ring with a
+//! fixed pin map — feed the identical batch stream, so the final weights
+//! *and* the per-epoch error trajectory must agree with `==`, not a
+//! tolerance. The adaptive legs migrate batches between shards mid-run
+//! (the trainer fires `end_epoch` after every pass), which must never
+//! change a byte of what the trainer sees.
 
 use toc_data::store::{
-    IoEngineKind, MiniBatchStore, ShardPlacement, ShardedSpillStore, StoreConfig,
+    IoEngineKind, Pinning, SchedulerConfig, ShardPlacement, ShardedSpillStore, StoreConfig,
 };
 use toc_data::synth::{generate_preset, DatasetPreset};
+use toc_data::{DeviceProfile, MiniBatchStore};
 use toc_formats::Scheme;
 use toc_ml::mgd::{BatchProvider, MgdConfig, ModelSpec, Trainer};
 use toc_ml::LossKind;
@@ -74,8 +79,8 @@ fn loss_trajectory_is_bit_identical_across_store_configs() {
         runs.push(train("single-file", &store, eval));
     }
 
-    // (3)–(6) Sharded variants.
-    let sharded_configs: [(&'static str, StoreConfig); 4] = [
+    // (3)–(8) Sharded variants.
+    let sharded_configs: [(&'static str, StoreConfig); 6] = [
         (
             "sharded",
             StoreConfig::new(scheme, batch_rows, 0).with_shards(3),
@@ -100,6 +105,41 @@ fn loss_trajectory_is_bit_identical_across_store_configs() {
                 .with_prefetch(3)
                 .with_io(IoEngineKind::Ring)
                 .with_placement(ShardPlacement::Pack),
+        ),
+        // Adaptive placement over asymmetric shards: the 10× bandwidth
+        // skew forces real migrations at every epoch boundary while the
+        // trainer is mid-run.
+        (
+            "adaptive-pool",
+            StoreConfig::new(scheme, batch_rows, 0)
+                .with_shards(3)
+                .with_prefetch(3)
+                .with_io(IoEngineKind::Pool)
+                .with_placement(ShardPlacement::Adaptive)
+                .with_shard_mbps(vec![900.0, 90.0, 90.0])
+                .with_scheduler(SchedulerConfig {
+                    io_threads: 2,
+                    decode_workers: 2,
+                    pinning: Pinning::Auto,
+                }),
+        ),
+        (
+            "adaptive-ring-pinned",
+            StoreConfig::new(scheme, batch_rows, 0)
+                .with_shards(3)
+                .with_prefetch(3)
+                .with_io(IoEngineKind::Ring)
+                .with_placement(ShardPlacement::Adaptive)
+                .with_shard_profiles(vec![
+                    DeviceProfile::stable(900.0),
+                    DeviceProfile::degrading(400.0, 0.1),
+                    DeviceProfile::stable(90.0),
+                ])
+                .with_scheduler(SchedulerConfig {
+                    io_threads: 2,
+                    decode_workers: 3,
+                    pinning: Pinning::Fixed(vec![0, 1, 0]),
+                }),
         ),
     ];
     for (name, config) in sharded_configs {

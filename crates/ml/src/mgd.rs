@@ -23,6 +23,15 @@ pub trait BatchProvider {
     /// Visit batch `idx`. Labels are `±1` for binary tasks and the class
     /// index (as `f64`) for multiclass tasks.
     fn visit(&self, idx: usize, f: &mut dyn FnMut(&AnyBatch, &[f64]));
+
+    /// Epoch-boundary feedback: the trainer calls this after every full
+    /// pass over the batches, once all of that epoch's visits have
+    /// returned. Out-of-core providers use it to act on what the epoch's
+    /// visit stream taught them — the adaptive spill store re-packs hot
+    /// batches onto the shards it measured fastest. Must not change any
+    /// batch's *content*: training results are compared bit-identically
+    /// across providers. Default: no-op.
+    fn end_epoch(&self) {}
 }
 
 /// Trivial in-memory provider over pre-encoded batches.
@@ -223,6 +232,11 @@ impl Trainer {
                 });
             }
             train_time += t0.elapsed();
+            // Visit-order feedback to the provider (adaptive spill stores
+            // rebalance here). Excluded from `train_time` like the curve
+            // evaluation: it is maintenance between epochs, not the
+            // gradient path the paper times.
+            data.end_epoch();
             if self.config.record_curve {
                 if let Some((eb, ey)) = eval {
                     curve.push(CurvePoint {

@@ -167,6 +167,9 @@ pub fn train_nn_parallel_report(
             rounds += 1;
         }
         train_time += t0.elapsed();
+        // Same epoch-boundary feedback the serial trainer gives (adaptive
+        // spill stores rebalance here); excluded from train_time.
+        data.end_epoch();
     }
     ParallelReport {
         train_time,
