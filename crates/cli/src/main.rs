@@ -49,7 +49,8 @@ toc — tuple-oriented compression for mini-batch SGD
 
 USAGE:
   toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
-  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|toc|auto>] [--batch-rows <n>]
+  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|ans|toc|auto>] [--batch-rows <n>]
+                                   (--codec is accepted as an alias of --scheme)
   toc decompress <in.tocz> <out.csv>
   toc inspect <in.tocz>
   toc bench <in.csv> [--batch-rows <n>]
@@ -145,6 +146,7 @@ fn parse_scheme(s: &str) -> Result<Scheme, String> {
         "gzip" => Scheme::Gzip,
         "toc" => Scheme::Toc,
         "toc-varint" => Scheme::TocVarint,
+        "ans" => Scheme::GcAns,
         other => return Err(format!("unknown scheme {other:?}")),
     })
 }
@@ -187,7 +189,11 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     let [input, output] = pos[..] else {
         return Err("usage: toc compress <in.csv> <out.tocz>".into());
     };
-    let scheme_arg = opt(args, "--scheme").unwrap_or_else(|| "toc".into());
+    // `--codec` is accepted as an alias of `--scheme` (the byte-codec
+    // schemes like ans/gzip/snappy read naturally as codecs).
+    let scheme_arg = opt(args, "--scheme")
+        .or_else(|| opt(args, "--codec"))
+        .unwrap_or_else(|| "toc".into());
     let batch_rows: usize = opt(args, "--batch-rows")
         .map(|s| s.parse().unwrap_or(250))
         .unwrap_or(250);
@@ -197,7 +203,7 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         // Pick on the first batch: CLA is judged by its planner estimate,
         // the others by an encode probe of one batch.
         let probe = m.slice_rows(0, m.rows().min(batch_rows));
-        let picked = toc_formats::pick_scheme(&probe, &Scheme::PAPER_SET, &opts);
+        let picked = toc_formats::pick_scheme(&probe, &Scheme::AUTO_SET, &opts);
         println!("auto: picked {}", picked.name());
         picked
     } else {
@@ -581,6 +587,7 @@ mod tests {
     fn scheme_parsing() {
         assert_eq!(parse_scheme("toc").unwrap(), Scheme::Toc);
         assert_eq!(parse_scheme("GZIP").unwrap(), Scheme::Gzip);
+        assert_eq!(parse_scheme("ans").unwrap(), Scheme::GcAns);
         assert!(parse_scheme("zstd").is_err());
     }
 

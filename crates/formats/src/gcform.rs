@@ -164,6 +164,7 @@ impl MatrixBatch for GcBatch {
             Codec::FastLz => Scheme::Snappy.tag(),
             Codec::Deflate => Scheme::Gzip.tag(),
             Codec::Lzw => Scheme::Gzip.tag(), // LZW is test-only; map to GC slot
+            Codec::Ans => Scheme::GcAns.tag(),
         };
         let mut out = vec![tag];
         put_u32(&mut out, self.rows as u32);

@@ -15,6 +15,7 @@
 //! | CLA — co-coded column groups (simplified [Elgohary et al. 2016]) | [`cla`] | yes |
 //! | Snappy* — fast-LZ over DEN bytes        | [`gcform`] | no: full decompression first |
 //! | Gzip* — deflate over DEN bytes          | [`gcform`] | no: full decompression first |
+//! | ANS — tabled rANS over DEN bytes        | [`gcform`] | no: full decompression first |
 //! | TOC (full / ablations / varint)         | [`tocform`] | yes |
 
 pub mod cla;
@@ -217,13 +218,17 @@ pub enum Scheme {
     TocSparseLogical,
     /// Extension: TOC with the varint physical codec.
     TocVarint,
+    /// Extension: DEN bytes under the tabled rANS entropy coder
+    /// ([`toc_gc::ans`]) — the modern-entropy-coding contrast to the
+    /// paper's Snappy*/Gzip* GC baselines.
+    GcAns,
 }
 
 impl Scheme {
     /// Every scheme tag — the paper set plus ablations and extensions.
     /// Test suites (conformance, fuzz, golden fixtures) iterate this, so
     /// a new variant added here is automatically covered everywhere.
-    pub const ALL: [Scheme; 11] = [
+    pub const ALL: [Scheme; 12] = [
         Scheme::Den,
         Scheme::Csr,
         Scheme::Cvi,
@@ -235,6 +240,7 @@ impl Scheme {
         Scheme::TocSparse,
         Scheme::TocSparseLogical,
         Scheme::TocVarint,
+        Scheme::GcAns,
     ];
 
     /// The seven compared methods of §5 plus TOC, in the paper's order.
@@ -253,6 +259,21 @@ impl Scheme {
     pub const ABLATION_SET: [Scheme; 3] =
         [Scheme::TocSparse, Scheme::TocSparseLogical, Scheme::Toc];
 
+    /// Candidates for `--scheme auto` selection: the paper set plus the
+    /// ANS extension (which competes via a cheap entropy estimate — see
+    /// [`Scheme::estimate_encoded_size`]).
+    pub const AUTO_SET: [Scheme; 9] = [
+        Scheme::Den,
+        Scheme::Csr,
+        Scheme::Cvi,
+        Scheme::Dvi,
+        Scheme::Cla,
+        Scheme::Snappy,
+        Scheme::Gzip,
+        Scheme::Toc,
+        Scheme::GcAns,
+    ];
+
     /// Display name matching the paper's figures (`*` marks from-scratch
     /// substitutes for Snappy/Gzip).
     pub fn name(self) -> &'static str {
@@ -268,13 +289,14 @@ impl Scheme {
             Scheme::TocSparse => "TOC_SPARSE",
             Scheme::TocSparseLogical => "TOC_SPARSE_AND_LOGICAL",
             Scheme::TocVarint => "TOC_VARINT",
+            Scheme::GcAns => "ANS",
         }
     }
 
     /// Whether matrix ops run directly on the compressed representation
     /// (LMC + TOC) or require full decompression first (GC).
     pub fn compressed_execution(self) -> bool {
-        !matches!(self, Scheme::Snappy | Scheme::Gzip)
+        !matches!(self, Scheme::Snappy | Scheme::Gzip | Scheme::GcAns)
     }
 
     /// Encode a dense mini-batch with this scheme and default options.
@@ -299,6 +321,7 @@ impl Scheme {
                 AnyBatch::TocSparseLogical(tocform::TocSparseLogical::encode(dense))
             }
             Scheme::TocVarint => AnyBatch::Toc(tocform::TocFormat::encode_varint(dense)),
+            Scheme::GcAns => AnyBatch::Gc(gcform::GcBatch::encode(dense, toc_gc::Codec::Ans)),
         }
     }
 
@@ -312,6 +335,19 @@ impl Scheme {
             Scheme::Den => dense.den_size_bytes(),
             Scheme::Cla if opts.cla.planner == ClaPlanner::SampleMerge => {
                 cla::planner::plan(dense, &opts.cla).est_bytes
+            }
+            // ANS compresses to (almost exactly) the zeroth-order byte
+            // entropy of the DEN payload, so the estimate is one histogram
+            // pass — no encode probe, unlike the LZ-based GC schemes.
+            Scheme::GcAns => {
+                let mut hist = [0u64; 256];
+                for v in dense.data() {
+                    for b in v.to_le_bytes() {
+                        hist[b as usize] += 1;
+                    }
+                }
+                // +9 for the scheme tag and rows/cols wire header.
+                toc_gc::ans::estimate_from_hist(&hist, dense.data().len() * 8) + 9
             }
             _ => self.encode_with(dense, opts).size_bytes(),
         }
@@ -351,6 +387,7 @@ impl Scheme {
             }
             8 => AnyBatch::TocSparse(tocform::TocSparse::from_body(body)?),
             9 => AnyBatch::TocSparseLogical(tocform::TocSparseLogical::from_body(body)?),
+            11 => AnyBatch::Gc(gcform::GcBatch::from_body(body, toc_gc::Codec::Ans)?),
             got => {
                 return Err(FormatError::WrongScheme {
                     expected: "any",
@@ -374,6 +411,7 @@ impl Scheme {
             Scheme::TocSparse => 8,
             Scheme::TocSparseLogical => 9,
             Scheme::TocVarint => 10,
+            Scheme::GcAns => 11,
         }
     }
 }

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use toc_formats::{MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
 
-const ALL_SCHEMES: [(Scheme, &str); 11] = [
+const ALL_SCHEMES: [(Scheme, &str); 12] = [
     (Scheme::Den, "den"),
     (Scheme::Csr, "csr"),
     (Scheme::Cvi, "cvi"),
@@ -30,6 +30,7 @@ const ALL_SCHEMES: [(Scheme, &str); 11] = [
     (Scheme::TocSparse, "toc_sparse"),
     (Scheme::TocSparseLogical, "toc_sparse_logical"),
     (Scheme::TocVarint, "toc_varint"),
+    (Scheme::GcAns, "ans"),
 ];
 
 /// The fixture matrix. Frozen: changing it invalidates every fixture, so

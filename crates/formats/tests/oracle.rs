@@ -236,7 +236,12 @@ fn header_field_flips_always_error() {
             // tag, rows, cols — cols is cross-checked (DEN: payload
             // length; DVI: rows*cols == index count; GC: decompressed
             // payload length; CLA: groups must partition the columns).
-            Scheme::Den | Scheme::Dvi | Scheme::Snappy | Scheme::Gzip | Scheme::Cla => {
+            Scheme::Den
+            | Scheme::Dvi
+            | Scheme::Snappy
+            | Scheme::Gzip
+            | Scheme::GcAns
+            | Scheme::Cla => {
                 vec![0..9]
             }
             // tag, rows only (cols is self-describing).

@@ -1,0 +1,461 @@
+//! Tabled range-ANS (rANS) entropy coder with per-chunk adaptive models.
+//!
+//! This is the "modern entropy coding" leg of the codec matrix (pcodec
+//! class): the input is split into fixed-size chunks, each chunk gets its
+//! own byte-frequency model normalized to a power-of-two total, symbols are
+//! encoded **in reverse** through two interleaved 64-bit rANS states, and
+//! the decoder runs forward with a branchless slot-table inner loop — one
+//! table load per symbol, no bit-at-a-time tree walk and no code-length
+//! branch.
+//!
+//! Container layout:
+//!
+//! ```text
+//! u64 total original length
+//! per chunk:
+//!   u32 raw_len               (1 ..= CHUNK bytes this chunk decodes to)
+//!   u16 n_present             (distinct byte values in the chunk)
+//!   n_present × (u8 sym, u16 freq)   symbols strictly ascending,
+//!                                    freqs >= 1 and summing to SCALE
+//!   u32 n_words               (renormalization words)
+//!   u64 state0, u64 state1    (final encoder states)
+//!   n_words × u32 LE          (renorm words, already reversed so the
+//!                              decoder consumes them front-to-back)
+//! ```
+//!
+//! ## Why decoding cannot panic on corrupt input
+//!
+//! The crate forbids `unsafe` and the mutation-sweep tests run in debug
+//! builds, so arithmetic overflow must be impossible, not just unlikely.
+//! The freq table is validated (freqs >= 1, summing to exactly `SCALE`)
+//! before any state math, and the initial states are required to sit in
+//! `[LOWER, 1 << 63)`. From `x < 2^63` the decode step yields
+//! `freq * (x >> 12) + bias <= 2^12 * (2^51 - 1) + (2^12 - 1) < 2^63`,
+//! and renormalization only runs while `x < LOWER = 2^31`, so
+//! `(x << 32) | word < 2^63`. The invariant holds inductively and every
+//! operation stays in range.
+
+use crate::GcError;
+
+/// Frequency precision: per-chunk models are normalized to `1 << SCALE_BITS`.
+pub const SCALE_BITS: u32 = 12;
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the normalized state interval.
+const LOWER: u64 = 1 << 31;
+/// States must stay below this for overflow-free decode steps (see module
+/// docs); the encoder's renormalization guarantees it, the decoder checks it.
+const STATE_MAX: u64 = 1 << 63;
+/// Default chunk size: big enough to amortize the table header, small
+/// enough that the model adapts to local statistics.
+pub const CHUNK: usize = 64 * 1024;
+
+/// Normalize a byte histogram to frequencies summing to exactly `SCALE`,
+/// with every present symbol getting at least 1.
+fn normalize(hist: &[u64; 256], total: u64) -> [u32; 256] {
+    debug_assert!(total > 0);
+    let mut freqs = [0u32; 256];
+    let mut sum: u32 = 0;
+    for i in 0..256 {
+        if hist[i] > 0 {
+            let f = ((hist[i] as u128 * SCALE as u128) / total as u128) as u32;
+            freqs[i] = f.max(1);
+            sum += freqs[i];
+        }
+    }
+    // Largest-remainder style repair: shave over-represented symbols first
+    // (never below 1), then hand any deficit to the most frequent symbol.
+    while sum > SCALE {
+        let mut best = usize::MAX;
+        for i in 0..256 {
+            if freqs[i] > 1 && (best == usize::MAX || freqs[i] > freqs[best]) {
+                best = i;
+            }
+        }
+        freqs[best] -= 1;
+        sum -= 1;
+    }
+    if sum < SCALE {
+        let mut best = 0;
+        for i in 1..256 {
+            if freqs[i] > freqs[best] {
+                best = i;
+            }
+        }
+        freqs[best] += SCALE - sum;
+    }
+    freqs
+}
+
+/// Compress `input` with the default chunk size.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    compress_chunked(input, CHUNK)
+}
+
+/// Compress `input` with an explicit chunk size (clamped to a sane range).
+pub fn compress_chunked(input: &[u8], chunk_size: usize) -> Vec<u8> {
+    let chunk_size = chunk_size.clamp(1024, 1 << 22);
+    let mut out = Vec::with_capacity(16 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    for chunk in input.chunks(chunk_size) {
+        encode_chunk(chunk, &mut out);
+    }
+    out
+}
+
+fn encode_chunk(chunk: &[u8], out: &mut Vec<u8>) {
+    let mut hist = [0u64; 256];
+    for &b in chunk {
+        hist[b as usize] += 1;
+    }
+    let freqs = normalize(&hist, chunk.len() as u64);
+    let mut cum = [0u32; 256];
+    let mut acc = 0u32;
+    for i in 0..256 {
+        cum[i] = acc;
+        acc += freqs[i];
+    }
+
+    // Encode in reverse through two interleaved states so the decoder can
+    // run forward alternating the same way.
+    let mut states = [LOWER, LOWER];
+    let mut words: Vec<u32> = Vec::with_capacity(chunk.len() / 3 + 4);
+    for i in (0..chunk.len()).rev() {
+        let s = chunk[i] as usize;
+        let f = freqs[s] as u64;
+        let x = &mut states[i & 1];
+        // Emit 32-bit words until the encode step cannot push the state
+        // past STATE_MAX: x' < (x_max/f)*f/... — the classic rANS bound.
+        let x_max = ((LOWER >> SCALE_BITS) * f) << 32;
+        while *x >= x_max {
+            words.push(*x as u32);
+            *x >>= 32;
+        }
+        *x = ((*x / f) << SCALE_BITS) + (*x % f) + cum[s] as u64;
+    }
+    // The decoder consumes renorm words in exactly the reverse order they
+    // were pushed; reverse once here so it can stream front-to-back.
+    words.reverse();
+
+    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    let n_present = freqs.iter().filter(|&&f| f > 0).count() as u16;
+    out.extend_from_slice(&n_present.to_le_bytes());
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            out.push(sym as u8);
+            out.extend_from_slice(&(f as u16).to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    out.extend_from_slice(&states[0].to_le_bytes());
+    out.extend_from_slice(&states[1].to_le_bytes());
+    for w in &words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Byte cursor over the untrusted container.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GcError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or(GcError::Corrupt("truncated ANS stream"))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, GcError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, GcError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, GcError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, GcError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Per-chunk decode tables: one entry per slot in `0..SCALE`.
+struct SlotTables {
+    sym: Vec<u8>,
+    freq: Vec<u16>,
+    bias: Vec<u16>,
+}
+
+fn read_freq_table(r: &mut Rd<'_>) -> Result<SlotTables, GcError> {
+    let n_present = r.u16()? as usize;
+    if n_present == 0 || n_present > 256 {
+        return Err(GcError::Corrupt("ANS model has no symbols"));
+    }
+    let mut sym = vec![0u8; SCALE as usize];
+    let mut freq = vec![0u16; SCALE as usize];
+    let mut bias = vec![0u16; SCALE as usize];
+    let mut cum: u32 = 0;
+    let mut prev_sym: i32 = -1;
+    for _ in 0..n_present {
+        let s = r.u8()?;
+        let f = r.u16()? as u32;
+        if (s as i32) <= prev_sym {
+            return Err(GcError::Corrupt("ANS model symbols not ascending"));
+        }
+        prev_sym = s as i32;
+        if f == 0 || cum + f > SCALE {
+            return Err(GcError::Corrupt("ANS model frequencies out of range"));
+        }
+        for slot in cum..cum + f {
+            sym[slot as usize] = s;
+            freq[slot as usize] = f as u16;
+            bias[slot as usize] = (slot - cum) as u16;
+        }
+        cum += f;
+    }
+    if cum != SCALE {
+        return Err(GcError::Corrupt(
+            "ANS model frequencies do not sum to scale",
+        ));
+    }
+    Ok(SlotTables { sym, freq, bias })
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared, then refilled),
+/// reusing its allocation across calls.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    out.clear();
+    let mut r = Rd { b: input, pos: 0 };
+    let expected = r.u64()? as usize;
+    // Reserve the declared size up front (capped so a hostile header cannot
+    // force a huge allocation before the first decode error).
+    out.reserve(expected.min(64 << 20));
+    while out.len() < expected {
+        let raw_len = r.u32()? as usize;
+        if raw_len == 0 || raw_len > (1 << 22) {
+            return Err(GcError::Corrupt("ANS chunk length out of range"));
+        }
+        if raw_len > expected - out.len() {
+            return Err(GcError::LengthMismatch {
+                expected: expected as u64,
+                got: (out.len() + raw_len) as u64,
+            });
+        }
+        let tables = read_freq_table(&mut r)?;
+        let n_words = r.u32()? as usize;
+        let mut states = [r.u64()?, r.u64()?];
+        for &x in &states {
+            if !(LOWER..STATE_MAX).contains(&x) {
+                return Err(GcError::Corrupt("ANS state out of range"));
+            }
+        }
+        let words = r.take(
+            n_words
+                .checked_mul(4)
+                .ok_or(GcError::Corrupt("ANS word count overflow"))?,
+        )?;
+
+        let mut wi = 0usize;
+        let mask = (SCALE - 1) as u64;
+        for j in 0..raw_len {
+            let x = &mut states[j & 1];
+            let slot = (*x & mask) as usize;
+            out.push(tables.sym[slot]);
+            // Overflow-free by the state invariant (see module docs).
+            *x = tables.freq[slot] as u64 * (*x >> SCALE_BITS) + tables.bias[slot] as u64;
+            while *x < LOWER {
+                if wi >= n_words {
+                    return Err(GcError::Corrupt("ANS renorm words exhausted"));
+                }
+                let w = u32::from_le_bytes(words[wi * 4..wi * 4 + 4].try_into().unwrap());
+                *x = (*x << 32) | w as u64;
+                wi += 1;
+            }
+        }
+        // A well-formed chunk returns both states to the encoder's initial
+        // value and consumes every renorm word — cheap integrity check that
+        // catches most single-byte corruptions outright.
+        if states != [LOWER, LOWER] || wi != n_words {
+            return Err(GcError::Corrupt("ANS chunk failed final state check"));
+        }
+    }
+    if r.pos != input.len() {
+        return Err(GcError::Corrupt("trailing bytes after ANS stream"));
+    }
+    if out.len() != expected {
+        return Err(GcError::LengthMismatch {
+            expected: expected as u64,
+            got: out.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Estimate the compressed size of `data` from its zeroth-order byte
+/// entropy, without running the encoder. Used by the format layer's
+/// `--scheme auto` scoring so ANS competes without an encode probe.
+pub fn estimate_compressed_size(data: &[u8]) -> usize {
+    if data.is_empty() {
+        return 8;
+    }
+    let mut hist = [0u64; 256];
+    for &b in data {
+        hist[b as usize] += 1;
+    }
+    estimate_from_hist(&hist, data.len())
+}
+
+/// Entropy estimate from a precomputed histogram over `len` bytes.
+pub fn estimate_from_hist(hist: &[u64; 256], len: usize) -> usize {
+    if len == 0 {
+        return 8;
+    }
+    let n = len as f64;
+    let mut bits = 0.0f64;
+    let mut n_present = 0usize;
+    for &c in hist {
+        if c > 0 {
+            n_present += 1;
+            let p = c as f64 / n;
+            bits -= c as f64 * p.log2();
+        }
+    }
+    // Per-chunk overhead: raw_len + n_present + table pairs + n_words +
+    // two states, assuming the histogram shape is representative per chunk.
+    let n_chunks = len.div_ceil(CHUNK);
+    let overhead = 8 + n_chunks * (4 + 2 + 3 * n_present + 4 + 16);
+    overhead + (bits / 8.0).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"aaaa");
+    }
+
+    #[test]
+    fn single_symbol_runs() {
+        roundtrip(&vec![0u8; 100_000]);
+        roundtrip(&vec![0xFFu8; 65_537]);
+    }
+
+    #[test]
+    fn skewed_text_compresses() {
+        let data: Vec<u8> = b"abracadabra alakazam "
+            .iter()
+            .cycle()
+            .take(200_000)
+            .copied()
+            .collect();
+        let c = compress(&data);
+        // Zeroth-order entropy of this alphabet is well under 4 bits/byte.
+        assert!(c.len() < data.len() / 2, "{} vs {}", c.len(), data.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12345);
+        for len in [1usize, 255, 4096, CHUNK - 1, CHUNK, CHUNK + 1, 200_000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn chunk_boundary_statistics_shift() {
+        // First chunk all-zeros, second chunk random: per-chunk models must
+        // adapt independently.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = vec![0u8; CHUNK];
+        data.extend((0..CHUNK).map(|_| rng.gen::<u8>()));
+        let c = compress(&data);
+        // The zero chunk should compress to almost nothing.
+        assert!(c.len() < CHUNK + CHUNK / 4);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn explicit_chunk_sizes() {
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 7) as u8).collect();
+        for cs in [1024usize, 4096, 100_000, 1 << 22] {
+            let c = compress_chunked(&data, cs);
+            assert_eq!(decompress(&c).unwrap(), data, "chunk {cs}");
+        }
+    }
+
+    #[test]
+    fn doubles_like_mini_batch_payload() {
+        let vals = [1.5f64, 0.0, 0.0, 2.25, 0.0, 1.5, 0.0, 0.0];
+        let mut data = Vec::new();
+        for i in 0..30_000 {
+            data.extend_from_slice(&vals[i % vals.len()].to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn estimate_tracks_actual_size() {
+        let data: Vec<u8> = b"entropy estimate sanity check payload "
+            .iter()
+            .cycle()
+            .take(120_000)
+            .copied()
+            .collect();
+        let actual = compress(&data).len();
+        let est = estimate_compressed_size(&data);
+        // Zeroth-order entropy is exactly what the coder targets, so the
+        // estimate should land within a modest factor of reality.
+        assert!(
+            est > actual / 2 && est < actual * 2,
+            "est {est} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0, 0, 0]).is_err());
+        let c = compress(b"some payload worth corrupting, with repetition repetition");
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]);
+        }
+    }
+
+    #[test]
+    fn truncation_always_detected() {
+        let c = compress(&vec![7u8; 10_000]);
+        for cut in 8..c.len() {
+            assert!(decompress(&c[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+}

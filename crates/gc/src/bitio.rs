@@ -1,4 +1,12 @@
 //! LSB-first bit stream reader/writer used by the deflate-like codec.
+//!
+//! The reader keeps up to 64 bits buffered and refills with a single
+//! 8-byte little-endian word load whenever at least 8 input bytes remain
+//! (the byte-at-a-time loop survives only as the stream-tail cold path).
+//! On top of the buffered word it exposes a `peek_bits`/`consume` pair so
+//! table-driven decoders can look at the next N bits *without* committing
+//! to a symbol length, which is what makes the one-lookup Huffman fast
+//! path in [`crate::huffman::Decoder`] possible.
 
 use crate::GcError;
 
@@ -67,6 +75,25 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
+        if self.nbits <= 56 {
+            if let Some(word) = self.bytes.get(self.pos..self.pos + 8) {
+                // Fast path: one 64-bit load; accept as many whole bytes as
+                // fit above the bits already buffered. `take * 8` never
+                // exceeds `64 - nbits`, so the shift drops nothing we keep.
+                let w = u64::from_le_bytes(word.try_into().unwrap());
+                let take = ((64 - self.nbits) / 8) as usize;
+                self.bitbuf |= w << self.nbits;
+                self.pos += take;
+                self.nbits += take as u32 * 8;
+                return;
+            }
+        }
+        self.refill_tail();
+    }
+
+    /// Byte-at-a-time refill for the last < 8 bytes of the stream.
+    #[cold]
+    fn refill_tail(&mut self) {
         while self.nbits <= 56 && self.pos < self.bytes.len() {
             self.bitbuf |= (self.bytes[self.pos] as u64) << self.nbits;
             self.pos += 1;
@@ -95,6 +122,38 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn read_bit(&mut self) -> Result<u32, GcError> {
         self.read_bits(1)
+    }
+
+    /// Look at the next `n` bits (n <= 32) without consuming them. Near the
+    /// end of the stream fewer bits may remain; missing high bits read as
+    /// zero (callers pair this with [`Self::consume`], which still enforces
+    /// availability when a symbol length is committed).
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+        }
+        let mask = if n == 32 { u64::MAX } else { (1u64 << n) - 1 };
+        (self.bitbuf & mask) as u32
+    }
+
+    /// Consume `n` bits previously seen via [`Self::peek_bits`].
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), GcError> {
+        if self.nbits < n {
+            return Err(GcError::Corrupt("bit stream exhausted"));
+        }
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Bits currently buffered (after a refill attempt). Only used by
+    /// diagnostics and tests; the hot paths never call it.
+    pub fn buffered_bits(&mut self) -> u32 {
+        self.refill();
+        self.nbits
     }
 }
 

@@ -223,6 +223,19 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GcError> {
 /// [`decompress`] into a caller-owned buffer (cleared, then refilled),
 /// reusing its allocation across calls.
 pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    decompress_into_impl::<true>(input, out)
+}
+
+/// The pre-table scalar reference decoder: bitwise Huffman walk plus
+/// byte-at-a-time match copies. Kept (sharing all container parsing with the
+/// fast path) so the codec-speed gate can measure the table-driven kernels
+/// against the original scalar ones inside a single binary.
+#[doc(hidden)]
+pub fn decompress_into_scalar(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
+    decompress_into_impl::<false>(input, out)
+}
+
+fn decompress_into_impl<const FAST: bool>(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
     out.clear();
     const HEADER: usize = 8 + NUM_LITLEN.div_ceil(2) + NUM_DIST.div_ceil(2);
     if input.len() < HEADER {
@@ -234,12 +247,34 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
     let lit_dec = Decoder::from_lengths(&lit_lengths)?;
     let dist_dec = Decoder::from_lengths(&dist_lengths)?;
 
-    // Cap the pre-allocation: `expected` comes from an untrusted header.
-    out.reserve(expected.min(16 << 20));
+    // `expected` comes from an untrusted header, so sanity-check it before
+    // allocating: every symbol costs at least one stream bit and emits at
+    // most MAX_MATCH bytes, so the declared size cannot exceed
+    // body_bits * 258 for any well-formed stream. Within that bound,
+    // reserve the exact decoded size up front (capped so a hostile header
+    // attached to a large body cannot force a multi-GB allocation before
+    // the first decode error) — the hot loop then never reallocates.
+    let body_bits = ((input.len() - HEADER) as u64).saturating_mul(8);
+    if expected as u64 > body_bits.saturating_mul(MAX_MATCH as u64) {
+        return Err(GcError::Corrupt(
+            "deflate declared length implausible for stream size",
+        ));
+    }
+    out.reserve(expected.min(64 << 20));
     let mut r = BitReader::new(&input[HEADER..]);
     loop {
-        let sym = lit_dec.read(&mut r)? as usize;
+        let sym = if FAST {
+            lit_dec.read(&mut r)? as usize
+        } else {
+            lit_dec.read_bitwise(&mut r)? as usize
+        };
         if sym < 256 {
+            if out.len() == expected {
+                return Err(GcError::LengthMismatch {
+                    expected: expected as u64,
+                    got: out.len() as u64 + 1,
+                });
+            }
             out.push(sym as u8);
         } else if sym == EOB {
             break;
@@ -249,7 +284,11 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
                 return Err(GcError::Corrupt("invalid length symbol"));
             }
             let len = LEN_BASE[i] as usize + r.read_bits(LEN_EXTRA[i] as u32)? as usize;
-            let dsym = dist_dec.read(&mut r)? as usize;
+            let dsym = if FAST {
+                dist_dec.read(&mut r)? as usize
+            } else {
+                dist_dec.read_bitwise(&mut r)? as usize
+            };
             if dsym >= DIST_BASE.len() {
                 return Err(GcError::Corrupt("invalid distance symbol"));
             }
@@ -257,18 +296,43 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
             if dist == 0 || dist > out.len() {
                 return Err(GcError::Corrupt("distance out of range"));
             }
-            let start = out.len() - dist;
-            for k in 0..len {
-                let b = out[start + k];
-                out.push(b);
+            // Fail fast before copying: `out.len() <= expected` is a loop
+            // invariant, so the subtraction cannot underflow.
+            if len > expected - out.len() {
+                return Err(GcError::LengthMismatch {
+                    expected: expected as u64,
+                    got: (out.len() + len) as u64,
+                });
             }
-        }
-        if out.len() > expected {
-            return Err(GcError::Corrupt("deflate output overruns declared length"));
+            let start = out.len() - dist;
+            if FAST {
+                if dist >= len {
+                    // Disjoint source and destination: one bulk copy.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping RLE-style match: each pass copies the
+                    // whole materialized window, so the copied span doubles
+                    // per iteration instead of moving one byte at a time.
+                    let mut rem = len;
+                    while rem > 0 {
+                        let chunk = rem.min(out.len() - start);
+                        out.extend_from_within(start..start + chunk);
+                        rem -= chunk;
+                    }
+                }
+            } else {
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
         }
     }
     if out.len() != expected {
-        return Err(GcError::Corrupt("deflate output length mismatch"));
+        return Err(GcError::LengthMismatch {
+            expected: expected as u64,
+            got: out.len() as u64,
+        });
     }
     Ok(())
 }
@@ -367,6 +431,39 @@ mod tests {
         let c = compress(&data);
         assert!(c.len() < data.len() / 2);
         roundtrip(&data);
+    }
+
+    #[test]
+    fn fast_and_scalar_decoders_agree() {
+        let mut data: Vec<u8> = (0..9973u32).map(|i| (i * 131 % 251) as u8).collect();
+        data.extend_from_slice(&vec![42u8; 4096]); // overlapping-match path
+        let more = data.clone();
+        data.extend_from_slice(&more); // long-range disjoint matches
+        let c = compress(&data);
+        let mut fast = Vec::new();
+        let mut scalar = Vec::new();
+        decompress_into(&c, &mut fast).unwrap();
+        decompress_into_scalar(&c, &mut scalar).unwrap();
+        assert_eq!(fast, data);
+        assert_eq!(fast, scalar);
+    }
+
+    #[test]
+    fn declared_length_mismatch_is_structured() {
+        let c = compress(b"hello hello hello hello");
+        let mut bad = c.clone();
+        bad[0] ^= 1; // declared decoded size off by one
+        match decompress(&bad) {
+            Err(GcError::LengthMismatch { .. }) => {}
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_declared_length_rejected_before_allocating() {
+        let mut c = compress(b"tiny");
+        c[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decompress(&c), Err(GcError::Corrupt(_))));
     }
 
     #[test]

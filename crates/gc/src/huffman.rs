@@ -128,7 +128,19 @@ impl Encoder {
     }
 }
 
-/// Canonical Huffman decoder (bit-at-a-time over per-length tables).
+/// Width of the primary decode lookup table. Covers every code of length
+/// <= 11 with a single peek + load; only the rare deep codes (length 12..=15
+/// of skewed alphabets) fall back to the bitwise walk.
+const TABLE_BITS: u32 = 11;
+
+/// Canonical Huffman decoder.
+///
+/// The hot path is a single `TABLE_BITS`-bit peek into a flat lookup table
+/// whose entries pack `symbol | (code_len << 12)`; every table slot whose low
+/// bits spell a short code (LSB-first, as written by [`Encoder`]) holds that
+/// code's symbol, replicated across all settings of the unconsumed high bits.
+/// Codes longer than `TABLE_BITS` hit a zero entry and take the out-of-line
+/// bit-at-a-time walk over the per-length tables.
 pub struct Decoder {
     max_len: u8,
     /// `first_code[l]`: canonical code value of the first code of length l.
@@ -139,6 +151,8 @@ pub struct Decoder {
     offset: Vec<u32>,
     /// Symbols sorted by (length, symbol).
     symbols: Vec<u32>,
+    /// Primary lookup: `sym | (len << 12)`; 0 = overlong or invalid prefix.
+    table: Vec<u16>,
 }
 
 impl Decoder {
@@ -178,18 +192,69 @@ impl Decoder {
                 }
             }
         }
+
+        // Primary table: walk symbols in canonical (length, symbol) order,
+        // mirroring the encoder's code assignment, and stamp each short
+        // code's entry into every slot that shares its low `l` bits.
+        let mut table = vec![0u16; 1 << TABLE_BITS];
+        let mut next_code = first_code.clone();
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            if l as u32 > TABLE_BITS {
+                continue;
+            }
+            debug_assert!(sym < (1 << 12) && (l as u32) <= 15);
+            let rev = (c.reverse_bits() >> (32 - l as u32)) as usize;
+            let entry = sym as u16 | ((l as u16) << 12);
+            let step = 1usize << l;
+            let mut idx = rev;
+            while idx < table.len() {
+                table[idx] = entry;
+                idx += step;
+            }
+        }
+
         Ok(Self {
             max_len: max,
             first_code,
             count,
             offset,
             symbols,
+            table,
         })
     }
 
-    /// Decode one symbol.
+    /// Decode one symbol: peek `TABLE_BITS` bits, one table load, consume
+    /// the code length the entry declares. Overlong/invalid prefixes take
+    /// the cold bitwise walk.
     #[inline]
     pub fn read(&self, r: &mut BitReader<'_>) -> Result<u32, GcError> {
+        let peek = r.peek_bits(TABLE_BITS);
+        let entry = self.table[peek as usize];
+        let len = (entry >> 12) as u32;
+        if len != 0 {
+            r.consume(len)?;
+            return Ok((entry & 0x0FFF) as u32);
+        }
+        self.read_overlong(r)
+    }
+
+    #[cold]
+    fn read_overlong(&self, r: &mut BitReader<'_>) -> Result<u32, GcError> {
+        self.read_bitwise(r)
+    }
+
+    /// Bit-at-a-time decode over the per-length tables. This is both the
+    /// cold fallback for codes longer than `TABLE_BITS` and the scalar
+    /// reference path the codec-speed gate measures the table decoder
+    /// against.
+    #[doc(hidden)]
+    #[inline]
+    pub fn read_bitwise(&self, r: &mut BitReader<'_>) -> Result<u32, GcError> {
         let mut code = 0u32;
         for l in 1..=self.max_len as usize {
             code = (code << 1) | r.read_bit()?;
@@ -267,6 +332,48 @@ mod tests {
     fn over_full_code_rejected() {
         assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
         assert!(Decoder::from_lengths(&[1, 1]).is_ok());
+    }
+
+    #[test]
+    fn deep_codes_take_the_overlong_path() {
+        // Uncapped Fibonacci frequencies over 24 symbols force code lengths
+        // past TABLE_BITS (up to the cap of 15), so decoding exercises both
+        // the primary table and the bitwise fallback in one stream.
+        let mut freqs = vec![0u64; 24];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs, 15);
+        assert!(
+            lengths.iter().any(|&l| l as u32 > super::TABLE_BITS),
+            "workload must include overlong codes: {lengths:?}"
+        );
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 7) % 24).collect();
+        roundtrip_symbols(&freqs, &stream, 15);
+    }
+
+    #[test]
+    fn table_and_bitwise_paths_agree() {
+        let freqs = [45u64, 13, 12, 16, 9, 5, 2, 1];
+        let lengths = build_lengths(&freqs, 15);
+        let enc = Encoder::from_lengths(&lengths);
+        let stream: Vec<usize> = (0..997).map(|i| (i * 3) % 8).collect();
+        let mut w = BitWriter::new();
+        for &s in &stream {
+            enc.write(&mut w, s);
+        }
+        let buf = w.finish();
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut fast = BitReader::new(&buf);
+        let mut slow = BitReader::new(&buf);
+        for &s in &stream {
+            assert_eq!(dec.read(&mut fast).unwrap() as usize, s);
+            assert_eq!(dec.read_bitwise(&mut slow).unwrap() as usize, s);
+        }
     }
 
     #[test]

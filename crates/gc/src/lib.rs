@@ -11,10 +11,14 @@
 //!   over the RFC 1951 alphabets (Gzip class: strong ratio, slower).
 //! * [`lzw`] — classic byte LZW (Welch 1984), the ancestor TOC adapts;
 //!   used to contrast structure-oblivious dictionary coding with TOC.
+//! * [`ans`] — tabled range-ANS entropy coder (pcodec class): per-chunk
+//!   adaptive frequency tables, reverse-order encode, two interleaved
+//!   decode states driving a branchless slot-table inner loop.
 //!
 //! All three share the defining GC property the paper measures: the payload
 //! must be **fully decompressed before any matrix operation** can run.
 
+pub mod ans;
 pub mod bitio;
 pub mod deflate;
 pub mod fastlz;
@@ -27,12 +31,18 @@ pub mod lzw;
 pub enum GcError {
     /// Malformed or truncated compressed stream.
     Corrupt(&'static str),
+    /// The decoded payload does not match the length the header declared.
+    LengthMismatch { expected: u64, got: u64 },
 }
 
 impl std::fmt::Display for GcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GcError::Corrupt(msg) => write!(f, "corrupt compressed stream: {msg}"),
+            GcError::LengthMismatch { expected, got } => write!(
+                f,
+                "decoded length mismatch: header declared {expected} bytes, stream produced {got}"
+            ),
         }
     }
 }
@@ -48,6 +58,9 @@ pub enum Codec {
     Deflate,
     /// Classic byte LZW.
     Lzw,
+    /// Tabled range-ANS entropy coder (per-chunk adaptive, interleaved
+    /// decode states).
+    Ans,
 }
 
 impl Codec {
@@ -58,6 +71,7 @@ impl Codec {
             Codec::FastLz => "Snappy*",
             Codec::Deflate => "Gzip*",
             Codec::Lzw => "LZW",
+            Codec::Ans => "ANS",
         }
     }
 
@@ -67,6 +81,7 @@ impl Codec {
             Codec::FastLz => fastlz::compress(input),
             Codec::Deflate => deflate::compress(input),
             Codec::Lzw => lzw::compress(input),
+            Codec::Ans => ans::compress(input),
         }
     }
 
@@ -76,6 +91,7 @@ impl Codec {
             Codec::FastLz => fastlz::decompress(input),
             Codec::Deflate => deflate::decompress(input),
             Codec::Lzw => lzw::decompress(input),
+            Codec::Ans => ans::decompress(input),
         }
     }
 
@@ -88,6 +104,7 @@ impl Codec {
             Codec::FastLz => fastlz::decompress_into(input, out),
             Codec::Deflate => deflate::decompress_into(input, out),
             Codec::Lzw => lzw::decompress_into(input, out),
+            Codec::Ans => ans::decompress_into(input, out),
         }
     }
 }
@@ -99,7 +116,7 @@ mod tests {
     #[test]
     fn codec_dispatch_roundtrips() {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 97) as u8).collect();
-        for codec in [Codec::FastLz, Codec::Deflate, Codec::Lzw] {
+        for codec in [Codec::FastLz, Codec::Deflate, Codec::Lzw, Codec::Ans] {
             let c = codec.compress(&data);
             assert_eq!(codec.decompress(&c).unwrap(), data, "{}", codec.name());
             assert!(c.len() < data.len(), "{} did not compress", codec.name());

@@ -64,8 +64,6 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
     if !body.len().is_multiple_of(2) {
         return Err(GcError::Corrupt("odd LZW body length"));
     }
-    // Cap the pre-allocation: `expected_len` comes from an untrusted header.
-    out.reserve(expected_len.min(16 << 20));
     if body.is_empty() {
         return if expected_len == 0 {
             Ok(())
@@ -73,6 +71,19 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
             Err(GcError::Corrupt("truncated LZW stream"))
         };
     }
+    // `expected_len` comes from an untrusted header: every code emits at
+    // least one byte and at most one dictionary string (< MAX_DICT bytes,
+    // since entries grow by one byte per code between resets). Reject
+    // headers outside those bounds before allocating, then reserve the
+    // exact decoded size up front (capped so a hostile header cannot force
+    // a huge allocation) so the emit loop never reallocates.
+    let n_codes = body.len() / 2;
+    if expected_len < n_codes || expected_len as u64 > (n_codes as u64) * MAX_DICT as u64 {
+        return Err(GcError::Corrupt(
+            "LZW declared length implausible for code count",
+        ));
+    }
+    out.reserve(expected_len.min(64 << 20));
 
     // Dictionary as parent-pointer arrays (code -> (prefix, last byte)).
     let mut parent: Vec<u32> = (0..256).collect();
@@ -131,10 +142,20 @@ pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), GcError> {
         if prev as usize >= parent.len() {
             return Err(GcError::Corrupt("LZW stream desynchronized after reset"));
         }
+        // Fail fast on overrun instead of materializing the whole stream.
+        if out.len() > expected_len {
+            return Err(GcError::LengthMismatch {
+                expected: expected_len as u64,
+                got: out.len() as u64,
+            });
+        }
     }
 
     if out.len() != expected_len {
-        return Err(GcError::Corrupt("LZW output length mismatch"));
+        return Err(GcError::LengthMismatch {
+            expected: expected_len as u64,
+            got: out.len() as u64,
+        });
     }
     Ok(())
 }
@@ -202,5 +223,26 @@ mod tests {
         let mut c = compress(b"hello hello hello");
         c.truncate(c.len() - 1);
         assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn declared_length_mismatch_is_structured() {
+        let data = b"mississippi mississippi mississippi";
+        let mut c = compress(data);
+        c[..8].copy_from_slice(&(data.len() as u64 + 1).to_le_bytes());
+        match decompress(&c) {
+            Err(GcError::LengthMismatch { expected, got }) => {
+                assert_eq!(expected, data.len() as u64 + 1);
+                assert_eq!(got, data.len() as u64);
+            }
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_declared_length_rejected_before_allocating() {
+        let mut c = compress(b"abcd");
+        c[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decompress(&c), Err(GcError::Corrupt(_))));
     }
 }
