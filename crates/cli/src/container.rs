@@ -1,127 +1,18 @@
-//! The `.tocz` container: a header plus one serialized batch per
-//! mini-batch, so whole datasets survive a compress/decompress roundtrip
-//! with tuple boundaries (and therefore trainability) intact.
+//! The `.tocz` container, re-exported from `toc-formats`.
 //!
-//! Layout (little-endian):
-//!
-//! ```text
-//! magic   u32 = 0x544F435A ("TOCZ")
-//! version u8  = 1
-//! batches u32
-//! per batch: u32 byte length, then the tagged MatrixBatch bytes
-//! ```
+//! The wire format, the v2 layout-tree footer, and all parsing live in
+//! [`toc_formats::container`] so that both this CLI and the `toc-data`
+//! seekable reader share one implementation. This module keeps the CLI's
+//! file-level round-trip tests.
 
-use std::path::Path;
-use toc_formats::{AnyBatch, EncodeOptions, FormatError, MatrixBatch, Scheme};
-use toc_linalg::DenseMatrix;
-
-const MAGIC: u32 = 0x544F_435A;
-const VERSION: u8 = 1;
-
-/// A compressed dataset: an ordered list of encoded mini-batches.
-pub struct Container {
-    pub batches: Vec<AnyBatch>,
-}
-
-impl Container {
-    /// Encode `m` into `batch_rows`-row batches with `scheme`.
-    pub fn encode_with(
-        m: &DenseMatrix,
-        scheme: Scheme,
-        batch_rows: usize,
-        opts: &EncodeOptions,
-    ) -> Self {
-        let mut batches = Vec::new();
-        let mut start = 0;
-        while start < m.rows() {
-            let end = (start + batch_rows).min(m.rows());
-            batches.push(scheme.encode_with(&m.slice_rows(start, end), opts));
-            start = end;
-        }
-        Self { batches }
-    }
-
-    /// Decode all batches back into one dense matrix.
-    pub fn decode(&self) -> Result<DenseMatrix, String> {
-        let total_rows: usize = self.batches.iter().map(|b| b.rows()).sum();
-        let cols = self.batches.first().map(|b| b.cols()).unwrap_or(0);
-        let mut out = DenseMatrix::zeros(total_rows, cols);
-        let mut row = 0;
-        for b in &self.batches {
-            if b.cols() != cols {
-                return Err("inconsistent batch widths".into());
-            }
-            let dense = b.decode();
-            for r in 0..dense.rows() {
-                out.row_mut(row).copy_from_slice(dense.row(r));
-                row += 1;
-            }
-        }
-        Ok(out)
-    }
-
-    /// Total encoded payload size (excluding container framing).
-    pub fn payload_bytes(&self) -> usize {
-        self.batches.iter().map(|b| b.size_bytes()).sum()
-    }
-
-    /// Serialize to a `.tocz` file.
-    pub fn write(&self, path: &Path) -> Result<(), String> {
-        let mut out = Vec::new();
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(VERSION);
-        out.extend_from_slice(&(self.batches.len() as u32).to_le_bytes());
-        for b in &self.batches {
-            let bytes = b.to_bytes();
-            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(&bytes);
-        }
-        std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
-    }
-
-    /// Load and validate a `.tocz` file.
-    pub fn read(path: &Path) -> Result<Self, String> {
-        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        Self::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
-    }
-
-    /// Parse from bytes.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        let need = |n: usize, pos: usize| {
-            if bytes.len() < pos + n {
-                Err(FormatError::Corrupt("truncated container".into()))
-            } else {
-                Ok(())
-            }
-        };
-        need(9, 0)?;
-        if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MAGIC {
-            return Err(FormatError::Corrupt("bad container magic".into()));
-        }
-        if bytes[4] != VERSION {
-            return Err(FormatError::Corrupt("unsupported container version".into()));
-        }
-        let n = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
-        let mut pos = 9usize;
-        let mut batches = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            need(4, pos)?;
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            pos += 4;
-            need(len, pos)?;
-            batches.push(Scheme::from_bytes(&bytes[pos..pos + len])?);
-            pos += len;
-        }
-        if pos != bytes.len() {
-            return Err(FormatError::Corrupt("trailing container bytes".into()));
-        }
-        Ok(Self { batches })
-    }
-}
+pub use toc_formats::container::Container;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::TempPath;
+    use toc_formats::{EncodeOptions, Scheme};
+    use toc_linalg::DenseMatrix;
 
     fn sample() -> DenseMatrix {
         let rows: Vec<Vec<f64>> = (0..130)
@@ -141,37 +32,36 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_all_schemes() {
+    fn file_roundtrip_v2() {
         let m = sample();
-        for scheme in [Scheme::Toc, Scheme::Den, Scheme::Gzip, Scheme::Cla] {
-            let c = Container::encode_with(&m, scheme, 50, &EncodeOptions::default());
-            assert_eq!(c.batches.len(), 3);
-            assert_eq!(c.decode().unwrap(), m, "{}", scheme.name());
-        }
-    }
-
-    #[test]
-    fn file_roundtrip() {
-        let m = sample();
-        let p = std::env::temp_dir().join(format!("toc-container-{}.tocz", std::process::id()));
+        let p = TempPath::new("container", "tocz");
         let c = Container::encode_with(&m, Scheme::Toc, 64, &EncodeOptions::default());
-        c.write(&p).unwrap();
-        let back = Container::read(&p).unwrap();
+        c.write(p.path()).unwrap();
+        let back = Container::read(p.path()).unwrap();
         assert_eq!(back.decode().unwrap(), m);
-        std::fs::remove_file(&p).ok();
+        assert!(back.zones().is_some(), "v2 read restores zone maps");
     }
 
     #[test]
-    fn corrupt_container_errors() {
+    fn file_roundtrip_v1() {
+        let m = sample();
+        let p = TempPath::new("container-v1", "tocz");
+        let c = Container::encode_with(&m, Scheme::Toc, 64, &EncodeOptions::default());
+        c.write_v1(p.path()).unwrap();
+        let back = Container::read(p.path()).unwrap();
+        assert_eq!(back.decode().unwrap(), m);
+        assert!(back.zones().is_none(), "v1 has no footer to restore from");
+    }
+
+    #[test]
+    fn corrupt_file_errors() {
         let m = sample();
         let c = Container::encode_with(&m, Scheme::Toc, 64, &EncodeOptions::default());
-        let p = std::env::temp_dir().join(format!("toc-container-bad-{}.tocz", std::process::id()));
-        c.write(&p).unwrap();
-        let mut bytes = std::fs::read(&p).unwrap();
+        let p = TempPath::new("container-bad", "tocz");
+        c.write(p.path()).unwrap();
+        let mut bytes = std::fs::read(p.path()).unwrap();
         bytes.truncate(bytes.len() - 3);
-        assert!(Container::from_bytes(&bytes).is_err());
-        bytes[0] ^= 1;
-        assert!(Container::from_bytes(&bytes).is_err());
-        std::fs::remove_file(&p).ok();
+        std::fs::write(p.path(), &bytes).unwrap();
+        assert!(Container::read(p.path()).is_err());
     }
 }

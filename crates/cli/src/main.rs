@@ -12,6 +12,8 @@
 
 mod container;
 mod csv;
+#[cfg(test)]
+mod testutil;
 
 use container::Container;
 use std::path::Path;
@@ -49,12 +51,19 @@ toc — tuple-oriented compression for mini-batch SGD
 
 USAGE:
   toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
-  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|ans|toc|auto>] [--batch-rows <n>]
-                                   (--codec is accepted as an alias of --scheme)
-  toc decompress <in.tocz> <out.csv>
-  toc inspect <in.tocz>
+  toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|ans|toc|auto>] [--segment-rows <n>]
+                                   [--container-version <1|2>]
+                                   (--codec is accepted as an alias of --scheme, --batch-rows of
+                                    --segment-rows; v2 containers carry a seekable layout-tree
+                                    footer with per-segment zone maps, v1 is the legacy
+                                    decode-everything blob)
+  toc decompress <in.tocz> <out.csv> [--rows <a..b>] [--parallel <n>]
+                                   (--rows decodes only the segments overlapping rows a..b —
+                                    on a v2 container this reads just those segments' bytes;
+                                    --parallel decodes touched segments on n threads)
+  toc inspect <in.tocz>            (v2: prints the footer's layout tree and zone maps)
   toc bench <in.csv> [--batch-rows <n>]
-  toc train <in.csv> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
+  toc train <in.csv|in.tocz> [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>] [--scheme <s>] [--batch-rows <n>]
             [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
             [--io <sync|pool|ring>] [--placement <stripe|pack|adaptive>] [--adaptive]
             [--pin] [--pin-map <t0,t1,...>] [--io-threads <n>] [--decode-workers <n>]
@@ -73,7 +82,10 @@ USAGE:
              shard assignment and stripes completions into per-decode-
              worker lanes; --pin-map pins shard i to IO thread t_i
              explicitly (exactly one entry per shard, each < --io-threads);
-             --io-threads/--decode-workers size the engine (0 = auto))
+             --io-threads/--decode-workers size the engine (0 = auto).
+             A .tocz input trains straight off the container: with
+             --budget the sharded store streams v2 segments through the
+             seekable reader, one decoded segment in memory at a time)
 
   compress/bench/train also accept the CLA co-coding knobs:
     --cla-planner <greedy|sample>   column grouping algorithm (default sample)
@@ -194,9 +206,17 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     let scheme_arg = opt(args, "--scheme")
         .or_else(|| opt(args, "--codec"))
         .unwrap_or_else(|| "toc".into());
-    let batch_rows: usize = opt(args, "--batch-rows")
+    // `--segment-rows` is the v2 name (segments are the seekable unit);
+    // `--batch-rows` stays as an alias for older scripts.
+    let batch_rows: usize = opt(args, "--segment-rows")
+        .or_else(|| opt(args, "--batch-rows"))
         .map(|s| s.parse().unwrap_or(250))
         .unwrap_or(250);
+    let version: u8 = match opt(args, "--container-version").as_deref() {
+        None | Some("2") => 2,
+        Some("1") => 1,
+        Some(v) => return Err(format!("--container-version must be 1 or 2, got {v:?}")),
+    };
     let opts = encode_options(args)?;
     let (m, _) = csv::read_matrix(Path::new(input))?;
     let scheme = if scheme_arg.eq_ignore_ascii_case("auto") {
@@ -212,7 +232,11 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     let t0 = Instant::now();
     let container = Container::encode_with(&m, scheme, batch_rows, &opts);
     let elapsed = t0.elapsed();
-    container.write(Path::new(output))?;
+    if version == 1 {
+        container.write_v1(Path::new(output))?;
+    } else {
+        container.write(Path::new(output))?;
+    }
     let den = m.den_size_bytes();
     let enc = container.payload_bytes();
     println!(
@@ -229,13 +253,64 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--rows a..b` (start may be omitted: `..b` means `0..b`).
+fn parse_row_range(s: &str) -> Result<(usize, usize), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--rows expects <start>..<end>, got {s:?}"))?;
+    let a: usize = if a.is_empty() {
+        0
+    } else {
+        a.parse().map_err(|e| format!("--rows start: {e}"))?
+    };
+    let b: usize = b.parse().map_err(|e| format!("--rows end: {e}"))?;
+    if a > b {
+        return Err(format!("--rows start {a} exceeds end {b}"));
+    }
+    Ok((a, b))
+}
+
+/// The version byte of a `.tocz` file (offset 4), without parsing it.
+fn container_version(path: &Path) -> Result<u8, String> {
+    use std::io::Read;
+    let mut head = [0u8; 5];
+    let mut f = std::fs::File::open(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    f.read_exact(&mut head)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(head[4])
+}
+
 fn cmd_decompress(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [input, output] = pos[..] else {
         return Err("usage: toc decompress <in.tocz> <out.csv>".into());
     };
-    let container = Container::read(Path::new(input))?;
-    let m = container.decode()?;
+    let rows = opt(args, "--rows")
+        .map(|s| parse_row_range(&s))
+        .transpose()?;
+    let parallel: usize = match opt(args, "--parallel") {
+        Some(s) => s.parse().map_err(|e| format!("--parallel: {e}"))?,
+        None => 1,
+    };
+    let path = Path::new(input);
+    let m = match rows {
+        Some((r0, r1)) if container_version(path)? == 2 => {
+            // Seekable projection: only the segments overlapping the range
+            // are read from disk at all.
+            let sc = toc_data::SeekableContainer::open(path)?;
+            let m = sc.decode_rows_parallel(r0, r1, parallel)?;
+            let s = sc.stats().snapshot();
+            println!(
+                "seek: {} reads, {} of {} payload bytes",
+                s.disk_reads,
+                s.bytes_read,
+                sc.payload_bytes(),
+            );
+            m
+        }
+        Some((r0, r1)) => Container::read(path)?.decode_rows(r0, r1)?,
+        None => Container::read(path)?.decode()?,
+    };
     csv::write_matrix(Path::new(output), &m, None)?;
     println!(
         "decoded {} rows x {} cols to {}",
@@ -246,11 +321,69 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Print one layout-tree node (and children) with box-drawing indent,
+/// spending from a shared line budget so giant containers stay readable.
+fn print_layout_node(node: &toc_formats::container::LayoutNode, depth: usize, budget: &mut isize) {
+    if *budget <= 0 {
+        if *budget == 0 {
+            println!("  {}...", "  ".repeat(depth));
+            *budget -= 1;
+        }
+        return;
+    }
+    *budget -= 1;
+    let kind = match node.scheme {
+        Some(tag) => {
+            let name = Scheme::ALL
+                .iter()
+                .find(|s| s.tag() == tag)
+                .map(|s| s.name())
+                .unwrap_or("?");
+            format!("seg[{name}]")
+        }
+        None => "tree".to_string(),
+    };
+    println!(
+        "  {}{kind} rows {}..{} bytes {}..{} zone[min={} max={} nnz={} distinct~{}]",
+        "  ".repeat(depth),
+        node.row_start,
+        node.row_end,
+        node.begin,
+        node.end,
+        node.zone.min,
+        node.zone.max,
+        node.zone.nnz,
+        node.zone.distinct,
+    );
+    for c in &node.children {
+        print_layout_node(c, depth + 1, budget);
+    }
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [input] = pos[..] else {
         return Err("usage: toc inspect <in.tocz>".into());
     };
+    let version = container_version(Path::new(input))?;
+    if version == 2 {
+        let bytes = std::fs::read(Path::new(input)).map_err(|e| format!("read {input}: {e}"))?;
+        let (footer, ps) =
+            toc_formats::container::parse_v2_footer(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        println!(
+            "{}: v2, {} segments, {} rows x {} cols, footer {} bytes at {} (tree depth {})",
+            input,
+            footer.num_segments(),
+            footer.total_rows(),
+            footer.cols,
+            ps.footer_len,
+            ps.footer_offset,
+            footer.root.depth(),
+        );
+        println!("layout:");
+        let mut budget: isize = 40;
+        print_layout_node(&footer.root, 0, &mut budget);
+    }
     let container = Container::read(Path::new(input))?;
     println!("{}: {} batches", input, container.batches.len());
     let mut total = 0usize;
@@ -363,7 +496,13 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown model {other:?}")),
     };
 
-    let (full, _) = csv::read_matrix(Path::new(input))?;
+    // A `.tocz` input trains straight off a compressed container.
+    let from_container = input.ends_with(".tocz");
+    let full = if from_container {
+        Container::read(Path::new(input))?.decode()?
+    } else {
+        csv::read_matrix(Path::new(input))?.0
+    };
     if full.cols() < 2 {
         return Err("need at least one feature column plus the label column".into());
     }
@@ -474,7 +613,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             config = config.with_disk_mbps(mbps);
         }
         let t0 = Instant::now();
-        let store = ShardedSpillStore::build(&x, &y, &config).map_err(|e| format!("{e}"))?;
+        // Container inputs stream v2 segments through the seekable reader
+        // (one decoded segment in memory at a time); batch boundaries
+        // match `build` on the decoded matrix exactly.
+        let store = if from_container && container_version(Path::new(input))? == 2 {
+            ShardedSpillStore::build_from_container(Path::new(input), &config)
+        } else {
+            ShardedSpillStore::build(&x, &y, &config)
+        }
+        .map_err(|e| format!("{e}"))?;
         let encode_time = t0.elapsed();
         println!(
             "store: {} in-memory + {} spilled batches across {} shards ({} KB spilled)",
@@ -619,20 +766,18 @@ mod tests {
 
     #[test]
     fn adaptive_and_pin_flag_combinations() {
-        let dir = std::env::temp_dir();
-        let pid = std::process::id();
-        let csv = dir.join(format!("toc-cli-adaptive-{pid}.csv"));
+        let csv = crate::testutil::TempPath::new("cli-adaptive", "csv");
         cmd_gen(&[
             "--preset".into(),
             "census".into(),
             "--rows".into(),
             "300".into(),
-            csv.display().to_string(),
+            csv.arg(),
         ])
         .unwrap();
         let base = |extra: &[&str]| {
             let mut args: Vec<String> = vec![
-                csv.display().to_string(),
+                csv.arg(),
                 "--epochs".into(),
                 "2".into(),
                 "--budget".into(),
@@ -666,18 +811,15 @@ mod tests {
         ]))
         .unwrap();
         // Out-of-core flags still demand --budget.
-        assert!(cmd_train(&[csv.display().to_string(), "--adaptive".into()]).is_err());
-        assert!(cmd_train(&[csv.display().to_string(), "--pin".into()]).is_err());
-        std::fs::remove_file(csv).ok();
+        assert!(cmd_train(&[csv.arg(), "--adaptive".into()]).is_err());
+        assert!(cmd_train(&[csv.arg(), "--pin".into()]).is_err());
     }
 
     #[test]
     fn end_to_end_compress_decompress() {
-        let dir = std::env::temp_dir();
-        let pid = std::process::id();
-        let csv_in = dir.join(format!("toc-cli-e2e-{pid}.csv"));
-        let tocz = dir.join(format!("toc-cli-e2e-{pid}.tocz"));
-        let csv_out = dir.join(format!("toc-cli-e2e-{pid}-out.csv"));
+        let csv_in = crate::testutil::TempPath::new("cli-e2e", "csv");
+        let tocz = crate::testutil::TempPath::new("cli-e2e", "tocz");
+        let csv_out = crate::testutil::TempPath::new("cli-e2e-out", "csv");
         let m = DenseMatrix::from_rows(
             (0..80)
                 .map(|r| {
@@ -687,32 +829,172 @@ mod tests {
                 })
                 .collect(),
         );
-        crate::csv::write_matrix(&csv_in, &m, None).unwrap();
+        crate::csv::write_matrix(csv_in.path(), &m, None).unwrap();
+        cmd_compress(&[csv_in.arg(), tocz.arg(), "--batch-rows".into(), "32".into()]).unwrap();
+        cmd_inspect(&[tocz.arg()]).unwrap();
+        cmd_decompress(&[tocz.arg(), csv_out.arg()]).unwrap();
+        let (back, _) = crate::csv::read_matrix(csv_out.path()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn segment_rows_flag_and_v1_container() {
+        let csv_in = crate::testutil::TempPath::new("cli-v1", "csv");
+        let tocz = crate::testutil::TempPath::new("cli-v1", "tocz");
+        let csv_out = crate::testutil::TempPath::new("cli-v1-out", "csv");
+        let m = DenseMatrix::from_rows(
+            (0..70)
+                .map(|r| (0..5).map(|c| ((r * c) % 7) as f64).collect())
+                .collect(),
+        );
+        crate::csv::write_matrix(csv_in.path(), &m, None).unwrap();
+        // --segment-rows is the preferred spelling of --batch-rows.
         cmd_compress(&[
-            csv_in.display().to_string(),
-            tocz.display().to_string(),
-            "--batch-rows".into(),
-            "32".into(),
+            csv_in.arg(),
+            tocz.arg(),
+            "--segment-rows".into(),
+            "16".into(),
         ])
         .unwrap();
-        cmd_inspect(&[tocz.display().to_string()]).unwrap();
-        cmd_decompress(&[tocz.display().to_string(), csv_out.display().to_string()]).unwrap();
-        let (back, _) = crate::csv::read_matrix(&csv_out).unwrap();
-        assert_eq!(back, m);
-        for p in [csv_in, tocz, csv_out] {
-            std::fs::remove_file(p).ok();
+        cmd_decompress(&[tocz.arg(), csv_out.arg()]).unwrap();
+        assert_eq!(crate::csv::read_matrix(csv_out.path()).unwrap().0, m);
+        // Legacy v1 output still round-trips (inspect + decompress).
+        cmd_compress(&[
+            csv_in.arg(),
+            tocz.arg(),
+            "--segment-rows".into(),
+            "16".into(),
+            "--container-version".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        cmd_inspect(&[tocz.arg()]).unwrap();
+        cmd_decompress(&[tocz.arg(), csv_out.arg()]).unwrap();
+        assert_eq!(crate::csv::read_matrix(csv_out.path()).unwrap().0, m);
+        assert!(cmd_compress(&[
+            csv_in.arg(),
+            tocz.arg(),
+            "--container-version".into(),
+            "3".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn row_range_projection_matches_full_decode() {
+        let csv_in = crate::testutil::TempPath::new("cli-rows", "csv");
+        let tocz = crate::testutil::TempPath::new("cli-rows", "tocz");
+        let full_out = crate::testutil::TempPath::new("cli-rows-full", "csv");
+        let part_out = crate::testutil::TempPath::new("cli-rows-part", "csv");
+        let m = DenseMatrix::from_rows(
+            (0..90)
+                .map(|r| (0..4).map(|c| ((r + c) % 5) as f64).collect())
+                .collect(),
+        );
+        crate::csv::write_matrix(csv_in.path(), &m, None).unwrap();
+        for version in ["1", "2"] {
+            cmd_compress(&[
+                csv_in.arg(),
+                tocz.arg(),
+                "--segment-rows".into(),
+                "16".into(),
+                "--container-version".into(),
+                version.into(),
+            ])
+            .unwrap();
+            cmd_decompress(&[tocz.arg(), full_out.arg()]).unwrap();
+            cmd_decompress(&[
+                tocz.arg(),
+                part_out.arg(),
+                "--rows".into(),
+                "20..53".into(),
+                "--parallel".into(),
+                "3".into(),
+            ])
+            .unwrap();
+            let (full, _) = crate::csv::read_matrix(full_out.path()).unwrap();
+            let (part, _) = crate::csv::read_matrix(part_out.path()).unwrap();
+            assert_eq!(part.rows(), 33, "v{version}");
+            for r in 0..33 {
+                assert_eq!(part.row(r), full.row(r + 20), "v{version} row {r}");
+            }
         }
+        assert!(parse_row_range("5..3").is_err());
+        assert!(parse_row_range("x..3").is_err());
+        assert_eq!(parse_row_range("..7").unwrap(), (0, 7));
+    }
+
+    #[test]
+    fn gen_then_train() {
+        let csv = crate::testutil::TempPath::new("cli-train", "csv");
+        cmd_gen(&[
+            "--preset".into(),
+            "census".into(),
+            "--rows".into(),
+            "400".into(),
+            csv.arg(),
+        ])
+        .unwrap();
+        cmd_train(&[
+            csv.arg(),
+            "--epochs".into(),
+            "4".into(),
+            "--lr".into(),
+            "0.1".into(),
+        ])
+        .unwrap();
+        // Out-of-core path: zero budget spills every batch across two
+        // shards with the prefetch pipeline on.
+        cmd_train(&[
+            csv.arg(),
+            "--epochs".into(),
+            "2".into(),
+            "--budget".into(),
+            "0".into(),
+            "--shards".into(),
+            "2".into(),
+            "--prefetch".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        cmd_bench(&[csv.arg()]).unwrap();
+    }
+
+    #[test]
+    fn train_from_container() {
+        let csv = crate::testutil::TempPath::new("cli-train-cz", "csv");
+        let tocz = crate::testutil::TempPath::new("cli-train-cz", "tocz");
+        cmd_gen(&[
+            "--preset".into(),
+            "census".into(),
+            "--rows".into(),
+            "300".into(),
+            csv.arg(),
+        ])
+        .unwrap();
+        cmd_compress(&[csv.arg(), tocz.arg(), "--segment-rows".into(), "64".into()]).unwrap();
+        // In-memory and out-of-core (streaming build) paths both accept
+        // the container directly.
+        cmd_train(&[tocz.arg(), "--epochs".into(), "2".into()]).unwrap();
+        cmd_train(&[
+            tocz.arg(),
+            "--epochs".into(),
+            "2".into(),
+            "--budget".into(),
+            "0".into(),
+            "--shards".into(),
+            "2".into(),
+        ])
+        .unwrap();
     }
 
     #[test]
     fn cla_planner_flags_and_auto_scheme() {
-        let dir = std::env::temp_dir();
-        let pid = std::process::id();
-        let csv_in = dir.join(format!("toc-cli-cla-{pid}.csv"));
-        let tocz = dir.join(format!("toc-cli-cla-{pid}.tocz"));
-        let csv_out = dir.join(format!("toc-cli-cla-{pid}-out.csv"));
+        let csv_in = crate::testutil::TempPath::new("cli-cla", "csv");
+        let tocz = crate::testutil::TempPath::new("cli-cla", "tocz");
+        let csv_out = crate::testutil::TempPath::new("cli-cla-out", "csv");
         let m = toc_data::synth::correlated_matrix(120, 8, 4, 3);
-        crate::csv::write_matrix(&csv_in, &m, None).unwrap();
+        crate::csv::write_matrix(csv_in.path(), &m, None).unwrap();
         for extra in [
             vec!["--scheme".into(), "cla".into()],
             vec![
@@ -731,55 +1013,13 @@ mod tests {
             ],
             vec!["--scheme".into(), "auto".into()],
         ] {
-            let mut args = vec![csv_in.display().to_string(), tocz.display().to_string()];
+            let mut args = vec![csv_in.arg(), tocz.arg()];
             args.extend(extra);
             cmd_compress(&args).unwrap();
-            cmd_decompress(&[tocz.display().to_string(), csv_out.display().to_string()]).unwrap();
-            let (back, _) = crate::csv::read_matrix(&csv_out).unwrap();
+            cmd_decompress(&[tocz.arg(), csv_out.arg()]).unwrap();
+            let (back, _) = crate::csv::read_matrix(csv_out.path()).unwrap();
             assert_eq!(back, m);
         }
         assert!(encode_options(&["--cla-planner".into(), "nope".into()]).is_err());
-        for p in [csv_in, tocz, csv_out] {
-            std::fs::remove_file(p).ok();
-        }
-    }
-
-    #[test]
-    fn gen_then_train() {
-        let dir = std::env::temp_dir();
-        let pid = std::process::id();
-        let csv = dir.join(format!("toc-cli-train-{pid}.csv"));
-        cmd_gen(&[
-            "--preset".into(),
-            "census".into(),
-            "--rows".into(),
-            "400".into(),
-            csv.display().to_string(),
-        ])
-        .unwrap();
-        cmd_train(&[
-            csv.display().to_string(),
-            "--epochs".into(),
-            "4".into(),
-            "--lr".into(),
-            "0.1".into(),
-        ])
-        .unwrap();
-        // Out-of-core path: zero budget spills every batch across two
-        // shards with the prefetch pipeline on.
-        cmd_train(&[
-            csv.display().to_string(),
-            "--epochs".into(),
-            "2".into(),
-            "--budget".into(),
-            "0".into(),
-            "--shards".into(),
-            "2".into(),
-            "--prefetch".into(),
-            "2".into(),
-        ])
-        .unwrap();
-        cmd_bench(&[csv.display().to_string()]).unwrap();
-        std::fs::remove_file(csv).ok();
     }
 }

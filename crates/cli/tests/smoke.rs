@@ -262,6 +262,142 @@ fn adaptive_and_pinned_training_print_parseable_placement_stats() {
 }
 
 #[test]
+fn seekable_v2_containers_project_inspect_and_train() {
+    let csv = gen_csv(300);
+    let v2 = temp_path("v2", "tocz");
+    let v1 = temp_path("v1", "tocz");
+    let back = temp_path("projected", "csv");
+
+    // v2 is the default; --segment-rows sets the seekable unit.
+    assert_ok(
+        &toc(&[
+            "compress",
+            csv.to_str().unwrap(),
+            v2.to_str().unwrap(),
+            "--scheme",
+            "toc",
+            "--segment-rows",
+            "64",
+        ]),
+        "toc compress --segment-rows",
+    );
+
+    // Inspect prints the footer summary and the layout tree.
+    let stdout = assert_ok(&toc(&["inspect", v2.to_str().unwrap()]), "toc inspect v2");
+    assert!(stdout.contains(": v2,"), "no v2 summary line: {stdout}");
+    assert!(stdout.contains("layout:"), "no layout tree: {stdout}");
+    assert!(stdout.contains("seg["), "no leaf lines: {stdout}");
+
+    // A row projection must go through the seek path and read only a
+    // fraction of the payload; the seek: line is machine-parseable.
+    let stdout = assert_ok(
+        &toc(&[
+            "decompress",
+            v2.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--rows",
+            "64..128",
+            "--parallel",
+            "2",
+        ]),
+        "toc decompress --rows",
+    );
+    let seek = stdout
+        .lines()
+        .find(|l| l.starts_with("seek:"))
+        .unwrap_or_else(|| panic!("no seek: line in {stdout}"));
+    let nums: Vec<u64> = seek
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().unwrap())
+        .collect();
+    let [reads, bytes_read, payload] = nums[..] else {
+        panic!("unparseable seek line: {seek:?}");
+    };
+    assert!(reads >= 4, "{seek}"); // open is 3 reads + >=1 segment
+    assert!(
+        bytes_read < payload / 2,
+        "projection read most of the payload: {seek}"
+    );
+    assert!(stdout.contains("decoded 64 rows"), "{stdout}");
+
+    // Training straight off the v2 container exercises the streaming
+    // store build (budget 0 => everything re-spills across shards).
+    let stdout = assert_ok(
+        &toc(&[
+            "train",
+            v2.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--prefetch",
+            "2",
+        ]),
+        "toc train <in.tocz>",
+    );
+    assert!(
+        stdout.contains("spilled batches across 2 shards"),
+        "missing store line: {stdout}"
+    );
+
+    // The v1 escape hatch still writes and round-trips, without a footer.
+    assert_ok(
+        &toc(&[
+            "compress",
+            csv.to_str().unwrap(),
+            v1.to_str().unwrap(),
+            "--container-version",
+            "1",
+            "--segment-rows",
+            "64",
+        ]),
+        "toc compress --container-version 1",
+    );
+    let stdout = assert_ok(&toc(&["inspect", v1.to_str().unwrap()]), "toc inspect v1");
+    assert!(!stdout.contains(": v2,"), "v1 claimed a footer: {stdout}");
+    let stdout = assert_ok(
+        &toc(&[
+            "decompress",
+            v1.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--rows",
+            "64..128",
+        ]),
+        "toc decompress v1 --rows",
+    );
+    assert!(!stdout.contains("seek:"), "v1 has no seek path: {stdout}");
+    assert!(stdout.contains("decoded 64 rows"), "{stdout}");
+
+    // Bad flag values exit nonzero.
+    assert_fails(
+        &toc(&[
+            "compress",
+            csv.to_str().unwrap(),
+            v2.to_str().unwrap(),
+            "--container-version",
+            "3",
+        ]),
+        "unknown container version",
+    );
+    assert_fails(
+        &toc(&[
+            "decompress",
+            v2.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--rows",
+            "9..3",
+        ]),
+        "inverted row range",
+    );
+    for p in [csv, v2, v1, back] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn invalid_pin_maps_and_flag_conflicts_exit_nonzero() {
     let csv = gen_csv(200);
     let base = |extra: &[&str]| {

@@ -46,6 +46,8 @@ use std::sync::{
 };
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use toc_formats::MatrixBatch;
+use toc_linalg::DenseMatrix;
 
 /// Recover a poisoned guard: a panicking holder never leaves the plain
 /// queues behind these locks in an invalid state.
@@ -1278,6 +1280,213 @@ impl Drop for RingIo {
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seekable v2 container reads.
+
+/// A v2 `.tocz` container opened for random access.
+///
+/// Opening costs exactly three positional reads — header, postscript,
+/// footer — and never touches segment bytes. After that, every
+/// [`SeekableContainer::decode_rows`] projection reads only the segments
+/// whose row ranges the footer's layout tree says intersect the query,
+/// each with one positional read of exactly its byte extent (the same
+/// `pread` path the spill shards use; no seek, no shared cursor, safe
+/// from any number of threads). All reads are charged to an [`IoStats`]
+/// owned by this handle, so callers can assert byte-precise access
+/// patterns — the random-access CI gate does.
+pub struct SeekableContainer {
+    file: SpillFile,
+    footer: toc_formats::container::Footer,
+    footer_offset: u64,
+    stats: IoStats,
+}
+
+impl SeekableContainer {
+    /// Open `path` and parse its postscript + footer (3 positional reads).
+    pub fn open(path: &std::path::Path) -> Result<Self, String> {
+        use toc_formats::container as cz;
+        let ctx = |e: &dyn std::fmt::Display| format!("{}: {e}", path.display());
+        let f = File::open(path).map_err(|e| ctx(&e))?;
+        let file_len = f.metadata().map_err(|e| ctx(&e))?.len();
+        if file_len < (cz::HEADER_LEN + cz::POSTSCRIPT_LEN) as u64 {
+            return Err(ctx(&"file too short for a v2 container"));
+        }
+        let file = SpillFile::new(f);
+        let stats = IoStats::default();
+        let read_at = |len: usize, offset: u64| -> Result<Vec<u8>, String> {
+            let mut buf = vec![0u8; len];
+            file.read_exact_at(&mut buf, offset).map_err(|e| ctx(&e))?;
+            stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+            Ok(buf)
+        };
+        let header = read_at(cz::HEADER_LEN, 0)?;
+        if u32::from_le_bytes(header[0..4].try_into().unwrap()) != cz::MAGIC {
+            return Err(ctx(&"bad container magic"));
+        }
+        if header[4] != 2 {
+            return Err(ctx(&format!(
+                "container version {} is not seekable (v2 required; \
+                 `toc compress` writes v2 by default)",
+                header[4]
+            )));
+        }
+        let tail = read_at(cz::POSTSCRIPT_LEN, file_len - cz::POSTSCRIPT_LEN as u64)?;
+        let ps = cz::Postscript::parse(&tail).map_err(|e| ctx(&e))?;
+        ps.validate(file_len).map_err(|e| ctx(&e))?;
+        let fbytes = read_at(ps.footer_len as usize, ps.footer_offset)?;
+        if cz::fnv1a64(&fbytes) != ps.footer_checksum {
+            return Err(ctx(&"footer checksum mismatch"));
+        }
+        let footer = cz::Footer::from_bytes(&fbytes).map_err(|e| ctx(&e))?;
+        if footer.root.end > ps.footer_offset || footer.root.begin < cz::HEADER_LEN as u64 {
+            return Err(ctx(&"layout tree extends outside the segment region"));
+        }
+        footer
+            .leaves_validated(ps.footer_offset)
+            .map_err(|e| ctx(&e))?;
+        Ok(Self {
+            file,
+            footer,
+            footer_offset: ps.footer_offset,
+            stats,
+        })
+    }
+
+    /// The parsed footer (layout tree + zone maps).
+    pub fn footer(&self) -> &toc_formats::container::Footer {
+        &self.footer
+    }
+
+    /// IO counters for every read this handle has performed.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.footer.num_segments()
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.footer.total_rows() as usize
+    }
+
+    pub fn cols(&self) -> usize {
+        self.footer.cols as usize
+    }
+
+    /// Raw encoded bytes of segment `idx` (one positional read of exactly
+    /// the segment's extent).
+    pub fn read_segment_bytes(&self, idx: usize) -> Result<Vec<u8>, String> {
+        let leaves = self.footer.leaves();
+        let leaf = leaves
+            .get(idx)
+            .ok_or_else(|| format!("segment {idx} out of 0..{}", leaves.len()))?;
+        let len = (leaf.end - leaf.begin) as usize;
+        let mut buf = vec![0u8; len];
+        self.file
+            .read_exact_at(&mut buf, leaf.begin)
+            .map_err(|e| format!("segment {idx}: {e}"))?;
+        self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// Read and parse segment `idx`, cross-checking its shape and scheme
+    /// tag against the footer.
+    pub fn decode_segment(&self, idx: usize) -> Result<toc_formats::AnyBatch, String> {
+        let bytes = self.read_segment_bytes(idx)?;
+        let leaf = self.footer.leaves()[idx].clone();
+        if bytes.first() != leaf.scheme.as_ref() {
+            return Err(format!(
+                "segment {idx}: scheme tag disagrees with the footer"
+            ));
+        }
+        let batch =
+            toc_formats::Scheme::from_bytes(&bytes).map_err(|e| format!("segment {idx}: {e}"))?;
+        if batch.rows() as u64 != leaf.row_end - leaf.row_start || batch.cols() != self.cols() {
+            return Err(format!("segment {idx}: shape disagrees with the footer"));
+        }
+        Ok(batch)
+    }
+
+    /// Decode rows `r0..r1`, reading only the segments the layout tree
+    /// says intersect the range and trimming the partial segments at the
+    /// edges.
+    pub fn decode_rows(&self, r0: usize, r1: usize) -> Result<DenseMatrix, String> {
+        self.decode_rows_parallel(r0, r1, 1)
+    }
+
+    /// [`SeekableContainer::decode_rows`] with the touched segments
+    /// decoded by `workers` threads (1 = inline). Output is identical to
+    /// the serial path; only the read/decode order varies.
+    pub fn decode_rows_parallel(
+        &self,
+        r0: usize,
+        r1: usize,
+        workers: usize,
+    ) -> Result<DenseMatrix, String> {
+        let total = self.total_rows();
+        if r0 > r1 || r1 > total {
+            return Err(format!("row range {r0}..{r1} out of 0..{total}"));
+        }
+        let mut out = DenseMatrix::zeros(r1 - r0, self.cols());
+        let segs = self.footer.segments_overlapping_rows(r0 as u64, r1 as u64);
+        // Each decoded segment lands in a disjoint row band of `out`; a
+        // worker returns (output row offset, trimmed rows) and the main
+        // thread copies them in.
+        let decode_one = |idx: usize| -> Result<(usize, DenseMatrix), String> {
+            let leaf = self.footer.leaves()[idx].clone();
+            let (seg_start, seg_end) = (leaf.row_start as usize, leaf.row_end as usize);
+            let batch = self.decode_segment(idx)?;
+            let lo = r0.max(seg_start) - seg_start;
+            let hi = r1.min(seg_end) - seg_start;
+            let mut part = DenseMatrix::default();
+            batch.decode_rows_into(lo, hi, &mut part);
+            Ok((seg_start + lo - r0, part))
+        };
+        let workers = workers.max(1).min(segs.len().max(1));
+        let parts: Vec<Result<(usize, DenseMatrix), String>> = if workers <= 1 {
+            segs.iter().map(|&i| decode_one(i)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let segs = &segs;
+                        let decode_one = &decode_one;
+                        scope.spawn(move || {
+                            segs.iter()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|&i| decode_one(i))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("decode worker panicked"))
+                    .collect()
+            })
+        };
+        for part in parts {
+            let (at, rows) = part?;
+            for r in 0..rows.rows() {
+                out.row_mut(at + r).copy_from_slice(rows.row(r));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of the segment region (what a decode-everything reader
+    /// would fetch beyond the framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.footer_offset - toc_formats::container::HEADER_LEN as u64
     }
 }
 

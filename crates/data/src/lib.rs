@@ -19,7 +19,7 @@ pub mod testing;
 
 pub use io::{
     BandwidthProfile, DeviceProfile, IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, Pinning,
-    SchedulerConfig, SpillIo, LATENCY_BUCKETS,
+    SchedulerConfig, SeekableContainer, SpillIo, LATENCY_BUCKETS,
 };
 pub use store::{
     place_spilled, plan_adaptive, MiniBatchStore, PlacementReport, ShardPlacement,

@@ -25,7 +25,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::{self, OpenOptions};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -866,6 +866,91 @@ impl ShardedSpillStore {
     /// past the memory budget out across `config.shards` shard files.
     pub fn build(x: &DenseMatrix, labels: &[f64], config: &StoreConfig) -> std::io::Result<Self> {
         let (pending, memory_bytes, any_spilled) = encode_batches(x, labels, config);
+        Self::from_pending(pending, memory_bytes, any_spilled, x.cols(), config)
+    }
+
+    /// Build the store by streaming a v2 `.tocz` container instead of a
+    /// materialized dense matrix: segments decode one at a time through
+    /// [`crate::io::SeekableContainer`], the last column is split off as
+    /// the ±1 label, and rows re-chunk into `config.batch_rows` batches
+    /// (with carry-over across segment boundaries), so the resulting
+    /// batch boundaries — and therefore training — match
+    /// [`ShardedSpillStore::build`] on the decoded matrix exactly. Peak
+    /// memory is one decoded segment plus one staged batch, not the
+    /// dataset.
+    pub fn build_from_container(path: &Path, config: &StoreConfig) -> std::io::Result<Self> {
+        let inval = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let sc = crate::io::SeekableContainer::open(path).map_err(inval)?;
+        let cols = sc.cols();
+        if cols < 2 {
+            return Err(inval(format!(
+                "container has {cols} columns; need features plus a label column"
+            )));
+        }
+        let d = cols - 1;
+        let mut pending: Vec<(Pending, Vec<f64>)> = Vec::new();
+        let mut memory_bytes = 0usize;
+        let mut any_spilled = false;
+        let mut stage: Vec<f64> = Vec::with_capacity(config.batch_rows * d);
+        let mut stage_y: Vec<f64> = Vec::with_capacity(config.batch_rows);
+        let flush = |stage: &mut Vec<f64>,
+                     stage_y: &mut Vec<f64>,
+                     pending: &mut Vec<(Pending, Vec<f64>)>,
+                     memory_bytes: &mut usize,
+                     any_spilled: &mut bool| {
+            if stage_y.is_empty() {
+                return;
+            }
+            let dense = DenseMatrix::from_vec(stage_y.len(), d, std::mem::take(stage));
+            let batch = config.scheme.encode_with(&dense, &config.encode);
+            let y = std::mem::take(stage_y);
+            let size = batch.size_bytes();
+            if *memory_bytes + size <= config.memory_budget {
+                *memory_bytes += size;
+                pending.push((Pending::Mem(batch), y));
+            } else {
+                *any_spilled = true;
+                pending.push((Pending::Disk(batch.to_bytes()), y));
+            }
+        };
+        for seg in 0..sc.num_segments() {
+            let dense = sc.decode_segment(seg).map_err(inval)?.decode();
+            for r in 0..dense.rows() {
+                let row = dense.row(r);
+                stage.extend_from_slice(&row[..d]);
+                stage_y.push(if row[d] >= 0.0 { 1.0 } else { -1.0 });
+                if stage_y.len() == config.batch_rows {
+                    flush(
+                        &mut stage,
+                        &mut stage_y,
+                        &mut pending,
+                        &mut memory_bytes,
+                        &mut any_spilled,
+                    );
+                }
+            }
+        }
+        flush(
+            &mut stage,
+            &mut stage_y,
+            &mut pending,
+            &mut memory_bytes,
+            &mut any_spilled,
+        );
+        Self::from_pending(pending, memory_bytes, any_spilled, d, config)
+    }
+
+    /// Second phase shared by [`ShardedSpillStore::build`] and
+    /// [`ShardedSpillStore::build_from_container`]: lay spilled batches
+    /// out across shard files, resolve placement/scheduling, and start
+    /// the prefetch pipeline.
+    fn from_pending(
+        pending: Vec<(Pending, Vec<f64>)>,
+        memory_bytes: usize,
+        any_spilled: bool,
+        features: usize,
+        config: &StoreConfig,
+    ) -> std::io::Result<Self> {
         let spill_sizes: Vec<usize> = pending
             .iter()
             .filter_map(|(p, _)| match p {
@@ -964,7 +1049,7 @@ impl ShardedSpillStore {
         let visits = (0..locs.len()).map(|_| AtomicU64::new(0)).collect();
         let inner = Arc::new(Inner {
             scheme: config.scheme,
-            features: x.cols(),
+            features,
             entries,
             spilled_order,
             locs: RwLock::new(locs),

@@ -149,6 +149,29 @@ fn estimate_distinct(d_s: usize, f1: usize, sample: usize, rows: usize) -> usize
     (est.ceil() as usize).clamp(d_s, rows)
 }
 
+/// Estimate the number of distinct values in a whole matrix by sampling
+/// up to `sample_rows` evenly spaced rows and scaling the sample's
+/// distinct/singleton counts with [`estimate_distinct`] (the same
+/// Good–Turing rule the CLA planner uses per column group). This is the
+/// `distinct` statistic recorded in container zone maps.
+pub fn estimate_matrix_distinct(m: &DenseMatrix, sample_rows: usize) -> usize {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0;
+    }
+    let take = sample_rows.clamp(1, m.rows());
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for i in 0..take {
+        // Evenly spaced sample; take == rows degenerates to every row.
+        let r = i * m.rows() / take;
+        for &v in m.row(r) {
+            *counts.entry(v.to_bits()).or_insert(0) += 1;
+        }
+    }
+    let d_s = counts.len();
+    let f1 = counts.values().filter(|&&c| c == 1).count();
+    estimate_distinct(d_s, f1, take * m.cols(), m.rows() * m.cols())
+}
+
 /// Bound on the number of groups considered together in one pairwise
 /// merge window. The best-first merge is `O(window²)` joint estimates, so
 /// very wide matrices (rcv1-style thousands of columns) are planned in

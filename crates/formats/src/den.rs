@@ -66,6 +66,13 @@ impl MatrixBatch for DenBatch {
         out.reset(self.m.rows(), self.m.cols());
         out.data_mut().copy_from_slice(self.m.data());
     }
+    fn decode_rows_into(&self, r0: usize, r1: usize, out: &mut DenseMatrix) {
+        assert!(r0 <= r1 && r1 <= self.m.rows(), "row range out of bounds");
+        out.reset(r1 - r0, self.m.cols());
+        let cols = self.m.cols();
+        out.data_mut()
+            .copy_from_slice(&self.m.data()[r0 * cols..r1 * cols]);
+    }
     fn scale(&mut self, c: f64) {
         self.m.scale(c);
     }

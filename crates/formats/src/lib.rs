@@ -19,6 +19,7 @@
 //! | TOC (full / ablations / varint)         | [`tocform`] | yes |
 
 pub mod cla;
+pub mod container;
 pub mod csr;
 pub mod cvi;
 pub mod den;
@@ -44,6 +45,15 @@ pub enum FormatError {
     Corrupt(String),
     /// The buffer encodes a different scheme than requested.
     WrongScheme { expected: &'static str, got: u8 },
+    /// A value does not fit the wire field that must carry it — e.g. a
+    /// batch over 4 GiB under the v1 container's `u32` length prefix.
+    /// Writing would silently truncate into a corrupt file, so the
+    /// writer refuses.
+    TooLarge {
+        what: &'static str,
+        value: u64,
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -52,6 +62,9 @@ impl std::fmt::Display for FormatError {
             FormatError::Corrupt(m) => write!(f, "corrupt batch: {m}"),
             FormatError::WrongScheme { expected, got } => {
                 write!(f, "wrong scheme tag {got}, expected {expected}")
+            }
+            FormatError::TooLarge { what, value, max } => {
+                write!(f, "{what} = {value} exceeds the wire field maximum {max}")
             }
         }
     }
@@ -133,6 +146,19 @@ pub trait MatrixBatch {
     /// Full decode into a caller-owned matrix (sparse-unsafe operations
     /// route through this).
     fn decode_into(&self, out: &mut DenseMatrix);
+    /// Decode only rows `r0..r1` into a caller-owned matrix (`out` gets
+    /// `r1 - r0` rows). Row-range projection lands here so the seekable
+    /// container can trim the partial segments at a query's edges; formats
+    /// with cheap row access (DEN, the sparse-row family) override this,
+    /// everything else decodes fully and copies the slice.
+    fn decode_rows_into(&self, r0: usize, r1: usize, out: &mut DenseMatrix) {
+        assert!(r0 <= r1 && r1 <= self.rows(), "row range out of bounds");
+        let full = self.decode();
+        out.reset(r1 - r0, self.cols());
+        for r in r0..r1 {
+            out.row_mut(r - r0).copy_from_slice(full.row(r));
+        }
+    }
     /// Sparse-safe element-wise `A .* c`, in place.
     fn scale(&mut self, c: f64);
     /// Serialize to bytes (scheme tag included).
@@ -397,6 +423,13 @@ impl Scheme {
         })
     }
 
+    /// Whether `tag` names a known scheme (a valid first byte of
+    /// [`MatrixBatch::to_bytes`]). The v2 container footer validates leaf
+    /// scheme tags through this before touching any segment bytes.
+    pub fn is_valid_tag(tag: u8) -> bool {
+        Self::ALL.iter().any(|s| s.tag() == tag)
+    }
+
     /// Serialization tag byte (first byte of [`MatrixBatch::to_bytes`]).
     pub fn tag(self) -> u8 {
         match self {
@@ -484,6 +517,9 @@ impl MatrixBatch for AnyBatch {
     fn decode_into(&self, out: &mut DenseMatrix) {
         dispatch!(self, b => b.decode_into(out))
     }
+    fn decode_rows_into(&self, r0: usize, r1: usize, out: &mut DenseMatrix) {
+        dispatch!(self, b => b.decode_rows_into(r0, r1, out))
+    }
     fn matvec(&self, v: &[f64]) -> Vec<f64> {
         dispatch!(self, b => b.matvec(v))
     }
@@ -537,6 +573,14 @@ pub(crate) mod wire {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     pub fn put_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
         put_u32(buf, vals.len() as u32);
         for v in vals {
@@ -579,6 +623,19 @@ pub(crate) mod wire {
 
         pub fn u32(&mut self) -> Result<u32, FormatError> {
             Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        pub fn u64(&mut self) -> Result<u64, FormatError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        pub fn f64(&mut self) -> Result<f64, FormatError> {
+            Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
         }
 
         pub fn f64s(&mut self) -> Result<Vec<f64>, FormatError> {

@@ -169,6 +169,18 @@ impl MatrixBatch for TocSparse {
     fn decode_into(&self, out: &mut DenseMatrix) {
         self.s.decode_into(out)
     }
+    fn decode_rows_into(&self, r0: usize, r1: usize, out: &mut DenseMatrix) {
+        assert!(r0 <= r1 && r1 <= self.s.rows(), "row range out of bounds");
+        out.reset(r1 - r0, self.s.cols());
+        let offsets = self.s.offsets();
+        let pairs = self.s.pairs();
+        for r in r0..r1 {
+            let row = out.row_mut(r - r0);
+            for p in &pairs[offsets[r]..offsets[r + 1]] {
+                row[p.col as usize] = p.val;
+            }
+        }
+    }
     fn scale(&mut self, c: f64) {
         let mut csr = CsrBatch::from_sparse(self.s.clone());
         csr.scale(c);
