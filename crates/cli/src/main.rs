@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -86,6 +87,25 @@ USAGE:
              A .tocz input trains straight off the container: with
              --budget the sharded store streams v2 segments through the
              seekable reader, one decoded segment in memory at a time)
+
+  toc serve <in.csv|in.tocz> [--jobs <n>] [--script <file>] [--max-concurrent <n>]
+            [--cache-budget <bytes>] [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>]
+            [--seed <n>] [--shares <s0,s1,...>] [--scheme <s>] [--batch-rows <n>]
+            [--budget <bytes>] [--shards <n>] [--mbps <f>] [--io <sync|pool|ring>]
+            [--placement <stripe|pack|adaptive>] [--adaptive]
+            (multi-tenant mode: run --jobs concurrent training jobs over ONE
+             shared spill store (--budget defaults to 0: everything spills)
+             and one shared compressed-batch cache of --cache-budget bytes
+             (default: a quarter of the spilled bytes) with heat-based
+             eviction. --max-concurrent gates admission (0 = unlimited);
+             queued jobs wait their turn. Job i trains with seed --seed+i
+             and QoS share --shares[i mod len] (default 1): a job's misses
+             are throttled to share/mean-share of each shard's measured
+             EWMA bandwidth. --script <file> instead defines one job per
+             line as key=value tokens (name= model= epochs= lr= seed=
+             share=; '#' comments). Prints one machine-parseable
+             \"job: key=value ...\" line per job and a \"serve: ...\"
+             aggregate line)
 
   compress/bench/train also accept the CLA co-coding knobs:
     --cla-planner <greedy|sample>   column grouping algorithm (default sample)
@@ -271,12 +291,17 @@ fn parse_row_range(s: &str) -> Result<(usize, usize), String> {
 }
 
 /// The version byte of a `.tocz` file (offset 4), without parsing it.
+/// Checks the magic first so a non-`.tocz` input is reported as such
+/// instead of whatever its fifth byte happens to be.
 fn container_version(path: &Path) -> Result<u8, String> {
     use std::io::Read;
     let mut head = [0u8; 5];
     let mut f = std::fs::File::open(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     f.read_exact(&mut head)
         .map_err(|e| format!("read {}: {e}", path.display()))?;
+    if u32::from_le_bytes(head[0..4].try_into().unwrap()) != toc_formats::container::MAGIC {
+        return Err(format!("{}: not a .tocz container", path.display()));
+    }
     Ok(head[4])
 }
 
@@ -722,6 +747,275 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         encoded_bytes / 1024,
         report.train_time,
         err * 100.0,
+    );
+    Ok(())
+}
+
+/// Parse one `--script` line (`key=value` tokens) into a job, on top of
+/// the command-line defaults.
+fn parse_script_job(
+    line: &str,
+    index: usize,
+    defaults: &toc_ml::MgdConfig,
+) -> Result<(String, String, toc_ml::MgdConfig, f64), String> {
+    let mut name = format!("j{index}");
+    let mut model = "lr".to_string();
+    let mut config = defaults.clone();
+    let mut share = 1.0f64;
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("script line {}: expected key=value, got {tok:?}", index + 1))?;
+        let bad = |e| format!("script line {}: {k}: {e}", index + 1);
+        match k {
+            "name" => name = v.to_string(),
+            "model" => model = v.to_string(),
+            "epochs" => config.epochs = v.parse().map_err(|e| bad(format!("{e}")))?,
+            "lr" => config.lr = v.parse().map_err(|e| bad(format!("{e}")))?,
+            "seed" => config.seed = v.parse().map_err(|e| bad(format!("{e}")))?,
+            "share" => share = v.parse().map_err(|e| bad(format!("{e}")))?,
+            other => {
+                return Err(format!(
+                "script line {}: unknown key {other:?} (expected name/model/epochs/lr/seed/share)",
+                index + 1
+            ))
+            }
+        }
+    }
+    Ok((name, model, config, share))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use toc_data::serve::{JobServer, JobSpec, ServeConfig};
+    use toc_data::store::{ShardedSpillStore, StoreConfig};
+    use toc_ml::mgd::{MgdConfig, ModelSpec};
+    use toc_ml::LossKind;
+
+    let pos = positional(args);
+    let [input] = pos[..] else {
+        return Err("usage: toc serve <in.csv|in.tocz> [--jobs <n>] ...".into());
+    };
+    let scheme = parse_scheme(&opt(args, "--scheme").unwrap_or_else(|| "toc".into()))?;
+    let batch_rows: usize = opt(args, "--batch-rows")
+        .map(|s| s.parse().unwrap_or(250))
+        .unwrap_or(250);
+    let encode_opts = encode_options(args)?;
+    // Serve is the out-of-core mode: the budget defaults to 0, so every
+    // batch spills and the shared cache is what keeps hot ones close.
+    let budget: usize = match opt(args, "--budget") {
+        Some(b) => b.parse().map_err(|e| format!("--budget: {e}"))?,
+        None => 0,
+    };
+    let shards: usize = match opt(args, "--shards") {
+        Some(s) => s.parse().map_err(|e| format!("--shards: {e}"))?,
+        None => 0,
+    };
+    let mbps: Option<f64> = match opt(args, "--mbps") {
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|e| format!("--mbps: {e}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("--mbps must be > 0, got {v}"));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    let io: toc_data::IoEngineKind = match opt(args, "--io") {
+        Some(s) => s.parse()?,
+        None => toc_data::IoEngineKind::Sync,
+    };
+    let mut placement: toc_data::ShardPlacement = match opt(args, "--placement") {
+        Some(s) => s.parse()?,
+        None => toc_data::ShardPlacement::Stripe,
+    };
+    if has_flag(args, "--adaptive") {
+        if opt(args, "--placement").is_some_and(|p| !p.eq_ignore_ascii_case("adaptive")) {
+            return Err("--adaptive conflicts with the explicit --placement".into());
+        }
+        placement = toc_data::ShardPlacement::Adaptive;
+    }
+    let max_concurrent: usize = match opt(args, "--max-concurrent") {
+        Some(s) => s.parse().map_err(|e| format!("--max-concurrent: {e}"))?,
+        None => 0,
+    };
+    let epochs: usize = opt(args, "--epochs")
+        .map(|s| s.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let lr: f64 = opt(args, "--lr")
+        .map(|s| s.parse().unwrap_or(0.05))
+        .unwrap_or(0.05);
+    let base_seed: u64 = match opt(args, "--seed") {
+        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        None => 42,
+    };
+    let shares: Vec<f64> = match opt(args, "--shares") {
+        Some(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|e| format!("--shares: {e}")))
+            .collect::<Result<_, String>>()?,
+        None => vec![1.0],
+    };
+    if shares.is_empty() || shares.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+        return Err("--shares entries must be finite and > 0".into());
+    }
+
+    let loss_for = |model: &str| match model {
+        "lr" => Ok(LossKind::Logistic),
+        "svm" => Ok(LossKind::Hinge),
+        "linreg" => Ok(LossKind::Squared),
+        other => Err(format!("unknown model {other:?}")),
+    };
+    let defaults = MgdConfig {
+        epochs,
+        lr,
+        seed: base_seed,
+        record_curve: true,
+        ..Default::default()
+    };
+    // (name, model-name, config, share) per job: either --jobs clones of
+    // the command-line job with consecutive seeds, or one job per
+    // non-comment script line.
+    let protos: Vec<(String, String, MgdConfig, f64)> = match opt(args, "--script") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            let lines: Vec<&str> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .collect();
+            if lines.is_empty() {
+                return Err(format!("{path}: no jobs defined"));
+            }
+            lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| parse_script_job(l, i, &defaults))
+                .collect::<Result<_, String>>()?
+        }
+        None => {
+            let jobs: usize = opt(args, "--jobs")
+                .map(|s| s.parse().unwrap_or(4))
+                .unwrap_or(4);
+            if jobs == 0 {
+                return Err("--jobs must be >= 1".into());
+            }
+            let model = opt(args, "--model").unwrap_or_else(|| "lr".into());
+            (0..jobs)
+                .map(|i| {
+                    let mut config = defaults.clone();
+                    config.seed = base_seed + i as u64;
+                    (
+                        format!("j{i}"),
+                        model.clone(),
+                        config,
+                        shares[i % shares.len()],
+                    )
+                })
+                .collect()
+        }
+    };
+
+    let from_container = input.ends_with(".tocz");
+    let full = if from_container {
+        Container::read(Path::new(input))?.decode()?
+    } else {
+        csv::read_matrix(Path::new(input))?.0
+    };
+    if full.cols() < 2 {
+        return Err("need at least one feature column plus the label column".into());
+    }
+    let d = full.cols() - 1;
+    let mut x = DenseMatrix::zeros(full.rows(), d);
+    let mut y = Vec::with_capacity(full.rows());
+    for r in 0..full.rows() {
+        x.row_mut(r).copy_from_slice(&full.row(r)[..d]);
+        y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
+    }
+
+    let mut config = StoreConfig::new(scheme, batch_rows, budget)
+        .with_shards(shards)
+        .with_io(io)
+        .with_placement(placement)
+        .with_encode_options(encode_opts);
+    if let Some(mbps) = mbps {
+        config = config.with_disk_mbps(mbps);
+    }
+    let store =
+        std::sync::Arc::new(ShardedSpillStore::build(&x, &y, &config).map_err(|e| format!("{e}"))?);
+    println!(
+        "store: {} in-memory + {} spilled batches across {} shards ({} KB spilled)",
+        store.in_memory_batches(),
+        store.spilled_batches(),
+        store.num_shards(),
+        store.spilled_bytes() / 1024,
+    );
+
+    let cache_bytes: usize = match opt(args, "--cache-budget") {
+        Some(s) => s.parse().map_err(|e| format!("--cache-budget: {e}"))?,
+        None => store.spilled_bytes() / 4,
+    };
+    let server = JobServer::new(
+        std::sync::Arc::clone(&store),
+        ServeConfig {
+            max_concurrent,
+            cache_bytes,
+        },
+    );
+
+    let eval = Scheme::Den.encode(&x);
+    let jobs: Vec<JobSpec> = protos
+        .iter()
+        .map(|(name, model, config, share)| {
+            Ok(JobSpec::new(
+                name.clone(),
+                ModelSpec::Linear(loss_for(model)?),
+                config.clone(),
+            )
+            .with_share(*share)
+            .with_eval(eval.clone(), y.clone()))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let t0 = Instant::now();
+    let outcomes = server.run(jobs);
+    let wall = t0.elapsed();
+
+    // Machine-parseable per-job stats (the CLI smoke tests parse these
+    // lines): key=value pairs only, one per field.
+    for ((_, model, config, _), o) in protos.iter().zip(&outcomes) {
+        println!(
+            "job: name={} model={model} seed={} share={} epochs={} train-ms={} queue-ms={} \
+             qos-ms={} cache-hits={} cache-misses={} batches={} err-pct={:.2}",
+            o.name,
+            o.seed,
+            o.share,
+            config.epochs,
+            o.train_time.as_millis(),
+            o.queue_wait.as_millis(),
+            o.qos_wait.as_millis(),
+            o.cache_hits,
+            o.cache_misses,
+            o.batches_visited,
+            o.curve.last().copied().unwrap_or(1.0) * 100.0,
+        );
+    }
+    let s = store.stats().snapshot_stable();
+    s.assert_consistent();
+    let cache = server.cache();
+    println!(
+        "serve: jobs={} max-concurrent={} peak-concurrent={} cache-budget-kb={} cache-kb={} \
+         cache-hits={} cache-misses={} insertions={} evictions={} qos-throttle-ms={} wall-ms={}",
+        outcomes.len(),
+        max_concurrent,
+        server.peak_concurrency(),
+        cache_bytes / 1024,
+        cache.bytes() / 1024,
+        s.cache_hits,
+        s.cache_misses,
+        cache.insertions(),
+        cache.evictions(),
+        s.qos_throttle_ns / 1_000_000,
+        wall.as_millis(),
     );
     Ok(())
 }

@@ -496,3 +496,133 @@ fn out_of_core_flags_require_budget_and_reject_bad_values() {
     assert_fails(&toc(&["frobnicate"]), "unknown subcommand");
     std::fs::remove_file(csv).ok();
 }
+
+/// `toc serve`: N jobs over one shared store, per-job `job:` stats lines
+/// plus the `serve:` aggregate, all machine-parseable. Admission gating
+/// is observable through `peak-concurrent`.
+#[test]
+fn serve_emits_parseable_job_stats() {
+    let csv = gen_csv(400);
+    let out = toc(&[
+        "serve",
+        csv.to_str().unwrap(),
+        "--jobs",
+        "3",
+        "--max-concurrent",
+        "2",
+        "--shards",
+        "2",
+        "--batch-rows",
+        "50",
+        "--mbps",
+        "800",
+        "--epochs",
+        "2",
+        "--shares",
+        "1,2",
+    ]);
+    let stdout = assert_ok(&out, "toc serve");
+    let jobs: Vec<HashMap<String, String>> = stdout
+        .lines()
+        .filter(|l| l.starts_with("job: "))
+        .map(parse_kv)
+        .collect();
+    assert_eq!(jobs.len(), 3, "expected 3 job lines:\n{stdout}");
+    for (i, j) in jobs.iter().enumerate() {
+        assert_eq!(j["name"], format!("j{i}"));
+        assert_eq!(j["seed"], (42 + i as u64).to_string(), "seeds are base+i");
+        let visited: u64 = j["batches"].parse().expect("batches");
+        assert_eq!(visited, 16, "2 epochs x 8 batches:\n{stdout}");
+        let hits: u64 = j["cache-hits"].parse().expect("cache-hits");
+        let misses: u64 = j["cache-misses"].parse().expect("cache-misses");
+        assert_eq!(hits + misses, visited, "every spilled visit is hit or miss");
+        let err: f64 = j["err-pct"].parse().expect("err-pct");
+        assert!((0.0..=100.0).contains(&err));
+    }
+    // Shares cycle through --shares.
+    assert_eq!(jobs[0]["share"], "1");
+    assert_eq!(jobs[1]["share"], "2");
+
+    let serve = stdout
+        .lines()
+        .find(|l| l.starts_with("serve: "))
+        .unwrap_or_else(|| panic!("no serve line:\n{stdout}"));
+    let s = parse_kv(serve);
+    assert_eq!(s["jobs"], "3");
+    let peak: usize = s["peak-concurrent"].parse().expect("peak-concurrent");
+    assert!(
+        (1..=2).contains(&peak),
+        "admission must cap concurrency at 2:\n{stdout}"
+    );
+    let hits: u64 = s["cache-hits"].parse().expect("serve cache-hits");
+    let misses: u64 = s["cache-misses"].parse().expect("serve cache-misses");
+    assert_eq!(hits + misses, 3 * 16, "aggregate = sum of per-job visits");
+}
+
+/// `toc serve --script`: one job per line with per-job overrides.
+#[test]
+fn serve_script_mode() {
+    let csv = gen_csv(300);
+    let script = temp_path("jobs", "txt");
+    std::fs::write(
+        &script,
+        "# two jobs, different models and shares\n\
+         name=alpha model=lr epochs=2 seed=7 share=2\n\
+         name=beta model=svm epochs=1 lr=0.1\n",
+    )
+    .unwrap();
+    let out = toc(&[
+        "serve",
+        csv.to_str().unwrap(),
+        "--script",
+        script.to_str().unwrap(),
+        "--batch-rows",
+        "100",
+        "--shards",
+        "2",
+    ]);
+    let stdout = assert_ok(&out, "toc serve --script");
+    let jobs: Vec<HashMap<String, String>> = stdout
+        .lines()
+        .filter(|l| l.starts_with("job: "))
+        .map(parse_kv)
+        .collect();
+    assert_eq!(jobs.len(), 2, "one job per script line:\n{stdout}");
+    assert_eq!(jobs[0]["name"], "alpha");
+    assert_eq!(jobs[0]["seed"], "7");
+    assert_eq!(jobs[0]["share"], "2");
+    assert_eq!(jobs[1]["name"], "beta");
+    assert_eq!(jobs[1]["model"], "svm");
+    assert_eq!(jobs[1]["epochs"], "1");
+
+    // A bad script line is a clean error, not a bogus run.
+    std::fs::write(&script, "name=x bogus-key=1\n").unwrap();
+    assert_fails(
+        &toc(&[
+            "serve",
+            csv.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ]),
+        "serve with unknown script key",
+    );
+}
+
+/// A non-`.tocz` input to a container-reading path must be reported as
+/// "not a .tocz container", not as a bogus "unsupported version N" taken
+/// from whatever its fifth byte happens to be.
+#[test]
+fn non_container_input_reports_bad_magic() {
+    let csv = gen_csv(50);
+    let out = toc(&["inspect", csv.to_str().unwrap()]);
+    assert_fails(&out, "inspect on a CSV");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a .tocz container"),
+        "expected a magic-check error, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("unsupported"),
+        "must not misreport a CSV as an unsupported container version: {stderr}"
+    );
+}

@@ -474,6 +474,16 @@ pub struct IoStats {
     pub in_flight: AtomicU64,
     /// High-water mark of `in_flight`.
     pub max_in_flight: AtomicU64,
+    /// Spilled tenant visits served from the shared compressed-batch
+    /// cache ([`crate::serve::BatchCache`]) — no physical read, no
+    /// prefetch request.
+    pub cache_hits: AtomicU64,
+    /// Spilled tenant visits that missed the shared cache and paid a
+    /// direct physical read (each one increments `disk_reads` too).
+    pub cache_misses: AtomicU64,
+    /// Nanoseconds tenant jobs spent blocked on per-job IO-share QoS
+    /// throttling (disjoint from the device-model `throttle_ns`).
+    pub qos_throttle_ns: AtomicU64,
     /// Submit→complete latency distribution for async requests.
     pub latency: LatencyHistogram,
 }
@@ -495,6 +505,9 @@ impl IoStats {
             coalesced_reads: self.coalesced_reads.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            qos_throttle_ns: self.qos_throttle_ns.load(Ordering::Relaxed),
             latency_us: self.latency.snapshot(),
         }
     }
@@ -542,6 +555,9 @@ pub struct IoSnapshot {
     pub coalesced_reads: u64,
     pub in_flight: u64,
     pub max_in_flight: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub qos_throttle_ns: u64,
     pub latency_us: [u64; LATENCY_BUCKETS],
 }
 
@@ -577,7 +593,11 @@ impl IoSnapshot {
     /// written by the visiting threads themselves): every prefetch-path
     /// request resolved to exactly one hit or miss. The engine-side
     /// counters must satisfy `completed <= submitted` and physical reads
-    /// plus coalesced riders must cover every completion.
+    /// plus coalesced riders must cover every completion *and* every
+    /// shared-cache miss: a tenant cache miss pays its own direct read
+    /// (outside the engine), so a cache-served read that also charged the
+    /// prefetch pipeline — or a miss that never reached the device —
+    /// shows up here as double- or under-counting.
     #[track_caller]
     pub fn assert_consistent(&self) {
         assert_eq!(
@@ -590,8 +610,8 @@ impl IoSnapshot {
             "more completions than submissions: {self:?}"
         );
         assert!(
-            self.disk_reads + self.coalesced_reads >= self.completed,
-            "completions not covered by physical+coalesced reads: {self:?}"
+            self.disk_reads + self.coalesced_reads >= self.completed + self.cache_misses,
+            "completions + cache misses not covered by physical+coalesced reads: {self:?}"
         );
     }
 }
@@ -1780,6 +1800,48 @@ mod tests {
         mixed.latency_us[4] = 1;
         assert_eq!(mixed.latency_percentile_us(50), 0);
         assert_eq!(mixed.latency_percentile_us(100), 16);
+    }
+
+    /// Pins the cache-aware coverage invariant: cache-served visits enter
+    /// neither the prefetch nor the physical-read ledgers, while every
+    /// shared-cache miss must be covered by its own physical read — a
+    /// miss that never reached the device (i.e. was double-counted as
+    /// cache-served) must trip `assert_consistent`.
+    #[test]
+    fn assert_consistent_accounts_cache_served_reads() {
+        // Pure tenant workload: 6 hits cost nothing, 4 misses each paid a
+        // direct physical read. No prefetch traffic at all.
+        let tenant = IoSnapshot {
+            disk_reads: 4,
+            cache_hits: 6,
+            cache_misses: 4,
+            ..Default::default()
+        };
+        tenant.assert_consistent();
+
+        // Tenant + prefetch engine side by side: the engine's 5 completed
+        // reads and the tenants' 4 miss reads are disjoint physical reads.
+        let mixed = IoSnapshot {
+            disk_reads: 9,
+            submitted: 5,
+            completed: 5,
+            spill_requests: 5,
+            prefetch_hits: 5,
+            cache_hits: 6,
+            cache_misses: 4,
+            ..Default::default()
+        };
+        mixed.assert_consistent();
+
+        // Double-counting: a visit recorded as a cache miss without a
+        // covering physical read (e.g. it was actually served from the
+        // cache, or charged to the prefetch pipeline instead).
+        let double = IoSnapshot {
+            disk_reads: 3,
+            cache_misses: 4,
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| double.assert_consistent()).is_err());
     }
 
     #[test]

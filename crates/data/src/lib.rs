@@ -11,8 +11,12 @@
 //! a submission/completion [`SpillIo`] trait with a portable worker-pool
 //! backend and a coalescing ring backend — and [`testing`] provides a
 //! fault-injecting engine double for adversarial scheduling tests.
+//! [`serve`] layers the multi-tenant job server on top: many concurrent
+//! training jobs over one shared store and one heat-aware compressed
+//! batch cache.
 
 pub mod io;
+pub mod serve;
 pub mod store;
 pub mod synth;
 pub mod testing;
@@ -21,6 +25,7 @@ pub use io::{
     BandwidthProfile, DeviceProfile, IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, Pinning,
     SchedulerConfig, SeekableContainer, SpillIo, LATENCY_BUCKETS,
 };
+pub use serve::{BatchCache, JobOutcome, JobServer, JobSpec, ServeConfig, TenantProvider};
 pub use store::{
     place_spilled, plan_adaptive, MiniBatchStore, PlacementReport, ShardPlacement,
     ShardedSpillStore, StoreConfig,

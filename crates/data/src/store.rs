@@ -1187,6 +1187,64 @@ impl ShardedSpillStore {
         self.prefetcher.is_some()
     }
 
+    // -- Crate-private seam for the multi-tenant layer ([`crate::serve`]).
+    // Tenant providers read spilled batches directly (cache-miss path)
+    // instead of through the prefetch pipeline, so they need the raw
+    // pieces `visit` composes: slot inspection, the shared visit/heat
+    // counters, the charged device read, and the bandwidth profile.
+
+    /// Spill id of entry `idx`, when the entry is disk-resident.
+    pub(crate) fn spill_id(&self, idx: usize) -> Option<usize> {
+        match &self.inner.entries[idx].0 {
+            Slot::Disk(id) => Some(*id),
+            Slot::Memory(_) => None,
+        }
+    }
+
+    /// Labels of entry `idx`.
+    pub(crate) fn entry_labels(&self, idx: usize) -> &[f64] {
+        &self.inner.entries[idx].1
+    }
+
+    /// Bump the shared per-batch visit counter (the adaptive planner's
+    /// and the tenant cache's heat signal) and return the new count.
+    pub(crate) fn record_spill_visit(&self, id: usize) -> u64 {
+        self.inner.visits[id].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current `(shard, len)` of spill id `id` (may change across
+    /// adaptive rebalances; the bytes themselves never do).
+    pub(crate) fn spill_shard_len(&self, id: usize) -> (usize, usize) {
+        let loc = rlock(&self.inner.locs)[id];
+        (loc.shard, loc.len)
+    }
+
+    /// Read the current encoded bytes of spill id `id` through the
+    /// charged device model (counts `disk_reads`/`bytes_read`, feeds the
+    /// bandwidth profiler). Returns the shard that served the read.
+    pub(crate) fn read_spill_bytes(&self, id: usize, buf: &mut Vec<u8>) -> usize {
+        let loc = rlock(&self.inner.locs)[id];
+        self.inner
+            .io
+            .read_range(loc.shard, loc.offset, loc.len, buf)
+            .expect("read spill file");
+        loc.shard
+    }
+
+    /// Parse encoded spill bytes (tenant cache hits and miss reads).
+    pub(crate) fn decode_spill(&self, bytes: &[u8]) -> AnyBatch {
+        Scheme::from_bytes(bytes).expect("spill data corrupted")
+    }
+
+    /// Per-shard EWMA bandwidth estimate in bytes/sec, when observed.
+    pub(crate) fn shard_ewma_bps(&self, shard: usize) -> Option<f64> {
+        self.inner
+            .io
+            .profile
+            .estimate_mbps(shard)
+            .map(|mbps| mbps * 1e6)
+    }
+
     /// Schedule the next spilled indices after `idx` (cyclically, so the
     /// pipeline stays warm across epoch boundaries) that are not already
     /// queued, in flight, or decoded — sync mode only. The walk runs over

@@ -170,3 +170,100 @@ fn loss_trajectory_is_bit_identical_across_store_configs() {
         );
     }
 }
+
+/// Multi-tenant determinism: 8 jobs with distinct seeds train
+/// concurrently over ONE shared adaptive store — ring engine replaced by
+/// the fault-injecting double, asymmetric degrading devices, adaptive
+/// migrations firing at every epoch boundary of every job, and a shared
+/// compressed-batch cache small enough to churn. Every job's final
+/// weights AND loss curve must be `==` to its solo run on a fresh store
+/// of the same configuration: concurrency, cache hits, eviction timing,
+/// QoS throttling and injected faults may change *when* bytes are read,
+/// never *which* bytes the trainer sees.
+#[test]
+fn concurrent_tenants_train_bit_identical_to_solo() {
+    use std::sync::Arc;
+    use toc_data::serve::{JobServer, JobSpec, ServeConfig};
+    use toc_data::FaultPlan;
+
+    let ds = generate_preset(DatasetPreset::CensusLike, 480, 13);
+    let scheme = Scheme::Toc;
+    let batch_rows = 60;
+    let eval_batch = Scheme::Den.encode(&ds.x);
+    let config = || {
+        StoreConfig::new(scheme, batch_rows, 0)
+            .with_shards(3)
+            .with_prefetch(3)
+            .with_io(IoEngineKind::Ring)
+            .with_placement(ShardPlacement::Adaptive)
+            .with_shard_profiles(vec![
+                DeviceProfile::stable(900.0),
+                DeviceProfile::degrading(400.0, 0.1),
+                DeviceProfile::stable(90.0),
+            ])
+            .with_fault_plan(FaultPlan::seeded(0xBEEF))
+    };
+    let job = |i: usize| {
+        JobSpec::new(
+            format!("tenant{i}"),
+            ModelSpec::Linear(LossKind::Logistic),
+            MgdConfig {
+                epochs: 4,
+                lr: 0.25,
+                seed: 42 + 7 * i as u64,
+                record_curve: true,
+                shuffle_batches: true,
+            },
+        )
+        .with_share(1.0 + (i % 3) as f64)
+        .with_eval(eval_batch.clone(), ds.labels.clone())
+    };
+
+    let store = Arc::new(ShardedSpillStore::build(&ds.x, &ds.labels, &config()).unwrap());
+    assert_eq!(store.spilled_batches(), 8);
+    let server = JobServer::new(
+        Arc::clone(&store),
+        ServeConfig {
+            max_concurrent: 8,
+            // Half the spilled bytes: tenants keep evicting each other's
+            // entries, so hit/miss interleavings vary run to run.
+            cache_bytes: store.spilled_bytes() / 2,
+        },
+    );
+    let outcomes = server.run((0..8).map(job).collect());
+    store.stats().snapshot_stable().assert_consistent();
+    assert_eq!(server.peak_concurrency(), 8);
+
+    // Solo references: each job alone on a fresh store of the same
+    // configuration, driven by the plain Trainer through the prefetch
+    // pipeline + fault-injecting engine (a different read path entirely).
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let spec = job(i);
+        let solo_store = ShardedSpillStore::build(&ds.x, &ds.labels, &config()).unwrap();
+        let trainer = Trainer::new(spec.config.clone());
+        let report = trainer.train(
+            &spec.model,
+            &solo_store,
+            Some((&eval_batch, ds.labels.as_slice())),
+        );
+        solo_store.stats().snapshot_stable().assert_consistent();
+        assert_eq!(
+            outcome.weights,
+            report.model.weights(),
+            "{} diverged from its solo run in final weights",
+            outcome.name
+        );
+        let solo_curve: Vec<f64> = report.curve.iter().map(|p| p.error_rate).collect();
+        assert_eq!(
+            outcome.curve, solo_curve,
+            "{} diverged from its solo run in the loss trajectory",
+            outcome.name
+        );
+    }
+    // Distinct seeds must actually produce distinct runs (guards against
+    // a provider that ignores the job's shuffle stream).
+    assert!(
+        outcomes[0].weights != outcomes[1].weights,
+        "jobs with different seeds produced identical weights"
+    );
+}

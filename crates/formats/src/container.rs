@@ -677,8 +677,27 @@ impl Container {
         Self::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
     }
 
+    /// Check that every batch agrees on column count: the container
+    /// header/footer records a single `cols`, so a mixed-width batch list
+    /// cannot be framed without lying about the width of every batch after
+    /// the first.
+    fn validate_uniform_cols(&self) -> Result<usize, FormatError> {
+        let cols = self.batches.first().map(|b| b.cols()).unwrap_or(0);
+        for (i, b) in self.batches.iter().enumerate() {
+            if b.cols() != cols {
+                return Err(FormatError::MixedCols {
+                    batch: i,
+                    got: b.cols(),
+                    expected: cols,
+                });
+            }
+        }
+        Ok(cols)
+    }
+
     /// Serialize as v2: segments, footer tree with zone maps, postscript.
     pub fn to_bytes(&self) -> Result<Vec<u8>, FormatError> {
+        let cols = self.validate_uniform_cols()?;
         let zones = self.zones_or_compute();
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -702,7 +721,7 @@ impl Container {
         }
         let footer_offset = out.len() as u64;
         let footer = Footer {
-            cols: self.batches.first().map(|b| b.cols()).unwrap_or(0) as u64,
+            cols: cols as u64,
             root: build_tree(leaves, footer_offset),
         };
         let fbytes = footer.to_bytes();
@@ -719,6 +738,7 @@ impl Container {
     /// Serialize as legacy v1. Errors (instead of silently truncating)
     /// when a batch or the batch count overflows the v1 `u32` fields.
     pub fn to_bytes_v1(&self) -> Result<Vec<u8>, FormatError> {
+        self.validate_uniform_cols()?;
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.push(V1);

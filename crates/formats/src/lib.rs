@@ -54,6 +54,14 @@ pub enum FormatError {
         value: u64,
         max: u64,
     },
+    /// A container's batches disagree on column count. The header/footer
+    /// carries a single `cols`, so a mixed-width container would serialize
+    /// a wrong width for every batch after the first; the writer refuses.
+    MixedCols {
+        batch: usize,
+        got: usize,
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -65,6 +73,16 @@ impl std::fmt::Display for FormatError {
             }
             FormatError::TooLarge { what, value, max } => {
                 write!(f, "{what} = {value} exceeds the wire field maximum {max}")
+            }
+            FormatError::MixedCols {
+                batch,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "container batch {batch} has {got} cols, expected {expected}"
+                )
             }
         }
     }

@@ -306,3 +306,29 @@ proptest! {
         }
     }
 }
+
+/// A container whose batches disagree on width must refuse to serialize
+/// (both versions): the single header/footer `cols` would otherwise lie
+/// about every batch after the first.
+#[test]
+fn mixed_width_batches_refuse_to_serialize() {
+    let a = pool_matrix(12, 4, 0.5, 7);
+    let mut c = Container::encode_with(&a, Scheme::Den, 6, &EncodeOptions::default());
+    let narrow = pool_matrix(6, 3, 0.5, 8);
+    c.batches
+        .push(Scheme::Den.encode_with(&narrow, &EncodeOptions::default()));
+
+    let expected = toc_formats::FormatError::MixedCols {
+        batch: 2,
+        got: 3,
+        expected: 4,
+    };
+    assert_eq!(c.to_bytes().unwrap_err(), expected);
+    assert_eq!(c.to_bytes_v1().unwrap_err(), expected);
+
+    // Uniform containers keep round-tripping.
+    c.batches.pop();
+    let bytes = c.to_bytes().unwrap();
+    let back = Container::from_bytes(&bytes).unwrap();
+    assert_eq!(back.decode().unwrap(), a);
+}

@@ -65,6 +65,25 @@ pub enum ModelSpec {
     NeuralNet { hidden: Vec<usize>, outputs: usize },
 }
 
+impl ModelSpec {
+    /// Deterministic fresh-model construction for `features` input
+    /// columns. Shared by [`Trainer::train`] and the multi-tenant job
+    /// server so a job's model starts from bit-identical parameters no
+    /// matter which entry point built it (`seed` only matters for the NN
+    /// family; linear models start at zero).
+    pub fn init(&self, features: usize, seed: u64) -> TrainedModel {
+        match self {
+            ModelSpec::Linear(loss) => TrainedModel::Linear(LinearModel::new(features, *loss)),
+            ModelSpec::OneVsRest { loss, classes } => {
+                TrainedModel::OneVsRest(OneVsRest::new(features, *classes, *loss))
+            }
+            ModelSpec::NeuralNet { hidden, outputs } => {
+                TrainedModel::NeuralNet(NeuralNet::new(features, hidden, *outputs, seed))
+            }
+        }
+    }
+}
+
 /// A trained model of any family.
 #[derive(Clone, Debug)]
 pub enum TrainedModel {
@@ -201,16 +220,7 @@ impl Trainer {
         data: &dyn BatchProvider,
         eval: Option<(&AnyBatch, &[f64])>,
     ) -> TrainReport {
-        let d = data.num_features();
-        let mut model = match spec {
-            ModelSpec::Linear(loss) => TrainedModel::Linear(LinearModel::new(d, *loss)),
-            ModelSpec::OneVsRest { loss, classes } => {
-                TrainedModel::OneVsRest(OneVsRest::new(d, *classes, *loss))
-            }
-            ModelSpec::NeuralNet { hidden, outputs } => {
-                TrainedModel::NeuralNet(NeuralNet::new(d, hidden, *outputs, self.config.seed))
-            }
-        };
+        let mut model = spec.init(data.num_features(), self.config.seed);
 
         let mut curve = Vec::new();
         let mut train_time = Duration::ZERO;
