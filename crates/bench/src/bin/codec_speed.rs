@@ -1,20 +1,23 @@
 //! Machine-readable codec benchmark: per-scheme encode/decode throughput
-//! and compression ratio over the seeded preset mini-batches, written as
-//! JSON to `BENCH_codec.json` at the repo root (override with `--out=`).
+//! and compression ratio over the seeded preset mini-batches, appended
+//! as one dated entry to the `BENCH_codec.json` history at the repo root
+//! (override with `--out=`).
 //!
 //! The committed copy of that file is the recorded baseline for this
-//! machine class; regenerate it with
+//! machine class — one entry per PR that ran the bench, so codec-speed
+//! movement is visible over time instead of each run overwriting the
+//! last. Add an entry with
 //!
 //! ```text
 //! cargo run -p toc-bench --release --bin codec_speed
 //! ```
 //!
 //! whenever a codec change moves the numbers. The JSON is hand-rolled
-//! (no serde in the workspace): a flat object per scheme with MB/s and
-//! ratio aggregated over every preset (throughput weighted by dense
-//! bytes), plus the per-preset breakdown.
+//! (no serde in the workspace): per entry, a flat object per scheme with
+//! MB/s and ratio aggregated over every preset (throughput weighted by
+//! dense bytes), plus the per-preset breakdown.
 
-use toc_bench::{arg, mb_per_s, time_avg};
+use toc_bench::{append_history, arg, mb_per_s, time_avg, today_utc};
 use toc_data::synth::{generate_preset, DatasetPreset};
 use toc_formats::{MatrixBatch, Scheme};
 
@@ -29,6 +32,8 @@ const SCHEMES: [Scheme; 7] = [
     Scheme::GcAns,
     Scheme::Toc,
 ];
+
+const HEADER: &str = "{\n  \"bench\": \"codec_speed\",\n  \"units\": {\"throughput\": \"MB/s of dense payload\", \"ratio\": \"dense bytes / encoded bytes\"},\n";
 
 struct Measurement {
     preset: &'static str,
@@ -53,12 +58,11 @@ fn main() {
         .map(|&p| (p.name(), generate_preset(p, rows, seed)))
         .collect();
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"codec_speed\",\n");
-    json.push_str(&format!("  \"rows\": {rows},\n  \"seed\": {seed},\n"));
-    json.push_str("  \"units\": {\"throughput\": \"MB/s of dense payload\", \"ratio\": \"dense bytes / encoded bytes\"},\n");
-    json.push_str("  \"schemes\": [\n");
+    let mut entry = String::new();
+    entry.push_str(&format!(
+        "    {{\"date\": \"{}\", \"rows\": {rows}, \"seed\": {seed}, \"schemes\": [\n",
+        today_utc()
+    ));
 
     for (si, scheme) in SCHEMES.iter().enumerate() {
         let mut per: Vec<Measurement> = Vec::new();
@@ -89,16 +93,16 @@ fn main() {
             "{:8}  encode {agg_enc:8.1} MB/s  decode {agg_dec:8.1} MB/s  ratio {agg_ratio:6.2}x",
             scheme.name()
         );
-        json.push_str(&format!(
-            "    {{\"scheme\": \"{}\", \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"ratio\": {:.3}, \"per_dataset\": [\n",
+        entry.push_str(&format!(
+            "      {{\"scheme\": \"{}\", \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"ratio\": {:.3}, \"per_dataset\": [\n",
             json_escape(scheme.name()),
             agg_enc,
             agg_dec,
             agg_ratio
         ));
         for (pi, m) in per.iter().enumerate() {
-            json.push_str(&format!(
-                "      {{\"dataset\": \"{}\", \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"ratio\": {:.3}}}{}\n",
+            entry.push_str(&format!(
+                "        {{\"dataset\": \"{}\", \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"ratio\": {:.3}}}{}\n",
                 json_escape(m.preset),
                 m.encode_mb_s,
                 m.decode_mb_s,
@@ -106,13 +110,14 @@ fn main() {
                 if pi + 1 < per.len() { "," } else { "" }
             ));
         }
-        json.push_str(&format!(
-            "    ]}}{}\n",
+        entry.push_str(&format!(
+            "      ]}}{}\n",
             if si + 1 < SCHEMES.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    entry.push_str("    ]}");
 
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("\nwrote {out_path}");
+    append_history(&out_path, HEADER, &entry)
+        .unwrap_or_else(|e| panic!("append to {out_path}: {e}"));
+    println!("\nappended entry to {out_path}");
 }

@@ -1,0 +1,220 @@
+//! Streaming-ingestion scaling: prove the encode pipeline is
+//! bounded-memory and live.
+//!
+//! The pitch of `toc ingest` / `StoreIngest` is that encoding never
+//! materializes the dataset: rows stream through one reusable
+//! chunk-sized workspace, each sealed chunk goes straight to the spill
+//! store, and a trainer can consume sealed segments while later rows are
+//! still arriving. This bench measures both claims and *asserts* them
+//! (run in CI):
+//!
+//! 1. **Bounded memory.** Ingest the same drifting synthetic stream at
+//!    1x, 4x and 16x the base row count. Peak encode-workspace bytes at
+//!    16x must stay within 1.1x of the 1x run — growth in rows must not
+//!    leak into the workspace.
+//! 2. **Liveness.** At the largest scale, run ingestion on one thread
+//!    while `Trainer::train_online` follows the same store. The trainer
+//!    must close at least one prequential window *while ingestion is
+//!    still appending*, and must end having consumed every sealed chunk.
+//!
+//! Each run appends one dated entry to the `BENCH_ingest.json` history
+//! at the repo root (override with `--out=`).
+//!
+//! ```text
+//! cargo run -p toc-bench --release --bin ingest_scaling -- \
+//!     --rows=1500 --chunk-rows=100 --shards=3 --window=4
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use toc_bench::{append_history, arg, fmt_ratio, today_utc, Table};
+use toc_data::store::{ShardedSpillStore, StoreConfig};
+use toc_data::synth::drifting_matrix;
+use toc_data::{IngestStats, StoreIngest};
+use toc_formats::{EncodeOptions, Scheme};
+use toc_ml::mgd::{MgdConfig, ModelSpec, Trainer};
+use toc_ml::LossKind;
+
+const COLS: usize = 12;
+const DISTINCT: usize = 6;
+const SEED: u64 = 42;
+const GROWTH: &[usize] = &[1, 4, 16];
+
+const HEADER: &str = "{\n  \"bench\": \"ingest_scaling\",\n  \"units\": {\n    \"peak_workspace_bytes\": \"high-water mark of the reusable encode workspace\",\n    \"peak_ratio\": \"peak at largest scale / peak at base scale (asserted <= 1.1)\",\n    \"ingest_mb_s\": \"dense payload MB/s through push_row -> seal -> append\"\n  },\n";
+
+struct ScalePoint {
+    rows: usize,
+    stats: IngestStats,
+    mb_s: f64,
+}
+
+/// Stream `rows` synthetic rows through a fresh live store and return
+/// the ingest stats plus dense-payload throughput.
+fn run_scale(rows: usize, chunk_rows: usize, shards: usize) -> ScalePoint {
+    let m = drifting_matrix(rows, COLS, DISTINCT, SEED);
+    let config = StoreConfig::new(Scheme::Toc, chunk_rows, 0).with_shards(shards);
+    let store = ShardedSpillStore::open_streaming(COLS, &config).expect("open streaming store");
+    let mut ing = StoreIngest::new(&store, chunk_rows, None, EncodeOptions::default());
+    let t0 = Instant::now();
+    for r in 0..rows {
+        ing.push_row(m.row(r), (r % 2) as f64).expect("push row");
+    }
+    let stats = ing.finish().expect("finish ingest");
+    let elapsed = t0.elapsed();
+    ScalePoint {
+        rows,
+        mb_s: (rows * COLS * 8) as f64 / 1e6 / elapsed.as_secs_f64().max(1e-12),
+        stats,
+    }
+}
+
+/// The liveness leg: ingest the largest stream on one thread while a
+/// trainer follows the store online. Returns
+/// (windows, windows_during_ingest, consumed, chunks).
+fn run_liveness(
+    rows: usize,
+    chunk_rows: usize,
+    shards: usize,
+    window: usize,
+) -> (usize, usize, usize, u64) {
+    let m = drifting_matrix(rows, COLS, DISTINCT, SEED);
+    let config = StoreConfig::new(Scheme::Toc, chunk_rows, 0).with_shards(shards);
+    let store = ShardedSpillStore::open_streaming(COLS, &config).expect("open streaming store");
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 1,
+        lr: 0.2,
+        seed: SEED,
+        record_curve: false,
+        shuffle_batches: false,
+    });
+    let spec = ModelSpec::Linear(LossKind::Logistic);
+    let done = AtomicBool::new(false);
+
+    let (report, stats) = std::thread::scope(|s| {
+        let store_ref = &store;
+        let done_ref = &done;
+        let m_ref = &m;
+        let ingest = s.spawn(move || {
+            let run = || -> std::io::Result<IngestStats> {
+                let mut ing =
+                    StoreIngest::new(store_ref, chunk_rows, None, EncodeOptions::default());
+                for r in 0..rows {
+                    ing.push_row(m_ref.row(r), (r % 2) as f64)?;
+                    // Stretch the stream so "trainer keeps up with a
+                    // producer" is actually exercised, not a no-op
+                    // because ingest finished before the first window.
+                    if r % chunk_rows == chunk_rows - 1 {
+                        std::thread::sleep(std::time::Duration::from_micros(400));
+                    }
+                }
+                ing.finish()
+            };
+            let out = run();
+            done_ref.store(true, Ordering::Release);
+            out
+        });
+        let report =
+            trainer.train_online(&spec, &store, window, &mut || !done.load(Ordering::Acquire));
+        let stats = ingest
+            .join()
+            .expect("ingest thread panicked")
+            .expect("ingest failed");
+        (report, stats)
+    });
+
+    (
+        report.windows.len(),
+        report.windows_during_ingest,
+        report.consumed,
+        stats.chunks,
+    )
+}
+
+fn main() {
+    let rows: usize = arg("rows", 1500);
+    let chunk_rows: usize = arg("chunk-rows", 100);
+    let shards: usize = arg("shards", 3);
+    let window: usize = arg("window", 4);
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    let out_path: String = arg("out", default_out.to_string());
+
+    println!(
+        "ingest_scaling: base {rows} rows x {COLS} cols, chunk {chunk_rows}, {shards} shards, \
+         scales {GROWTH:?}"
+    );
+
+    let mut table = Table::new(vec![
+        "scale",
+        "rows",
+        "chunks",
+        "encoded KB",
+        "peak ws KB",
+        "MB/s",
+        "schemes",
+    ]);
+    let mut points: Vec<ScalePoint> = Vec::new();
+    for &g in GROWTH {
+        let p = run_scale(rows * g, chunk_rows, shards);
+        table.row(vec![
+            format!("{g}x"),
+            p.rows.to_string(),
+            p.stats.chunks.to_string(),
+            (p.stats.encoded_bytes / 1024).to_string(),
+            format!("{:.1}", p.stats.peak_workspace_bytes as f64 / 1024.0),
+            format!("{:.1}", p.mb_s),
+            p.stats.scheme_summary(),
+        ]);
+        points.push(p);
+    }
+    table.print();
+
+    // Gate 1: bounded memory. The workspace high-water mark is set by
+    // chunk geometry, never by how many rows flow through it.
+    let peak_small = points.first().unwrap().stats.peak_workspace_bytes;
+    let peak_large = points.last().unwrap().stats.peak_workspace_bytes;
+    let peak_ratio = peak_large as f64 / peak_small as f64;
+    println!(
+        "gate: peak workspace {peak_small} B at 1x vs {peak_large} B at 16x -> {}",
+        fmt_ratio(peak_ratio),
+    );
+    assert!(
+        peak_ratio <= 1.1,
+        "encode workspace grew {peak_ratio:.3}x while rows grew 16x (need <= 1.1x)"
+    );
+
+    // Gate 2: liveness. The online trainer must make progress while
+    // ingestion is still appending, and drain every sealed chunk.
+    let largest = rows * GROWTH.last().unwrap();
+    let (windows, during, consumed, chunks) = run_liveness(largest, chunk_rows, shards, window);
+    println!(
+        "gate: online trainer closed {during}/{windows} windows during ingest, \
+         consumed {consumed}/{chunks} chunks"
+    );
+    assert!(
+        during >= 1,
+        "trainer closed no windows while ingestion was live (windows={windows})"
+    );
+    assert_eq!(
+        consumed, chunks as usize,
+        "trainer consumed {consumed} of {chunks} sealed chunks"
+    );
+
+    // Append this run to the per-PR history baseline.
+    let mut sweep = String::new();
+    for (i, p) in points.iter().enumerate() {
+        sweep.push_str(&format!(
+            "        {{\"scale\": {}, \"rows\": {}, \"chunks\": {}, \"encoded_bytes\": {}, \"peak_workspace_bytes\": {}, \"ingest_mb_s\": {:.1}}}{}\n",
+            GROWTH[i], p.rows, p.stats.chunks, p.stats.encoded_bytes,
+            p.stats.peak_workspace_bytes, p.mb_s,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    let entry = format!(
+        "    {{\n      \"date\": \"{}\",\n      \"rows_base\": {rows},\n      \"cols\": {COLS},\n      \"chunk_rows\": {chunk_rows},\n      \"shards\": {shards},\n      \"peak_ratio\": {peak_ratio:.3},\n      \"liveness\": {{\"window\": {window}, \"windows\": {windows}, \"windows_during_ingest\": {during}, \"consumed\": {consumed}}},\n      \"sweep\": [\n{sweep}      ]\n    }}",
+        today_utc(),
+    );
+    append_history(&out_path, HEADER, &entry)
+        .unwrap_or_else(|e| panic!("append to {out_path}: {e}"));
+    println!("appended entry to {out_path}");
+}

@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use toc_bench::{arg, fmt_duration, Table};
+use toc_bench::{append_history, arg, fmt_duration, today_utc, Table};
 use toc_data::serve::{JobServer, JobSpec, ServeConfig};
 use toc_data::store::{ShardedSpillStore, StoreConfig};
 use toc_data::synth::{generate_preset, Dataset, DatasetPreset};
@@ -110,32 +110,60 @@ fn main() {
         "qos wait",
         "evictions",
     ]);
+    let mut sweep = String::new();
     for max_concurrent in [1usize, 2, 4, jobs] {
         let (wall, outcomes, evictions) =
             run_fleet(&ds, shards, mbps, cache_bytes, max_concurrent, jobs);
         let hits: u64 = outcomes.iter().map(|o| o.cache_hits).sum();
         let misses: u64 = outcomes.iter().map(|o| o.cache_misses).sum();
         let qos: Duration = outcomes.iter().map(|o| o.qos_wait).sum();
+        let hit_pct = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+        let agg = (jobs * EPOCHS) as f64 / wall.as_secs_f64();
         table.row(vec![
             max_concurrent.to_string(),
             fmt_duration(wall),
-            format!("{:.1}", (jobs * EPOCHS) as f64 / wall.as_secs_f64()),
-            format!(
-                "{:.0}%",
-                100.0 * hits as f64 / (hits + misses).max(1) as f64
-            ),
+            format!("{agg:.1}"),
+            format!("{hit_pct:.0}%"),
             fmt_duration(qos),
             evictions.to_string(),
         ]);
+        sweep.push_str(&format!(
+            "        {{\"concurrent\": {max_concurrent}, \"wall_ms\": {:.1}, \"agg_epochs_s\": {agg:.1}, \"cache_hit_pct\": {hit_pct:.0}, \"evictions\": {evictions}}},\n",
+            wall.as_secs_f64() * 1e3,
+        ));
     }
     table.print();
 
-    tenant_acceptance_gate(&ds, jobs, shards, mbps, cache_bytes);
+    let (serial_wall, conc_wall, ratio) =
+        tenant_acceptance_gate(&ds, jobs, shards, mbps, cache_bytes);
+
+    // Append this run to the per-PR history baseline (read-modify-write,
+    // never overwriting earlier entries).
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenant.json");
+    let out_path: String = arg("out", default_out.to_string());
+    let header = "{\n  \"bench\": \"tenant_scaling\",\n  \"units\": {\n    \"wall_ms\": \"wall time for the whole fleet\",\n    \"agg_epochs_s\": \"jobs * epochs / wall\",\n    \"cache_hit_pct\": \"fleet-wide cache hits / (hits + misses)\",\n    \"gate_ratio\": \"serial wall / concurrent wall (asserted >= 2.0)\"\n  },\n";
+    let entry = format!(
+        "    {{\n      \"date\": \"{}\",\n      \"rows\": {rows},\n      \"jobs\": {jobs},\n      \"shards\": {shards},\n      \"mbps\": {mbps},\n      \"gate_ratio\": {ratio:.2},\n      \"serial_wall_ms\": {:.1},\n      \"concurrent_wall_ms\": {:.1},\n      \"weights_bit_identical\": true,\n      \"sweep\": [\n{}      ]\n    }}",
+        today_utc(),
+        serial_wall.as_secs_f64() * 1e3,
+        conc_wall.as_secs_f64() * 1e3,
+        sweep.trim_end_matches(",\n").to_string() + "\n",
+    );
+    append_history(&out_path, header, &entry)
+        .unwrap_or_else(|e| panic!("append to {out_path}: {e}"));
+    println!("appended entry to {out_path}");
 }
 
 /// The asserted gate: 8 concurrent jobs ≥ 2× the serial aggregate on the
 /// seeded workload, with bit-identical per-job weights either way.
-fn tenant_acceptance_gate(ds: &Dataset, jobs: usize, shards: usize, mbps: f64, cache_bytes: usize) {
+/// Returns the measured walls and ratio for the history entry.
+fn tenant_acceptance_gate(
+    ds: &Dataset,
+    jobs: usize,
+    shards: usize,
+    mbps: f64,
+    cache_bytes: usize,
+) -> (Duration, Duration, f64) {
     let (serial_wall, serial, _) = run_fleet(ds, shards, mbps, cache_bytes, 1, jobs);
     let (conc_wall, concurrent, _) = run_fleet(ds, shards, mbps, cache_bytes, jobs, jobs);
     for (s, c) in serial.iter().zip(&concurrent) {
@@ -156,4 +184,5 @@ fn tenant_acceptance_gate(ds: &Dataset, jobs: usize, shards: usize, mbps: f64, c
         ratio >= 2.0,
         "{jobs} concurrent jobs only {ratio:.2}x faster than serial (need >= 2.0x)"
     );
+    (serial_wall, conc_wall, ratio)
 }

@@ -49,6 +49,57 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     default
 }
 
+/// Today's UTC date as `YYYY-MM-DD`, computed straight from the system
+/// clock (no chrono in the workspace). Days-to-civil conversion follows
+/// the standard era-based algorithm.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Append one run entry to a `BENCH_*.json` history file (read-modify-
+/// write). The convention: a static header object whose LAST key is
+/// `"history": [ ... ]`, one dated entry per benchmark run, so committed
+/// baselines accumulate per PR instead of being overwritten.
+///
+/// If `path` already holds a history file, `entry` is spliced in before
+/// the array's closing bracket (the two-space-indented `]` that closes
+/// the top-level array — deeper-nested arrays inside entries are
+/// indented further and never match). Otherwise the file is created as
+/// `fresh_header` + the one-entry history. `entry` must be the complete
+/// JSON object for this run, indented four spaces, no trailing newline
+/// or comma; `fresh_header` must open the top-level object and end just
+/// before the `"history"` key (trailing `,\n` included).
+pub fn append_history(path: &str, fresh_header: &str, entry: &str) -> std::io::Result<()> {
+    const CLOSE: &str = "\n  ]\n}";
+    let entry = entry.trim_end();
+    let out = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.contains("\"history\": [") => {
+            let i = existing.rfind(CLOSE).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{path}: history file has no closing bracket"),
+                )
+            })?;
+            format!("{},\n{entry}{}", &existing[..i], &existing[i..])
+        }
+        _ => format!("{fresh_header}  \"history\": [\n{entry}\n  ]\n}}\n"),
+    };
+    std::fs::write(path, out)
+}
+
 /// Minimal aligned-table printer for harness output.
 pub struct Table {
     headers: Vec<String>,
@@ -252,6 +303,43 @@ mod tests {
         let mut t = Table::new(vec!["a", "bbbb"]);
         t.row(vec!["1", "2"]);
         t.print();
+    }
+
+    #[test]
+    fn today_is_iso_shaped() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        let year: i64 = d[..4].parse().unwrap();
+        assert!(year >= 2024, "{d}");
+        let month: u32 = d[5..7].parse().unwrap();
+        assert!((1..=12).contains(&month), "{d}");
+        let day: u32 = d[8..10].parse().unwrap();
+        assert!((1..=31).contains(&day), "{d}");
+    }
+
+    #[test]
+    fn history_appends_without_clobbering() {
+        let path = std::env::temp_dir().join(format!("toc-bench-hist-{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        std::fs::remove_file(&path).ok();
+        let header = "{\n  \"bench\": \"t\",\n";
+        // First run creates the file; nested arrays in an entry must not
+        // confuse the splice point.
+        append_history(
+            &path,
+            header,
+            "    {\"run\": 1, \"sweep\": [\n      {\"x\": 1}\n    ]}",
+        )
+        .unwrap();
+        append_history(&path, header, "    {\"run\": 2}").unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\n  \"bench\": \"t\",\n  \"history\": [\n    {\"run\": 1, \"sweep\": [\n      {\"x\": 1}\n    ]},\n    {\"run\": 2}\n  ]\n}\n"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

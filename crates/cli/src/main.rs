@@ -26,6 +26,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -52,6 +53,13 @@ toc — tuple-oriented compression for mini-batch SGD
 
 USAGE:
   toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
+  toc ingest <in.csv> <out.tocz>   [--chunk-rows <n>] [--scheme <s|auto>]
+                                   (bounded-memory streaming encode: rows stream through a
+                                    reusable chunk workspace — peak memory is one chunk, never
+                                    the dataset — each sealed chunk becomes one v2 container
+                                    segment with its scheme picked per chunk when --scheme auto
+                                    (the default), and the finished stream is a valid seekable
+                                    .tocz. Prints a machine-parseable \"ingest:\" stats line)
   toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|ans|toc|auto>] [--segment-rows <n>]
                                    [--container-version <1|2>]
                                    (--codec is accepted as an alias of --scheme, --batch-rows of
@@ -68,6 +76,7 @@ USAGE:
             [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
             [--io <sync|pool|ring>] [--placement <stripe|pack|adaptive>] [--adaptive]
             [--pin] [--pin-map <t0,t1,...>] [--io-threads <n>] [--decode-workers <n>]
+            [--follow] [--window <batches>]
             (the last CSV column is the ±1 label; --budget trains over the
              out-of-core sharded spill store: batches beyond the budget
              spill to --shards files and are read back through a
@@ -86,7 +95,12 @@ USAGE:
              --io-threads/--decode-workers size the engine (0 = auto).
              A .tocz input trains straight off the container: with
              --budget the sharded store streams v2 segments through the
-             seekable reader, one decoded segment in memory at a time)
+             seekable reader, one decoded segment in memory at a time.
+             --follow (requires --budget) streams the rows through the
+             bounded-memory ingest pipeline into a *live* store while a
+             single online-SGD pass trains concurrently over segments as
+             they seal, reporting prequential error once per --window
+             batches (default 8) on machine-parseable \"window:\" lines)
 
   toc serve <in.csv|in.tocz> [--jobs <n>] [--script <file>] [--max-concurrent <n>]
             [--cache-budget <bytes>] [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>]
@@ -116,7 +130,7 @@ USAGE:
 
 /// Options that are plain flags (no value follows them). Everything else
 /// starting with `--` consumes the next token as its value.
-const BOOL_FLAGS: &[&str] = &["--adaptive", "--pin"];
+const BOOL_FLAGS: &[&str] = &["--adaptive", "--pin", "--follow"];
 
 /// Fetch `--name value` from an argument list.
 fn opt(args: &[String], name: &str) -> Option<String> {
@@ -212,6 +226,82 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         ds.x.rows(),
         ds.x.cols(),
         out.display()
+    );
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    use std::fs::File;
+    use std::io::BufWriter;
+    use toc_data::ContainerIngest;
+    let pos = positional(args);
+    let [input, output] = pos[..] else {
+        return Err("usage: toc ingest <in.csv> <out.tocz>".into());
+    };
+    let chunk_rows: usize = opt(args, "--chunk-rows")
+        .map(|s| s.parse().map_err(|e| format!("--chunk-rows: {e}")))
+        .transpose()?
+        .unwrap_or(250);
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be >= 1".into());
+    }
+    let scheme_arg = opt(args, "--scheme").unwrap_or_else(|| "auto".into());
+    let scheme = if scheme_arg.eq_ignore_ascii_case("auto") {
+        None // per-chunk pick over Scheme::AUTO_SET
+    } else {
+        Some(parse_scheme(&scheme_arg)?)
+    };
+    let opts = encode_options(args)?;
+    let out_path = Path::new(output);
+    let t0 = Instant::now();
+    // The column count is only known once the first row arrives, so the
+    // encoder is created lazily inside the streaming callback; rows never
+    // materialize beyond the one-chunk workspace.
+    let mut ingest: Option<toc_data::ContainerIngest<BufWriter<File>>> = None;
+    let streamed = csv::stream_rows(Path::new(input), &mut |_, row| {
+        if ingest.is_none() {
+            let file = File::create(out_path)
+                .map_err(|e| format!("create {}: {e}", out_path.display()))?;
+            ingest = Some(ContainerIngest::new(
+                BufWriter::new(file),
+                row.len(),
+                chunk_rows,
+                scheme,
+                opts,
+            )?);
+        }
+        ingest.as_mut().unwrap().push_row(row)
+    });
+    let finished = streamed.and_then(|(rows, cols, _header)| {
+        let ing = ingest.take().ok_or("empty CSV")?;
+        let (bytes, stats) = ing.finish()?;
+        Ok((rows, cols, bytes, stats))
+    });
+    let (rows, cols, bytes, stats) = match finished {
+        Ok(v) => v,
+        Err(e) => {
+            // Don't leave a truncated, unreadable container behind.
+            std::fs::remove_file(out_path).ok();
+            return Err(e);
+        }
+    };
+    let elapsed = t0.elapsed();
+    // Machine-parseable counters (the CLI smoke tests parse this line):
+    // key=value pairs only.
+    println!(
+        "ingest: rows={rows} cols={cols} chunks={} chunk-rows={chunk_rows} bytes={bytes} \
+         peak-workspace-bytes={} schemes={}",
+        stats.chunks,
+        stats.peak_workspace_bytes,
+        stats.scheme_summary(),
+    );
+    println!(
+        "wrote {} in {elapsed:.1?}: {rows} rows x {cols} cols as {} segments \
+         ({} KB wire, peak workspace {} KB)",
+        out_path.display(),
+        stats.chunks,
+        bytes / 1024,
+        stats.peak_workspace_bytes / 1024,
     );
     Ok(())
 }
@@ -623,6 +713,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
+    if has_flag(args, "--follow") && budget.is_none() {
+        return Err(
+            "--follow streams rows into the live out-of-core store; pass --budget <bytes>".into(),
+        );
+    }
+    if opt(args, "--window").is_some() && !has_flag(args, "--follow") {
+        return Err("--window only applies with --follow".into());
+    }
     let (mut report, encode_time, encoded_bytes) = if let Some(budget) = budget {
         // Out-of-core path: build the sharded spill store and train over
         // it, reporting spill layout and IO statistics.
@@ -636,6 +734,27 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .with_encode_options(encode_opts);
         if let Some(mbps) = mbps {
             config = config.with_disk_mbps(mbps);
+        }
+        if has_flag(args, "--follow") {
+            let window: usize = opt(args, "--window")
+                .map(|s| s.parse().map_err(|e| format!("--window: {e}")))
+                .transpose()?
+                .unwrap_or(8);
+            if window == 0 {
+                return Err("--window must be >= 1".into());
+            }
+            return train_follow(
+                &x,
+                &y,
+                &trainer,
+                &spec,
+                &config,
+                scheme,
+                batch_rows,
+                encode_opts,
+                window,
+                &model,
+            );
         }
         let t0 = Instant::now();
         // Container inputs stream v2 segments through the seekable reader
@@ -746,6 +865,102 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         encode_time,
         encoded_bytes / 1024,
         report.train_time,
+        err * 100.0,
+    );
+    Ok(())
+}
+
+/// `toc train --follow`: stream the rows through the bounded-memory
+/// ingest pipeline into a *live* streaming store on one thread while a
+/// single online-SGD pass ([`toc_ml::mgd::Trainer::train_online`]) runs
+/// concurrently over segments as they seal, reporting prequential error
+/// per window. The trainer consumes batches in index order, so the loss
+/// curve is deterministic in the seed regardless of ingest timing.
+#[allow(clippy::too_many_arguments)]
+fn train_follow(
+    x: &DenseMatrix,
+    y: &[f64],
+    trainer: &toc_ml::mgd::Trainer,
+    spec: &toc_ml::mgd::ModelSpec,
+    config: &toc_data::StoreConfig,
+    scheme: Scheme,
+    batch_rows: usize,
+    encode_opts: EncodeOptions,
+    window: usize,
+    model: &str,
+) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use toc_data::{ShardedSpillStore, StoreIngest};
+
+    let store = ShardedSpillStore::open_streaming(x.cols(), config).map_err(|e| format!("{e}"))?;
+    let done = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (mut report, ingested) = std::thread::scope(|s| {
+        let store_ref = &store;
+        let done_ref = &done;
+        let ingest = s.spawn(move || {
+            let run = || -> std::io::Result<toc_data::IngestStats> {
+                let mut ing = StoreIngest::new(store_ref, batch_rows, Some(scheme), encode_opts);
+                for (r, &label) in y.iter().enumerate() {
+                    ing.push_row(x.row(r), label)?;
+                }
+                ing.finish()
+            };
+            let out = run();
+            // Always release the trainer, success or failure — it polls
+            // this flag to learn the stream has ended.
+            done_ref.store(true, Ordering::Release);
+            out
+        });
+        let report =
+            trainer.train_online(spec, &store, window, &mut || !done.load(Ordering::Acquire));
+        (report, ingest.join())
+    });
+    let stats = ingested
+        .map_err(|_| "ingest thread panicked".to_string())?
+        .map_err(|e| format!("ingest: {e}"))?;
+    let wall = t0.elapsed();
+    // Machine-parseable counters (the CLI smoke tests parse these
+    // lines): key=value pairs only.
+    println!(
+        "ingest: rows={} cols={} chunks={} chunk-rows={batch_rows} bytes={} \
+         peak-workspace-bytes={} schemes={}",
+        stats.rows,
+        x.cols(),
+        stats.chunks,
+        stats.encoded_bytes,
+        stats.peak_workspace_bytes,
+        stats.scheme_summary(),
+    );
+    for w in &report.windows {
+        println!(
+            "window: idx={} batches={}..{} error={:.4} elapsed-ms={}",
+            w.window,
+            w.start,
+            w.end,
+            w.error_rate,
+            w.elapsed.as_millis(),
+        );
+    }
+    println!(
+        "online: windows={} consumed={} windows-during-ingest={} train-ms={} wall-ms={}",
+        report.windows.len(),
+        report.consumed,
+        report.windows_during_ingest,
+        report.train_time.as_millis(),
+        wall.as_millis(),
+    );
+    let eval = Scheme::Den.encode(x);
+    let err = report.model.error_rate(&eval, y);
+    println!(
+        "{model} on {} rows x {} features [{}]: streamed {} segments, online pass {:.1?} \
+         ({} windows of {window}), training error {:.2}%",
+        x.rows(),
+        x.cols(),
+        scheme.name(),
+        stats.chunks,
+        report.train_time,
+        report.windows.len(),
         err * 100.0,
     );
     Ok(())

@@ -608,6 +608,228 @@ fn serve_script_mode() {
     );
 }
 
+/// `toc ingest`: stream a CSV through the bounded-memory chunked encoder
+/// into a seekable v2 container. The `ingest:` stats line parses, the
+/// result is a normal container (`inspect`/`decompress`/`train` all
+/// work), and with a fixed scheme the streamed file is byte-identical to
+/// the one `toc compress` writes with the same segment size.
+#[test]
+fn ingest_streams_csv_into_seekable_container() {
+    let csv = gen_csv(300);
+    let streamed = temp_path("streamed", "tocz");
+    let compressed = temp_path("oneshot", "tocz");
+    let back = temp_path("ingest-back", "csv");
+
+    let stdout = assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            streamed.to_str().unwrap(),
+            "--chunk-rows",
+            "64",
+        ]),
+        "toc ingest",
+    );
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("ingest:"))
+        .unwrap_or_else(|| panic!("no ingest: line in {stdout}"));
+    let kv = parse_kv(line);
+    assert_eq!(kv["rows"], "300", "{line}");
+    assert_eq!(kv["chunks"], "5", "{line}"); // ceil(300/64)
+    assert_eq!(kv["chunk-rows"], "64", "{line}");
+    let cols: usize = kv["cols"].parse().expect("cols parses");
+    assert!(cols >= 2, "{line}");
+    let bytes: u64 = kv["bytes"].parse().expect("bytes parses");
+    assert_eq!(bytes, std::fs::metadata(&streamed).unwrap().len(), "{line}");
+    let peak: u64 = kv["peak-workspace-bytes"].parse().expect("peak parses");
+    // Bounded: the workspace held ~one chunk, nowhere near the dataset.
+    assert!(peak >= 1, "{line}");
+    assert!(
+        peak < 300 * cols as u64 * 8,
+        "workspace held the dataset: {line}"
+    );
+    assert!(!kv["schemes"].is_empty(), "{line}");
+
+    // The streamed file is a first-class container.
+    let stdout = assert_ok(
+        &toc(&["inspect", streamed.to_str().unwrap()]),
+        "inspect streamed",
+    );
+    assert!(
+        stdout.contains(": v2,"),
+        "streamed file is not v2: {stdout}"
+    );
+    assert_ok(
+        &toc(&[
+            "decompress",
+            streamed.to_str().unwrap(),
+            back.to_str().unwrap(),
+        ]),
+        "decompress streamed",
+    );
+    assert_ok(
+        &toc(&["train", streamed.to_str().unwrap(), "--epochs", "1"]),
+        "train off streamed container",
+    );
+
+    // Fixed scheme: streaming writes the *same bytes* as the one-shot path.
+    assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            streamed.to_str().unwrap(),
+            "--chunk-rows",
+            "64",
+            "--scheme",
+            "toc",
+        ]),
+        "toc ingest --scheme toc",
+    );
+    assert_ok(
+        &toc(&[
+            "compress",
+            csv.to_str().unwrap(),
+            compressed.to_str().unwrap(),
+            "--scheme",
+            "toc",
+            "--segment-rows",
+            "64",
+        ]),
+        "toc compress --segment-rows 64",
+    );
+    assert_eq!(
+        std::fs::read(&streamed).unwrap(),
+        std::fs::read(&compressed).unwrap(),
+        "streamed container differs from the one-shot encode"
+    );
+    for p in [csv, streamed, compressed, back] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Malformed CSV input to `toc ingest` exits nonzero with the structured
+/// row-level error and leaves no truncated output file behind.
+#[test]
+fn ingest_rejects_malformed_csv_and_removes_partial_output() {
+    let bad = temp_path("bad", "csv");
+    let out_path = temp_path("bad-out", "tocz");
+    // Row 2 has a non-numeric cell; with --chunk-rows 1 the first row has
+    // already been sealed and written when the error hits.
+    std::fs::write(&bad, "1,2\n3,x\n").unwrap();
+    let out = toc(&[
+        "ingest",
+        bad.to_str().unwrap(),
+        out_path.to_str().unwrap(),
+        "--chunk-rows",
+        "1",
+    ]);
+    assert_fails(&out, "ingest of malformed CSV");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("row 2") && stderr.contains("bad number"),
+        "expected the structured row error, got: {stderr}"
+    );
+    assert!(
+        !out_path.exists(),
+        "a truncated container was left behind on error"
+    );
+
+    // Ragged rows report the offending row and shape.
+    std::fs::write(&bad, "1,2,3\n4,5\n").unwrap();
+    let out = toc(&["ingest", bad.to_str().unwrap(), out_path.to_str().unwrap()]);
+    assert_fails(&out, "ingest of ragged CSV");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("row 2 has 2 fields, expected 3"),
+        "expected the shape error, got: {stderr}"
+    );
+    assert!(!out_path.exists(), "partial output survived a shape error");
+    std::fs::remove_file(&bad).ok();
+}
+
+/// `toc train --follow`: rows stream into a live store while the online
+/// pass trains concurrently; the ingest:/window:/online: lines parse and
+/// tile the stream, and the flag interacts correctly with --budget.
+#[test]
+fn train_follow_streams_and_reports_windows() {
+    let csv = gen_csv(400);
+    let stdout = assert_ok(
+        &toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--follow",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--batch-rows",
+            "50",
+            "--window",
+            "3",
+        ]),
+        "toc train --follow",
+    );
+    let ingest = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("ingest:"))
+            .unwrap_or_else(|| panic!("no ingest: line in {stdout}")),
+    );
+    assert_eq!(ingest["rows"], "400", "{stdout}");
+    assert_eq!(ingest["chunks"], "8", "{stdout}"); // 400 / 50
+    let windows: Vec<HashMap<String, String>> = stdout
+        .lines()
+        .filter(|l| l.starts_with("window:"))
+        .map(parse_kv)
+        .collect();
+    assert_eq!(windows.len(), 3, "8 batches / window 3 => 3+3+2:\n{stdout}");
+    // Windows tile the batch stream back to back.
+    let mut expect_start = 0usize;
+    for (i, w) in windows.iter().enumerate() {
+        let (start, end) = w["batches"]
+            .split_once("..")
+            .unwrap_or_else(|| panic!("unparseable window range: {w:?}"));
+        assert_eq!(start.parse::<usize>().unwrap(), expect_start, "window {i}");
+        expect_start = end.parse().unwrap();
+        let err: f64 = w["error"].parse().expect("window error parses");
+        assert!((0.0..=1.0).contains(&err), "window {i}: {err}");
+    }
+    assert_eq!(expect_start, 8, "windows did not cover the stream");
+    let online = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("online:"))
+            .unwrap_or_else(|| panic!("no online: line in {stdout}")),
+    );
+    assert_eq!(online["windows"], "3", "{stdout}");
+    assert_eq!(online["consumed"], "8", "{stdout}");
+    let during: usize = online["windows-during-ingest"].parse().expect("during");
+    assert!(during <= 3, "{stdout}");
+    assert!(
+        stdout.contains("training error"),
+        "no final summary line: {stdout}"
+    );
+
+    // Flag plumbing: --follow needs --budget, --window needs --follow.
+    assert_fails(
+        &toc(&["train", csv.to_str().unwrap(), "--follow"]),
+        "--follow without --budget",
+    );
+    assert_fails(
+        &toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--budget",
+            "0",
+            "--window",
+            "4",
+        ]),
+        "--window without --follow",
+    );
+    std::fs::remove_file(csv).ok();
+}
+
 /// A non-`.tocz` input to a container-reading path must be reported as
 /// "not a .tocz container", not as a bogus "unsupported version N" taken
 /// from whatever its fifth byte happens to be.

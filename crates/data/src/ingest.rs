@@ -1,0 +1,381 @@
+//! Streaming row ingestion: bounded-memory chunked encode into a live
+//! store or a seekable `.tocz` container.
+//!
+//! Every other build path in this crate materializes the full dataset
+//! before the first batch is encoded. This module inverts that: rows
+//! arrive one at a time (CSV, a synth generator, a socket), stage in a
+//! reusable [`EncodeWorkspace`] bounded by `chunk_rows × cols`, and each
+//! full chunk is *sealed* — scheme chosen per chunk via
+//! [`toc_formats::pick_scheme`] over [`Scheme::AUTO_SET`] (or fixed),
+//! encoded, and appended to its sink — after which the staging buffers
+//! are handed back for the next chunk. Peak ingest memory is therefore a
+//! function of the chunk shape alone, never of how many rows flow
+//! through; [`EncodeWorkspace::peak_bytes`] tracks the high-water mark so
+//! tests and the `ingest_scaling` bench gate can assert exactly that.
+//!
+//! Two sinks:
+//!
+//! * [`StoreIngest`] appends sealed segments to a *live*
+//!   [`ShardedSpillStore`] ([`ShardedSpillStore::append_sealed`]) while
+//!   trainers, tenant readers and the adaptive migrator run concurrently
+//!   — the online-training path ([`toc_ml::mgd::Trainer::train_online`],
+//!   `toc train --follow`).
+//! * [`ContainerIngest`] streams sealed segments through a
+//!   [`ContainerStreamWriter`], so a finished stream is a valid seekable
+//!   v2 `.tocz` — byte-identical to the one-shot
+//!   [`toc_formats::container::Container`] encode of the same rows
+//!   (`toc ingest`).
+//!
+//! Chunking changes *where* segment boundaries fall, never what a chunk
+//! of given rows encodes to: sealing is deterministic in the staged
+//! values, which is what the ingest proptests pin down.
+
+use toc_formats::container::{ContainerStreamWriter, ZoneMap};
+use toc_formats::{pick_scheme, AnyBatch, EncodeOptions, MatrixBatch, Scheme};
+use toc_linalg::DenseMatrix;
+use toc_ml::mgd::BatchProvider;
+
+use crate::store::ShardedSpillStore;
+
+/// A reusable staging-and-encode workspace: holds up to `chunk_rows`
+/// rows, seals them into one encoded segment, and takes its buffer back
+/// afterwards. The buffer never grows past `chunk_rows × cols` values,
+/// so the workspace's high-water mark ([`EncodeWorkspace::peak_bytes`])
+/// is independent of the total number of rows ever pushed — the
+/// bounded-memory property streaming ingestion is built on.
+pub struct EncodeWorkspace {
+    cols: usize,
+    chunk_rows: usize,
+    stage: Vec<f64>,
+    staged_rows: usize,
+    peak_bytes: usize,
+}
+
+/// One sealed chunk: the per-chunk scheme choice, the encoded segment,
+/// and the zone map computed from the staged rows *before* encoding —
+/// the same order [`toc_formats::container::Container::encode_with`]
+/// uses, which is what makes the streamed container byte-identical to
+/// the one-shot encode.
+pub struct SealedChunk {
+    pub scheme: Scheme,
+    pub batch: AnyBatch,
+    pub zone: ZoneMap,
+    pub rows: usize,
+}
+
+impl EncodeWorkspace {
+    pub fn new(cols: usize, chunk_rows: usize) -> Self {
+        assert!(cols > 0, "ingest needs at least one column");
+        assert!(chunk_rows > 0, "ingest needs at least one row per chunk");
+        Self {
+            cols,
+            chunk_rows,
+            stage: Vec::with_capacity(cols * chunk_rows),
+            staged_rows: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Stage one row. Panics if the row width disagrees with the
+    /// workspace or the chunk is already full (callers seal on
+    /// [`EncodeWorkspace::is_full`]).
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        assert!(self.staged_rows < self.chunk_rows, "chunk already full");
+        self.stage.extend_from_slice(row);
+        self.staged_rows += 1;
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.staged_rows >= self.chunk_rows
+    }
+
+    pub fn staged_rows(&self) -> usize {
+        self.staged_rows
+    }
+
+    /// Seal the staged rows into one encoded segment: compute the zone
+    /// map, pick the scheme (`None` = per-chunk auto over
+    /// [`Scheme::AUTO_SET`]), encode, and reclaim the staging buffer.
+    /// Returns `None` when nothing is staged.
+    pub fn seal(&mut self, scheme: Option<Scheme>, opts: &EncodeOptions) -> Option<SealedChunk> {
+        if self.staged_rows == 0 {
+            return None;
+        }
+        let rows = self.staged_rows;
+        let dense = DenseMatrix::from_vec(rows, self.cols, std::mem::take(&mut self.stage));
+        let zone = ZoneMap::compute(&dense, opts.cla.sample_rows);
+        let picked = scheme.unwrap_or_else(|| pick_scheme(&dense, &Scheme::AUTO_SET, opts));
+        let batch = picked.encode_with(&dense, opts);
+        // Reclaim the staging allocation: the dense matrix wrapped our
+        // buffer, so taking it back means steady-state ingestion never
+        // reallocates the stage.
+        self.stage = dense.into_data();
+        self.stage.clear();
+        self.staged_rows = 0;
+        // High-water mark of what this workspace held at the seal point:
+        // the staging buffer plus the sealed segment it produced.
+        let used = self.stage.capacity() * std::mem::size_of::<f64>() + batch.size_bytes();
+        self.peak_bytes = self.peak_bytes.max(used);
+        Some(SealedChunk {
+            scheme: picked,
+            batch,
+            zone,
+            rows,
+        })
+    }
+
+    /// High-water mark, in bytes, of the staging buffer plus the largest
+    /// sealed segment. Flat in the total row count by construction.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+}
+
+/// Counters reported by both ingest drivers (the CLI prints them as the
+/// machine-parseable `ingest:` line).
+#[derive(Clone, Debug, Default)]
+pub struct IngestStats {
+    /// Rows sealed into segments.
+    pub rows: u64,
+    /// Segments sealed.
+    pub chunks: u64,
+    /// Encoded bytes across all sealed segments.
+    pub encoded_bytes: u64,
+    /// Workspace high-water mark ([`EncodeWorkspace::peak_bytes`]).
+    pub peak_workspace_bytes: usize,
+    /// Sealed-segment count per scheme, in first-seen order — with
+    /// per-chunk auto-pick over a drifting stream this is where the
+    /// choice visibly changes.
+    pub scheme_counts: Vec<(Scheme, u64)>,
+}
+
+impl IngestStats {
+    fn note(&mut self, scheme: Scheme, rows: usize, encoded: usize) {
+        self.rows += rows as u64;
+        self.chunks += 1;
+        self.encoded_bytes += encoded as u64;
+        match self.scheme_counts.iter_mut().find(|(s, _)| *s == scheme) {
+            Some((_, n)) => *n += 1,
+            None => self.scheme_counts.push((scheme, 1)),
+        }
+    }
+
+    /// `NAME:count` pairs joined with `,` — e.g. `TOC:3,DEN:1`.
+    pub fn scheme_summary(&self) -> String {
+        self.scheme_counts
+            .iter()
+            .map(|(s, n)| format!("{}:{n}", s.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Streams rows into a *live* [`ShardedSpillStore`]: every full chunk is
+/// sealed and appended ([`ShardedSpillStore::append_sealed`]), becoming
+/// visible to concurrent trainers atomically. The store must have shard
+/// files ([`ShardedSpillStore::open_streaming`]).
+pub struct StoreIngest<'a> {
+    store: &'a ShardedSpillStore,
+    ws: EncodeWorkspace,
+    labels: Vec<f64>,
+    scheme: Option<Scheme>,
+    encode: EncodeOptions,
+    stats: IngestStats,
+}
+
+impl<'a> StoreIngest<'a> {
+    pub fn new(
+        store: &'a ShardedSpillStore,
+        chunk_rows: usize,
+        scheme: Option<Scheme>,
+        encode: EncodeOptions,
+    ) -> Self {
+        Self {
+            ws: EncodeWorkspace::new(store.num_features(), chunk_rows),
+            store,
+            labels: Vec::with_capacity(chunk_rows),
+            scheme,
+            encode,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Stage one row (features + its ±1 label); seals and appends the
+    /// chunk when it fills.
+    pub fn push_row(&mut self, features: &[f64], label: f64) -> std::io::Result<()> {
+        self.ws.push_row(features);
+        self.labels.push(label);
+        if self.ws.is_full() {
+            self.seal_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn seal_chunk(&mut self) -> std::io::Result<()> {
+        let Some(sealed) = self.ws.seal(self.scheme, &self.encode) else {
+            return Ok(());
+        };
+        let bytes = sealed.batch.to_bytes();
+        let labels = std::mem::take(&mut self.labels);
+        self.labels.reserve(self.ws.chunk_rows);
+        self.store.append_sealed(&bytes, labels)?;
+        self.stats.note(sealed.scheme, sealed.rows, bytes.len());
+        Ok(())
+    }
+
+    /// Seal any partial final chunk and report the ingest counters.
+    pub fn finish(mut self) -> std::io::Result<IngestStats> {
+        self.seal_chunk()?;
+        self.stats.peak_workspace_bytes = self.ws.peak_bytes();
+        Ok(self.stats)
+    }
+}
+
+/// Streams rows into a seekable v2 `.tocz` through
+/// [`ContainerStreamWriter`]: chunk = container segment. Rows carry all
+/// columns (the label column stays in the matrix, exactly like
+/// [`ShardedSpillStore::build_from_container`] expects to read it back).
+pub struct ContainerIngest<W: std::io::Write> {
+    writer: ContainerStreamWriter<W>,
+    ws: EncodeWorkspace,
+    scheme: Option<Scheme>,
+    encode: EncodeOptions,
+    stats: IngestStats,
+}
+
+impl<W: std::io::Write> ContainerIngest<W> {
+    pub fn new(
+        sink: W,
+        cols: usize,
+        chunk_rows: usize,
+        scheme: Option<Scheme>,
+        encode: EncodeOptions,
+    ) -> Result<Self, String> {
+        Ok(Self {
+            writer: ContainerStreamWriter::new(sink)?,
+            ws: EncodeWorkspace::new(cols, chunk_rows),
+            scheme,
+            encode,
+            stats: IngestStats::default(),
+        })
+    }
+
+    /// Stage one full-width row; seals and writes the segment when the
+    /// chunk fills.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+        self.ws.push_row(row);
+        if self.ws.is_full() {
+            self.seal_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn seal_chunk(&mut self) -> Result<(), String> {
+        let Some(sealed) = self.ws.seal(self.scheme, &self.encode) else {
+            return Ok(());
+        };
+        let before = self.writer.bytes_written();
+        self.writer.append(&sealed.batch, sealed.zone)?;
+        let wire = (self.writer.bytes_written() - before) as usize;
+        self.stats.note(sealed.scheme, sealed.rows, wire);
+        Ok(())
+    }
+
+    /// Seal any partial final chunk, write the layout-tree footer and
+    /// postscript, and report `(total container bytes, counters)`.
+    pub fn finish(mut self) -> Result<(u64, IngestStats), String> {
+        self.seal_chunk()?;
+        self.stats.peak_workspace_bytes = self.ws.peak_bytes();
+        let total = self.writer.finish()?;
+        Ok((total, self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use crate::synth::drifting_matrix;
+    use toc_formats::container::Container;
+    use toc_ml::mgd::BatchProvider;
+
+    #[test]
+    fn streamed_container_matches_one_shot_encode() {
+        let m = drifting_matrix(130, 6, 3, 9);
+        let opts = EncodeOptions::default();
+        let one_shot = Container::encode_with(&m, Scheme::Toc, 40, &opts)
+            .to_bytes()
+            .unwrap();
+
+        let mut sink = Vec::new();
+        let mut ing = ContainerIngest::new(&mut sink, 6, 40, Some(Scheme::Toc), opts).unwrap();
+        for r in 0..m.rows() {
+            ing.push_row(m.row(r)).unwrap();
+        }
+        let (total, stats) = ing.finish().unwrap();
+        assert_eq!(total as usize, sink.len());
+        assert_eq!(sink, one_shot);
+        assert_eq!(stats.rows, 130);
+        assert_eq!(stats.chunks, 4); // 40+40+40+10
+    }
+
+    #[test]
+    fn store_ingest_appends_visible_decodable_segments() {
+        let config = StoreConfig::new(Scheme::Toc, 50, 0).with_shards(2);
+        let store = ShardedSpillStore::open_streaming(5, &config).unwrap();
+        let m = drifting_matrix(120, 5, 4, 11);
+
+        let mut ing = StoreIngest::new(&store, 50, None, EncodeOptions::default());
+        for r in 0..m.rows() {
+            ing.push_row(m.row(r), if r % 2 == 0 { 1.0 } else { -1.0 })
+                .unwrap();
+        }
+        assert_eq!(store.num_batches(), 2); // two full chunks sealed so far
+        let stats = ing.finish().unwrap();
+        assert_eq!(stats.rows, 120);
+        assert_eq!(stats.chunks, 3);
+        assert_eq!(store.num_batches(), 3);
+        assert_eq!(store.appended_batches(), 3);
+        assert_eq!(store.appended_bytes(), stats.encoded_bytes);
+
+        // Round-trip every appended segment through the visit path.
+        let mut rows_seen = 0;
+        for i in 0..store.num_batches() {
+            store.visit(i, &mut |b, labels| {
+                let dense = b.decode();
+                assert_eq!(dense.cols(), 5);
+                assert_eq!(labels.len(), dense.rows());
+                for r in 0..dense.rows() {
+                    assert_eq!(dense.row(r), m.row(rows_seen + r), "row {r} of chunk {i}");
+                }
+                rows_seen += dense.rows();
+            });
+        }
+        assert_eq!(rows_seen, 120);
+    }
+
+    #[test]
+    fn workspace_peak_is_flat_in_total_rows() {
+        let peak_for = |rows: usize| {
+            let m = drifting_matrix(rows, 6, 3, 5);
+            let mut ws = EncodeWorkspace::new(6, 32);
+            let opts = EncodeOptions::default();
+            for r in 0..m.rows() {
+                ws.push_row(m.row(r));
+                if ws.is_full() {
+                    ws.seal(None, &opts).unwrap();
+                }
+            }
+            ws.seal(None, &opts);
+            ws.peak_bytes()
+        };
+        let small = peak_for(64);
+        let large = peak_for(64 * 16);
+        assert!(small > 0);
+        assert!(
+            (large as f64) <= 1.1 * small as f64,
+            "workspace peak grew with total rows: {small} -> {large}"
+        );
+    }
+}

@@ -15,11 +15,14 @@
 //! training jobs over one shared store and one heat-aware compressed
 //! batch cache.
 
+pub mod ingest;
 pub mod io;
 pub mod serve;
 pub mod store;
 pub mod synth;
 pub mod testing;
+
+pub use ingest::{ContainerIngest, EncodeWorkspace, IngestStats, StoreIngest};
 
 pub use io::{
     BandwidthProfile, DeviceProfile, IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, Pinning,
@@ -30,5 +33,7 @@ pub use store::{
     place_spilled, plan_adaptive, MiniBatchStore, PlacementReport, ShardPlacement,
     ShardedSpillStore, StoreConfig,
 };
-pub use synth::{generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind};
+pub use synth::{
+    drifting_matrix, generate, generate_preset, Dataset, DatasetPreset, SynthConfig, TaskKind,
+};
 pub use testing::{FaultPlan, FaultStats};

@@ -26,7 +26,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
@@ -537,6 +537,22 @@ struct PlacementStats {
     migrated_bytes: AtomicU64,
 }
 
+/// A segment appended to a *live* store by the streaming-ingest path
+/// ([`ShardedSpillStore::append_sealed`]). Appended entries live outside
+/// the immutable build-time tables (`Inner::entries` / `Inner::visits` /
+/// `Inner::spilled_order`), which are read lock-free by the prefetch
+/// pipeline and must never reallocate under a reader. Each ext entry is
+/// `Arc`-shared so a visitor clones it out of a brief table read lock and
+/// decodes without holding any lock; the location sits behind its own
+/// lock because the adaptive migrator repoints appended segments too.
+struct ExtEntry {
+    loc: RwLock<DiskLoc>,
+    labels: Vec<f64>,
+    /// Hotness signal for the adaptive planner, parallel to
+    /// `Inner::visits` for build-time entries.
+    visits: AtomicU64,
+}
+
 /// State shared between the store handle and the prefetch workers.
 struct Inner {
     scheme: Scheme,
@@ -554,10 +570,20 @@ struct Inner {
     /// Per-spill-id visit counts — the hotness signal the adaptive
     /// planner ranks batches by.
     visits: Vec<AtomicU64>,
+    /// Segments appended after build by streaming ingest, in append
+    /// order. Readers may only index below the `sealed` watermark.
+    ext: RwLock<Vec<Arc<ExtEntry>>>,
+    /// Visibility watermark for `ext`: bumped with `Release` only after a
+    /// segment's bytes are fully in its shard file *and* its entry is
+    /// pushed, so any index below the watermark (loaded with `Acquire`)
+    /// resolves to completely-written, decodable bytes.
+    sealed: AtomicUsize,
+    /// Encoded bytes landed through [`ShardedSpillStore::append_sealed`].
+    appended_bytes: AtomicU64,
     shard_meta: Vec<ShardMeta>,
     /// Per-shard append cursors (current file length). Doubles as the
-    /// placement mutation lock: rebalance holds it end to end, so plans
-    /// never interleave.
+    /// placement mutation lock: rebalance and streaming-ingest appends
+    /// hold it end to end, so plans and cursor bumps never interleave.
     append: Mutex<Vec<u64>>,
     placement_stats: PlacementStats,
     io: Arc<IoShards>,
@@ -854,6 +880,9 @@ pub struct ShardedSpillStore {
     /// Resolved scheduling (for [`PlacementReport`] / the CLI stats line).
     io_threads: usize,
     decode_workers: usize,
+    /// Fault plan applied to the streaming-ingest *append* path (write
+    /// faults); the read-side engine keeps its own clone.
+    ingest_fault: Option<crate::testing::FaultPlan>,
 }
 
 /// Pack placement: aim for this many contiguous runs per shard, so every
@@ -1054,6 +1083,9 @@ impl ShardedSpillStore {
             spilled_order,
             locs: RwLock::new(locs),
             visits,
+            ext: RwLock::new(Vec::new()),
+            sealed: AtomicUsize::new(0),
+            appended_bytes: AtomicU64::new(0),
             shard_meta,
             append: Mutex::new(append),
             placement_stats: PlacementStats::default(),
@@ -1124,7 +1156,145 @@ impl ShardedSpillStore {
             scheduler: config.scheduler.clone(),
             io_threads: if engine_running { engine_io_threads } else { 0 },
             decode_workers,
+            ingest_fault: config.fault.clone(),
         })
+    }
+
+    /// Open an *empty* live store for streaming ingestion: the shard
+    /// files are created up front and every segment subsequently landed
+    /// via [`ShardedSpillStore::append_sealed`] goes straight to disk, so
+    /// ingest memory stays bounded by the encoder workspace no matter how
+    /// many rows arrive. Trainers, tenant readers and the adaptive
+    /// migrator may run concurrently from the first append: each segment
+    /// becomes visible atomically once sealed. The prefetch pipeline does
+    /// not cover appended segments — their reads take the same charged
+    /// synchronous path plain visits use — and a fault plan contributes
+    /// its `device_profiles` to the shard devices and its write faults to
+    /// the append path.
+    pub fn open_streaming(features: usize, config: &StoreConfig) -> std::io::Result<Self> {
+        let (dir, owns_dir) = resolve_spill_dir(config);
+        fs::create_dir_all(&dir)?;
+        let n_shards = config.resolved_shards().max(1);
+        let store_id = NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed);
+        let profiles: &[DeviceProfile] = config
+            .fault
+            .as_ref()
+            .map(|f| f.device_profiles.as_slice())
+            .filter(|p| !p.is_empty())
+            .unwrap_or(&config.shard_profiles);
+        let mut devices = Vec::with_capacity(n_shards);
+        let mut shard_meta = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let path = dir.join(format!(
+                "spill-{}-{}-s{}.bin",
+                config.scheme.tag(),
+                store_id,
+                s
+            ));
+            let f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .read(true)
+                .truncate(true)
+                .open(&path)?;
+            let profile = (!profiles.is_empty()).then(|| profiles[s % profiles.len()]);
+            devices.push(SpillDevice::with_profile(f, profile));
+            shard_meta.push(ShardMeta { path });
+        }
+        let io = Arc::new(IoShards::new(devices, config.disk_mbps));
+        let inner = Arc::new(Inner {
+            scheme: config.scheme,
+            features,
+            entries: Vec::new(),
+            spilled_order: Vec::new(),
+            locs: RwLock::new(Vec::new()),
+            visits: Vec::new(),
+            ext: RwLock::new(Vec::new()),
+            sealed: AtomicUsize::new(0),
+            appended_bytes: AtomicU64::new(0),
+            shard_meta,
+            append: Mutex::new(vec![0u64; n_shards]),
+            placement_stats: PlacementStats::default(),
+            io,
+        });
+        // Same scheduling resolution as `from_pending`, so the report and
+        // an invalid pin map behave identically for streaming stores.
+        let sched = &config.scheduler;
+        let decode_workers = sched.resolved_decode_workers(config.prefetch, MAX_PREFETCH_WORKERS);
+        let io_threads = sched.resolved_io_threads(config.io, n_shards, config.prefetch);
+        sched
+            .ring_assignment(n_shards, io_threads)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        Ok(Self {
+            inner,
+            prefetcher: None,
+            owns_dir,
+            memory_bytes: 0,
+            spilled_bytes: 0,
+            placement: config.placement,
+            scheduler: config.scheduler.clone(),
+            io_threads: 0,
+            decode_workers,
+            ingest_fault: config.fault.clone(),
+        })
+    }
+
+    /// Append one sealed (already encoded) segment and its labels to the
+    /// live store; returns the index the new batch is visible at. Safe to
+    /// call while trainers, tenant readers and the adaptive migrator run:
+    /// the bytes land at the target shard's append cursor under the same
+    /// mutex rebalance holds end to end (cursor bumps never interleave
+    /// with migrations), and the batch only becomes visible —
+    /// `num_batches()` only grows — after the write completed. Appends
+    /// round-robin across the shard files.
+    pub fn append_sealed(&self, bytes: &[u8], labels: Vec<f64>) -> std::io::Result<usize> {
+        let inner = &self.inner;
+        let n_shards = inner.shard_meta.len();
+        assert!(
+            n_shards > 0,
+            "append_sealed needs shard files; open the store with \
+             ShardedSpillStore::open_streaming"
+        );
+        let mut append = lock(&inner.append);
+        // Only appenders and rebalance mutate `sealed`-adjacent state,
+        // and both hold the append mutex, so the relaxed load cannot race
+        // another appender.
+        let seq = inner.sealed.load(Ordering::Relaxed);
+        let shard = seq % n_shards;
+        let offset = append[shard];
+        match &self.ingest_fault {
+            Some(plan) => plan.faulty_append(&inner.io, shard, offset, bytes, seq as u64)?,
+            None => inner.io.devices[shard].file.write_all_at(bytes, offset)?,
+        }
+        append[shard] = offset + bytes.len() as u64;
+        wlock(&inner.ext).push(Arc::new(ExtEntry {
+            loc: RwLock::new(DiskLoc {
+                shard,
+                offset,
+                len: bytes.len(),
+            }),
+            labels,
+            visits: AtomicU64::new(0),
+        }));
+        inner
+            .appended_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let idx = inner.entries.len() + seq;
+        inner.sealed.fetch_add(1, Ordering::Release);
+        drop(append);
+        Ok(idx)
+    }
+
+    /// Segments landed through [`ShardedSpillStore::append_sealed`] so
+    /// far (they count toward [`BatchProvider::num_batches`] too).
+    pub fn appended_batches(&self) -> usize {
+        self.inner.sealed.load(Ordering::Acquire)
+    }
+
+    /// Encoded bytes landed through
+    /// [`ShardedSpillStore::append_sealed`] so far.
+    pub fn appended_bytes(&self) -> u64 {
+        self.inner.appended_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of batches kept in memory.
@@ -1152,6 +1322,10 @@ impl ShardedSpillStore {
     pub fn shard_bytes(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.inner.shard_meta.len()];
         for loc in rlock(&self.inner.locs).iter() {
+            out[loc.shard] += loc.len as u64;
+        }
+        for e in rlock(&self.inner.ext).iter() {
+            let loc = *rlock(&e.loc);
             out[loc.shard] += loc.len as u64;
         }
         out
@@ -1364,10 +1538,21 @@ impl ShardedSpillStore {
             .map(|s| inner.io.profile.estimate_mbps(s).unwrap_or(1.0))
             .collect();
         let current: Vec<DiskLoc> = rlock(&inner.locs).clone();
-        let sizes: Vec<usize> = current.iter().map(|l| l.len).collect();
+        // Streaming-appended segments participate in the plan too: with
+        // the append mutex held no new entry can seal mid-pass, so the
+        // snapshot is consistent. Their ids follow the build-time spill
+        // ids in plan order.
+        let ext: Vec<Arc<ExtEntry>> = rlock(&inner.ext).clone();
+        let all_locs: Vec<DiskLoc> = current
+            .iter()
+            .copied()
+            .chain(ext.iter().map(|e| *rlock(&e.loc)))
+            .collect();
+        let sizes: Vec<usize> = all_locs.iter().map(|l| l.len).collect();
         let hot: Vec<u64> = inner
             .visits
             .iter()
+            .chain(ext.iter().map(|e| &e.visits))
             .map(|v| v.load(Ordering::Relaxed))
             .collect();
         let capacity = vec![u64::MAX; n_shards];
@@ -1375,7 +1560,7 @@ impl ShardedSpillStore {
         let mut moved = 0usize;
         let mut moved_bytes = 0u64;
         let mut buf = Vec::new();
-        for (id, (&target, loc)) in plan.iter().zip(&current).enumerate() {
+        for (id, (&target, loc)) in plan.iter().zip(&all_locs).enumerate() {
             if target == loc.shard || bw[target] < REBALANCE_HYSTERESIS * bw[loc.shard] {
                 continue;
             }
@@ -1398,11 +1583,16 @@ impl ShardedSpillStore {
                 continue;
             }
             append[target] += loc.len as u64;
-            wlock(&inner.locs)[id] = DiskLoc {
+            let new_loc = DiskLoc {
                 shard: target,
                 offset,
                 len: loc.len,
             };
+            if id < current.len() {
+                wlock(&inner.locs)[id] = new_loc;
+            } else {
+                *wlock(&ext[id - current.len()].loc) = new_loc;
+            }
             moved += 1;
             moved_bytes += loc.len as u64;
         }
@@ -1548,7 +1738,10 @@ pub fn plan_adaptive(
 
 impl BatchProvider for ShardedSpillStore {
     fn num_batches(&self) -> usize {
-        self.inner.entries.len()
+        // Grows while streaming ingest appends: build-time entries plus
+        // the sealed watermark. `Acquire` pairs with the seal's `Release`
+        // so an index this returns always resolves to fully-written bytes.
+        self.inner.entries.len() + self.inner.sealed.load(Ordering::Acquire)
     }
 
     fn num_features(&self) -> usize {
@@ -1556,6 +1749,18 @@ impl BatchProvider for ShardedSpillStore {
     }
 
     fn visit(&self, idx: usize, f: &mut dyn FnMut(&AnyBatch, &[f64])) {
+        let base = self.inner.entries.len();
+        if idx >= base {
+            // Streaming-appended segment: same charged synchronous read
+            // path plain visits use. Clone the entry out of a brief table
+            // lock so the IO and decode run lock-free.
+            let e = Arc::clone(&rlock(&self.inner.ext)[idx - base]);
+            e.visits.fetch_add(1, Ordering::Relaxed);
+            let loc = *rlock(&e.loc);
+            let b = self.inner.read_disk_sync(loc);
+            f(&b, &e.labels);
+            return;
+        }
         let (slot, labels) = &self.inner.entries[idx];
         match slot {
             Slot::Memory(b) => f(b, labels),

@@ -436,6 +436,43 @@ pub fn correlated_matrix(rows: usize, cols: usize, distinct: usize, seed: u64) -
     m
 }
 
+/// A matrix whose compressibility *drifts* with row position: rows at
+/// the head of the stream draw every value from tiny per-column pools
+/// (`distinct` values each — dictionary schemes win), rows at the tail
+/// draw mostly from a continuous range (dense wins), and the pool-vs-
+/// noise mix slides linearly in between. A chunked ingester that picks a
+/// scheme per chunk ([`crate::ingest`]) therefore sees its choice change
+/// over one stream — the regime the per-chunk planner exists for.
+/// Deterministic in `seed`.
+pub fn drifting_matrix(rows: usize, cols: usize, distinct: usize, seed: u64) -> DenseMatrix {
+    assert!(distinct >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-column value pools, distinct across columns (same construction
+    // as `correlated_matrix`).
+    let pools: Vec<Vec<f64>> = (0..cols)
+        .map(|c| {
+            (0..distinct)
+                .map(|k| (c * distinct + k) as f64 * 0.5 + rng.gen_range(0.0..0.25))
+                .collect()
+        })
+        .collect();
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        // Fraction of values drawn from the continuous range: 0 at the
+        // head of the stream, ~1 at the tail.
+        let drift = r as f64 / rows.max(1) as f64;
+        for (c, pool) in pools.iter().enumerate() {
+            let v = if rng.gen_range(0.0..1.0) < drift {
+                rng.gen_range(-4.0..4.0)
+            } else {
+                pool[rng.gen_range(0..distinct)]
+            };
+            m.set(r, c, v);
+        }
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

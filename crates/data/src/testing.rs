@@ -35,6 +35,9 @@ pub struct FaultStats {
     pub eintr_retries: Arc<AtomicU64>,
     /// Requests served in more than one chunk (simulated short reads).
     pub chunked_requests: Arc<AtomicU64>,
+    /// Sealed-segment appends landed in more than one partial `pwrite`
+    /// (simulated short writes on the ingest path).
+    pub chunked_writes: Arc<AtomicU64>,
     /// Completions released out of arrival order.
     pub reordered: Arc<AtomicU64>,
     /// Total injected latency, in microseconds.
@@ -53,6 +56,12 @@ pub struct FaultPlan {
     /// Serve each request in 2–4 partial reads at sub-offsets (a short
     /// read followed by continuation reads) instead of one `pread`.
     pub chunked_reads: bool,
+    /// Land each sealed-segment append in 2–4 partial `pwrite`s at
+    /// bumped offsets (short writes) instead of one `write_all_at`, with
+    /// the same latency/EINTR gauntlet as the read path. Only the
+    /// streaming-ingest append path consults this; spill-at-build writes
+    /// are unaffected.
+    pub chunked_writes: bool,
     /// Per-chunk probability (‰) of an `EINTR`-style retry spin before
     /// the read proceeds.
     pub eintr_per_mille: u32,
@@ -80,6 +89,7 @@ impl Default for FaultPlan {
             seed: 0xF0CA,
             max_latency_us: 200,
             chunked_reads: true,
+            chunked_writes: true,
             eintr_per_mille: 250,
             reorder_window: 3,
             workers: 2,
@@ -104,6 +114,53 @@ impl FaultPlan {
     /// when the plan overrides the configured engine.
     pub fn resolved_workers(&self) -> usize {
         self.workers.clamp(1, 4)
+    }
+
+    /// Apply the plan's *write* faults to one sealed-segment append:
+    /// injected latency, then the buffer lands in 2–4 partial `pwrite`s
+    /// at bumped offsets with EINTR-style retry spins between chunks.
+    /// The bytes on disk are always exactly `bytes` at `offset`, so a
+    /// sealed segment that later fails to decode is a real append-path
+    /// bug, not an artifact of the injection. Deterministic per `seq`
+    /// (the store-wide append sequence number), independent of thread
+    /// timing.
+    pub(crate) fn faulty_append(
+        &self,
+        io: &IoShards,
+        shard: usize,
+        offset: u64,
+        bytes: &[u8],
+        seq: u64,
+    ) -> std::io::Result<()> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ seq.wrapping_mul(0x517C_C1B7_2722_0A95));
+        if self.max_latency_us > 0 {
+            let us = rng.gen_range(0..=self.max_latency_us);
+            if us > 0 {
+                self.stats.delayed_us.fetch_add(us, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+        let dev = &io.devices[shard];
+        if !self.chunked_writes || bytes.len() < 2 {
+            return dev.file.write_all_at(bytes, offset);
+        }
+        self.stats.chunked_writes.fetch_add(1, Ordering::Relaxed);
+        let n_chunks = rng.gen_range(2..=4usize.min(bytes.len()));
+        let chunk = bytes.len().div_ceil(n_chunks);
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let take = chunk.min(bytes.len() - done);
+            let mut spins = 0;
+            while spins < 4 && rng.gen_range(0..1000u32) < self.eintr_per_mille {
+                self.stats.eintr_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+                spins += 1;
+            }
+            dev.file
+                .write_all_at(&bytes[done..done + take], offset + done as u64)?;
+            done += take;
+        }
+        Ok(())
     }
 }
 

@@ -267,3 +267,128 @@ fn concurrent_tenants_train_bit_identical_to_solo() {
         "jobs with different seeds produced identical weights"
     );
 }
+
+/// Online training over a *streaming* store must be bit-identical to the
+/// same online pass over a fully materialized store: the live run
+/// ingests chunks through the fault-injecting append path (chunked short
+/// writes + latency) while the online trainer, TWO extra tenant reader
+/// threads, and the adaptive migrator (repointing sealed segments across
+/// asymmetric shards at every window boundary) all run concurrently.
+/// Ingest timing, injected write faults, concurrent readers and
+/// migrations may change *when* a segment is consumed or *where* its
+/// bytes live — never the per-window loss curve or the final weights.
+#[test]
+fn online_training_over_streaming_store_matches_materialized() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use toc_data::{FaultPlan, StoreIngest};
+    use toc_formats::EncodeOptions;
+    use toc_ml::mgd::OnlineReport;
+
+    let ds = generate_preset(DatasetPreset::CensusLike, 480, 13);
+    let scheme = Scheme::Toc;
+    let batch_rows = 60; // chunk == batch: 8 sealed segments
+    let window = 3;
+    let trainer = Trainer::new(MgdConfig {
+        epochs: 1,
+        lr: 0.25,
+        ..Default::default()
+    });
+    let spec = ModelSpec::Linear(LossKind::Logistic);
+    let config = || {
+        StoreConfig::new(scheme, batch_rows, 0)
+            .with_shards(3)
+            .with_placement(ShardPlacement::Adaptive)
+            .with_shard_profiles(vec![
+                DeviceProfile::stable(900.0),
+                DeviceProfile::degrading(400.0, 0.1),
+                DeviceProfile::stable(90.0),
+            ])
+            .with_fault_plan(FaultPlan::seeded(0xF011))
+    };
+
+    // Reference: the identical online pass over a store built the
+    // ordinary materialized way (stream already "ended" at batch 0).
+    let materialized = ShardedSpillStore::build(&ds.x, &ds.labels, &config()).unwrap();
+    let reference = trainer.train_online(&spec, &materialized, window, &mut || false);
+    assert_eq!(reference.consumed, 8);
+
+    // Live run: ingest, online trainer, two tenant readers, migrator.
+    let store = ShardedSpillStore::open_streaming(ds.x.cols(), &config()).unwrap();
+    let done = AtomicBool::new(false);
+    let live = std::thread::scope(|s| {
+        let store_ref = &store;
+        let ds_ref = &ds;
+        let done_ref = &done;
+        s.spawn(move || {
+            let run = || -> std::io::Result<()> {
+                let mut ing = StoreIngest::new(
+                    store_ref,
+                    batch_rows,
+                    Some(scheme),
+                    EncodeOptions::default(),
+                );
+                for r in 0..ds_ref.x.rows() {
+                    ing.push_row(ds_ref.x.row(r), ds_ref.labels[r])?;
+                    if r % batch_rows == 0 {
+                        // Stretch the stream out so the trainer visibly
+                        // catches up and waits on unsealed chunks.
+                        std::thread::sleep(std::time::Duration::from_micros(300));
+                    }
+                }
+                ing.finish().map(|_| ())
+            };
+            let out = run();
+            // Release the trainer even if an append failed.
+            done_ref.store(true, Ordering::Release);
+            out.unwrap();
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|i| {
+                s.spawn(move || {
+                    while store_ref.num_batches() == 0 {
+                        std::thread::yield_now();
+                    }
+                    let tenant = Trainer::new(MgdConfig {
+                        epochs: 2,
+                        lr: 0.1,
+                        seed: 7 + i,
+                        shuffle_batches: true,
+                        ..Default::default()
+                    });
+                    tenant.train(&ModelSpec::Linear(LossKind::Logistic), store_ref, None);
+                })
+            })
+            .collect();
+        let report = trainer.train_online(&spec, store_ref, window, &mut || {
+            !done.load(Ordering::Acquire)
+        });
+        for r in readers {
+            r.join().unwrap();
+        }
+        report
+    });
+
+    assert_eq!(live.consumed, reference.consumed);
+    assert_eq!(
+        live.model.weights(),
+        reference.model.weights(),
+        "streaming-built store diverged from the materialized run"
+    );
+    let curve = |r: &OnlineReport| -> Vec<(usize, usize, f64)> {
+        r.windows
+            .iter()
+            .map(|w| (w.start, w.end, w.error_rate))
+            .collect()
+    };
+    assert_eq!(
+        curve(&live),
+        curve(&reference),
+        "per-window prequential loss curves diverged"
+    );
+    // The reference actually learned (guards against agreeing on garbage).
+    assert!(
+        reference.windows.last().unwrap().error_rate < 0.40,
+        "online pass did not converge: {:?}",
+        curve(&reference)
+    );
+}

@@ -171,3 +171,65 @@ fn trainer_is_bit_identical_under_heavy_faults() {
         "no latency injected"
     );
 }
+
+/// Streaming ingestion through the fault-injecting append path: every
+/// `append_sealed` write goes out as 2–4 chunked short writes with
+/// latency and EINTR-style spins injected between them, yet a segment,
+/// once sealed (visible through `num_batches`), must decode to exactly
+/// the rows that were staged — short writes may fragment *how* bytes
+/// land, never *which* bytes a reader sees.
+#[test]
+fn ingest_under_write_faults_seals_decodable_segments() {
+    use toc_data::synth::drifting_matrix;
+    use toc_data::StoreIngest;
+    use toc_formats::EncodeOptions;
+
+    let plan = FaultPlan {
+        seed: 0xF00D_F00D,
+        max_latency_us: 200,
+        eintr_per_mille: 500,
+        ..FaultPlan::default() // chunked_writes defaults to on
+    };
+    let fault_stats = plan.stats.clone();
+    let chunk_rows = 40;
+    let config = StoreConfig::new(Scheme::Toc, chunk_rows, 0)
+        .with_shards(3)
+        .with_fault_plan(plan);
+    let store = ShardedSpillStore::open_streaming(6, &config).unwrap();
+
+    let m = drifting_matrix(200, 6, 3, 21);
+    let labels: Vec<f64> = (0..200)
+        .map(|r| if r % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let mut ing = StoreIngest::new(&store, chunk_rows, None, EncodeOptions::default());
+    for (r, &label) in labels.iter().enumerate() {
+        ing.push_row(m.row(r), label).unwrap();
+    }
+    let stats = ing.finish().unwrap();
+    assert_eq!(stats.chunks, 5);
+    assert_eq!(store.num_batches(), 5);
+
+    // The write gauntlet actually fired.
+    use std::sync::atomic::Ordering;
+    assert!(
+        fault_stats.chunked_writes.load(Ordering::Relaxed) >= 1,
+        "no chunked short writes fired"
+    );
+    assert!(
+        fault_stats.delayed_us.load(Ordering::Relaxed) >= 1,
+        "no append latency injected"
+    );
+
+    // Every sealed segment reads back bit-exact.
+    let mut seen = 0usize;
+    for i in 0..store.num_batches() {
+        store.visit(i, &mut |b, y| {
+            let d = b.decode();
+            let end = seen + d.rows();
+            assert_eq!(d, m.slice_rows(seen, end), "segment {i}");
+            assert_eq!(y, &labels[seen..end], "labels {i}");
+            seen = end;
+        });
+    }
+    assert_eq!(seen, 200);
+}

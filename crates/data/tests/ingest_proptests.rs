@@ -1,0 +1,141 @@
+//! Property tests for streaming ingestion: chunking a row stream through
+//! the reusable [`toc_data::EncodeWorkspace`] must produce *exactly* the
+//! bytes a one-shot encode of the same rows would — for arbitrary chunk
+//! sizes, schemes and shard counts — and the workspace's high-water mark
+//! must be a function of the chunk shape alone, never of how many rows
+//! ever flowed through it (the bounded-memory property `toc ingest` and
+//! `toc train --follow` are built on).
+
+use proptest::prelude::*;
+use toc_data::store::{ShardedSpillStore, StoreConfig};
+use toc_data::synth::drifting_matrix;
+use toc_data::{ContainerIngest, EncodeWorkspace, StoreIngest};
+use toc_formats::container::Container;
+use toc_formats::{EncodeOptions, MatrixBatch, Scheme};
+use toc_ml::mgd::BatchProvider;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming rows through [`ContainerIngest`] chunk by chunk yields a
+    /// container bit-identical to the one-shot
+    /// [`Container::encode_with`] of the same matrix with the same
+    /// segment size — chunking decides *where* boundaries fall, never
+    /// what a segment encodes to.
+    #[test]
+    fn streamed_container_bit_identical_to_one_shot(
+        scheme_idx in 0usize..Scheme::AUTO_SET.len(),
+        rows in 1usize..260,
+        cols in 1usize..8,
+        chunk_rows in 1usize..97,
+        seed in 0u64..1000,
+    ) {
+        let scheme = Scheme::AUTO_SET[scheme_idx];
+        let m = drifting_matrix(rows, cols, 4, seed);
+        let opts = EncodeOptions::default();
+        let one_shot = Container::encode_with(&m, scheme, chunk_rows, &opts)
+            .to_bytes()
+            .unwrap();
+
+        let mut sink = Vec::new();
+        let mut ing =
+            ContainerIngest::new(&mut sink, cols, chunk_rows, Some(scheme), opts).unwrap();
+        for r in 0..m.rows() {
+            ing.push_row(m.row(r)).unwrap();
+        }
+        let (total, stats) = ing.finish().unwrap();
+        prop_assert_eq!(total as usize, sink.len());
+        prop_assert_eq!(sink, one_shot);
+        prop_assert_eq!(stats.rows as usize, rows);
+        prop_assert_eq!(stats.chunks as usize, rows.div_ceil(chunk_rows));
+    }
+
+    /// Streaming the same rows into a live [`ShardedSpillStore`] across
+    /// arbitrary shard counts: every appended segment reads back through
+    /// the visit path with exact decode- and label-equality, and (for a
+    /// fixed scheme) with bytes bit-identical to the one-shot chunk
+    /// encode — the shard files hold exactly what a non-streaming encode
+    /// of each chunk would have produced.
+    #[test]
+    fn store_ingest_bit_identical_across_shard_counts(
+        scheme_idx in 0usize..Scheme::AUTO_SET.len(),
+        auto_sel in 0usize..2,
+        rows in 1usize..240,
+        chunk_rows in 1usize..97,
+        shards in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let fixed = Scheme::AUTO_SET[scheme_idx];
+        let scheme = if auto_sel == 1 { None } else { Some(fixed) };
+        let cols = 5usize;
+        let m = drifting_matrix(rows, cols, 3, seed);
+        let labels: Vec<f64> = (0..rows).map(|r| if r % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let opts = EncodeOptions::default();
+
+        let config = StoreConfig::new(fixed, chunk_rows, 0).with_shards(shards);
+        let store = ShardedSpillStore::open_streaming(cols, &config).unwrap();
+        let mut ing = StoreIngest::new(&store, chunk_rows, scheme, opts);
+        for (r, &label) in labels.iter().enumerate() {
+            ing.push_row(m.row(r), label).unwrap();
+        }
+        let stats = ing.finish().unwrap();
+
+        let n_chunks = rows.div_ceil(chunk_rows);
+        prop_assert_eq!(stats.chunks as usize, n_chunks);
+        prop_assert_eq!(store.num_batches(), n_chunks);
+        prop_assert_eq!(store.appended_batches(), n_chunks);
+        prop_assert_eq!(store.appended_bytes(), stats.encoded_bytes);
+
+        let mut seen = 0usize;
+        for i in 0..store.num_batches() {
+            store.visit(i, &mut |b, y| {
+                let d = b.decode();
+                let end = seen + d.rows();
+                assert_eq!(d, m.slice_rows(seen, end), "chunk {i}");
+                assert_eq!(y, &labels[seen..end], "labels {i}");
+                if let Some(s) = scheme {
+                    // Bit-identity, not just decode-equality: the bytes
+                    // appended to the shard file are exactly the one-shot
+                    // encode of this chunk.
+                    let expect = s.encode_with(&m.slice_rows(seen, end), &opts).to_bytes();
+                    assert_eq!(b.to_bytes(), expect, "chunk {i} wire bytes");
+                }
+                seen = end;
+            });
+        }
+        prop_assert_eq!(seen, rows);
+    }
+
+    /// The workspace-bytes accounting: pushing `growth`× more rows
+    /// through the same workspace shape leaves the peak within 10% —
+    /// peak encode memory is independent of the total row count.
+    #[test]
+    fn workspace_peak_independent_of_total_rows(
+        cols in 1usize..8,
+        chunk_rows in 8usize..64,
+        growth in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let peak_for = |rows: usize| {
+            let m = drifting_matrix(rows, cols, 3, seed);
+            let mut ws = EncodeWorkspace::new(cols, chunk_rows);
+            let opts = EncodeOptions::default();
+            for r in 0..m.rows() {
+                ws.push_row(m.row(r));
+                if ws.is_full() {
+                    ws.seal(None, &opts).unwrap();
+                }
+            }
+            ws.seal(None, &opts);
+            ws.peak_bytes()
+        };
+        let small = peak_for(chunk_rows * 2);
+        let large = peak_for(chunk_rows * 2 * growth);
+        prop_assert!(small > 0);
+        prop_assert!(
+            (large as f64) <= 1.1 * small as f64,
+            "workspace peak grew with total rows: {} -> {} ({}x rows)",
+            small, large, growth
+        );
+    }
+}

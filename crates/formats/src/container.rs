@@ -828,6 +828,112 @@ impl Container {
     }
 }
 
+/// Streaming v2 writer: segments are appended one at a time to any
+/// [`std::io::Write`] sink, and only per-segment *metadata* (one
+/// [`LayoutNode`] leaf, [`LEAF_WIRE_LEN`]-ish bytes) is retained in
+/// memory until [`ContainerStreamWriter::finish`] emits the layout-tree
+/// footer and postscript. A finished stream is a valid seekable v2
+/// `.tocz`, byte-identical to `Container::to_bytes` over the same batch
+/// sequence with the same zone maps — the ingest pipeline's bounded-
+/// memory claim rests on never holding more than the segment currently
+/// being written.
+pub struct ContainerStreamWriter<W: std::io::Write> {
+    sink: W,
+    /// Column count fixed by the first segment (the v2 footer records a
+    /// single `cols`, so a mixed-width append is rejected up front).
+    cols: Option<usize>,
+    leaves: Vec<LayoutNode>,
+    /// Bytes written to `sink` so far (= the next segment's `begin`).
+    offset: u64,
+    rows: u64,
+}
+
+impl<W: std::io::Write> ContainerStreamWriter<W> {
+    /// Start a stream: writes the 5-byte header immediately.
+    pub fn new(mut sink: W) -> Result<Self, String> {
+        sink.write_all(&MAGIC.to_le_bytes())
+            .and_then(|()| sink.write_all(&[V2]))
+            .map_err(|e| format!("write container header: {e}"))?;
+        Ok(Self {
+            sink,
+            cols: None,
+            leaves: Vec::new(),
+            offset: HEADER_LEN as u64,
+            rows: 0,
+        })
+    }
+
+    /// Append one encoded segment with its precomputed zone map (compute
+    /// it from the dense chunk *before* encoding, exactly like
+    /// [`Container::encode_with`] does).
+    pub fn append(&mut self, batch: &AnyBatch, zone: ZoneMap) -> Result<(), String> {
+        let cols = *self.cols.get_or_insert(batch.cols());
+        if batch.cols() != cols {
+            return Err(FormatError::MixedCols {
+                batch: self.leaves.len(),
+                got: batch.cols(),
+                expected: cols,
+            }
+            .to_string());
+        }
+        let bytes = batch.to_bytes();
+        self.sink
+            .write_all(&bytes)
+            .map_err(|e| format!("write segment {}: {e}", self.leaves.len()))?;
+        self.leaves.push(LayoutNode {
+            scheme: Some(bytes[0]),
+            row_start: self.rows,
+            row_end: self.rows + batch.rows() as u64,
+            begin: self.offset,
+            end: self.offset + bytes.len() as u64,
+            zone,
+            children: Vec::new(),
+        });
+        self.offset += bytes.len() as u64;
+        self.rows += batch.rows() as u64;
+        Ok(())
+    }
+
+    /// Segments appended so far.
+    pub fn num_segments(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total rows appended so far.
+    pub fn total_rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Bytes written to the sink so far (header plus sealed segments; the
+    /// footer is not included until [`ContainerStreamWriter::finish`]).
+    pub fn bytes_written(&self) -> u64 {
+        self.offset
+    }
+
+    /// Seal the stream: footer tree + postscript, then flush. Returns the
+    /// total container size in bytes.
+    pub fn finish(mut self) -> Result<u64, String> {
+        let footer_offset = self.offset;
+        let footer = Footer {
+            cols: self.cols.unwrap_or(0) as u64,
+            root: build_tree(std::mem::take(&mut self.leaves), footer_offset),
+        };
+        let fbytes = footer.to_bytes();
+        let ps = Postscript {
+            footer_offset,
+            footer_len: fbytes.len() as u64,
+            footer_checksum: fnv1a64(&fbytes),
+        };
+        let mut tail = fbytes;
+        ps.write_to(&mut tail);
+        self.sink
+            .write_all(&tail)
+            .and_then(|()| self.sink.flush())
+            .map_err(|e| format!("write container footer: {e}"))?;
+        Ok(footer_offset + tail.len() as u64)
+    }
+}
+
 impl Footer {
     /// The leaves, additionally validated against the segment region of
     /// the container: the first segment starts right after the header and
@@ -1023,6 +1129,45 @@ mod tests {
             Footer::from_bytes(&raw_footer),
             Err(FormatError::Corrupt(m)) if m.contains("implausible")
         ));
+    }
+
+    #[test]
+    fn stream_writer_is_byte_identical_to_one_shot() {
+        let m = sample();
+        for (scheme, seg_rows) in [(Scheme::Toc, 40), (Scheme::Den, 17), (Scheme::Cla, 130)] {
+            let opts = EncodeOptions::default();
+            let c = Container::encode_with(&m, scheme, seg_rows, &opts);
+            let one_shot = c.to_bytes().unwrap();
+            let mut sink = Vec::new();
+            let mut w = ContainerStreamWriter::new(&mut sink).unwrap();
+            let zones = c.zones().unwrap().to_vec();
+            for (b, z) in c.batches.iter().zip(zones) {
+                w.append(b, z).unwrap();
+            }
+            assert_eq!(w.total_rows(), 130);
+            let total = w.finish().unwrap();
+            assert_eq!(total as usize, sink.len());
+            assert_eq!(sink, one_shot, "{} seg_rows={seg_rows}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn stream_writer_empty_and_mixed_width() {
+        // Zero appends still seal into a valid (empty) v2 container,
+        // byte-identical to the one-shot empty serialization.
+        let mut sink = Vec::new();
+        let w = ContainerStreamWriter::new(&mut sink).unwrap();
+        w.finish().unwrap();
+        assert_eq!(sink, Container::new(Vec::new()).to_bytes().unwrap());
+        // A second segment with a different width is a structured error.
+        let a = Scheme::Den.encode(&DenseMatrix::zeros(4, 3));
+        let b = Scheme::Den.encode(&DenseMatrix::zeros(4, 5));
+        let zone = ZoneMap::compute(&DenseMatrix::zeros(4, 3), 16);
+        let mut sink = Vec::new();
+        let mut w = ContainerStreamWriter::new(&mut sink).unwrap();
+        w.append(&a, zone).unwrap();
+        let err = w.append(&b, zone).unwrap_err();
+        assert!(err.contains("cols"), "{err}");
     }
 
     #[test]

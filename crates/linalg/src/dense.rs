@@ -100,6 +100,14 @@ impl DenseMatrix {
         &mut self.data
     }
 
+    /// Consume the matrix and recover its flat row-major buffer, so a
+    /// staging workspace can wrap its buffer in a matrix for one encode
+    /// and take the allocation back afterwards.
+    #[inline]
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Borrow row `r` as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {

@@ -202,6 +202,41 @@ pub struct TrainReport {
     pub curve: Vec<CurvePoint>,
 }
 
+/// One completed window of an online training run
+/// ([`Trainer::train_online`]).
+#[derive(Clone, Debug)]
+pub struct WindowPoint {
+    /// Window ordinal, starting at 1.
+    pub window: usize,
+    /// Batch indices this window consumed: `[start, end)`.
+    pub start: usize,
+    pub end: usize,
+    /// Row-weighted prequential (test-then-train) error: every batch is
+    /// evaluated *before* the model steps on it, so the window measures
+    /// generalization to data the model had not seen at that point.
+    pub error_rate: f64,
+    /// Cumulative compute time when the window closed.
+    pub elapsed: Duration,
+}
+
+/// Result of an online training run ([`Trainer::train_online`]).
+pub struct OnlineReport {
+    pub model: TrainedModel,
+    /// One point per closed window (the final, possibly partial window
+    /// included).
+    pub windows: Vec<WindowPoint>,
+    /// Batches consumed in total.
+    pub consumed: usize,
+    /// Windows that closed while the stream was still live (`more()`
+    /// true at the boundary) — the trainer-kept-up liveness signal the
+    /// `ingest_scaling` bench gates on. Timing-dependent by nature;
+    /// never feeds back into training.
+    pub windows_during_ingest: usize,
+    /// Total compute time (batch evaluation + gradient steps; excludes
+    /// time spent waiting for the stream to grow).
+    pub train_time: Duration,
+}
+
 /// The MGD trainer.
 pub struct Trainer {
     pub config: MgdConfig,
@@ -261,6 +296,127 @@ impl Trainer {
             model,
             train_time,
             curve,
+        }
+    }
+
+    /// Online MGD over a *growing* provider: batches are consumed in
+    /// arrival (index) order — for a streaming store that is exactly the
+    /// order ingest sealed them — each stepped on once, with prequential
+    /// loss reported per fixed-size window of `window_batches`. `more()`
+    /// answers "may the stream still grow?": while it returns true the
+    /// trainer polls [`BatchProvider::num_batches`] for newly sealed
+    /// batches instead of stopping; once false, the remaining sealed
+    /// batches drain and training ends (a final partial window is
+    /// recorded). Every window boundary fires
+    /// [`BatchProvider::end_epoch`] — a window is the online analog of
+    /// an epoch — so an adaptive streaming store rebalances mid-stream.
+    ///
+    /// Deterministic in the consumed batch sequence: arrival *timing*
+    /// (how consumption interleaves with ingest, how often the loop
+    /// polls) affects only the `windows_during_ingest` liveness counter,
+    /// never which batch is consumed when — so an online run over a
+    /// streaming store lands bit-identically with one over the same
+    /// batches fully materialized (the determinism suite's streaming
+    /// leg).
+    pub fn train_online(
+        &self,
+        spec: &ModelSpec,
+        data: &dyn BatchProvider,
+        window_batches: usize,
+        more: &mut dyn FnMut() -> bool,
+    ) -> OnlineReport {
+        assert!(window_batches > 0, "window must hold at least one batch");
+        let mut model = spec.init(data.num_features(), self.config.seed);
+        let mut ws = ExecWorkspace::new();
+        let mut windows = Vec::new();
+        let mut train_time = Duration::ZERO;
+        let mut windows_during_ingest = 0usize;
+        let mut next = 0usize;
+        let mut window_start = 0usize;
+        let mut err_rows = 0.0f64;
+        let mut rows = 0usize;
+        let close_window = |next: usize,
+                            window_start: &mut usize,
+                            err_rows: &mut f64,
+                            rows: &mut usize,
+                            train_time: Duration,
+                            windows: &mut Vec<WindowPoint>,
+                            windows_during_ingest: &mut usize,
+                            live: bool| {
+            windows.push(WindowPoint {
+                window: windows.len() + 1,
+                start: *window_start,
+                end: next,
+                error_rate: if *rows > 0 {
+                    *err_rows / *rows as f64
+                } else {
+                    0.0
+                },
+                elapsed: train_time,
+            });
+            if live {
+                *windows_during_ingest += 1;
+            }
+            *window_start = next;
+            *err_rows = 0.0;
+            *rows = 0;
+            data.end_epoch();
+        };
+        loop {
+            if next < data.num_batches() {
+                let t0 = Instant::now();
+                data.visit(next, &mut |batch, labels| {
+                    // Test-then-train: evaluate before stepping.
+                    err_rows += model.error_rate(batch, labels) * labels.len() as f64;
+                    rows += labels.len();
+                    step_ws(&mut model, batch, labels, self.config.lr, &mut ws);
+                });
+                train_time += t0.elapsed();
+                next += 1;
+                if next - window_start == window_batches {
+                    let live = more();
+                    close_window(
+                        next,
+                        &mut window_start,
+                        &mut err_rows,
+                        &mut rows,
+                        train_time,
+                        &mut windows,
+                        &mut windows_during_ingest,
+                        live,
+                    );
+                }
+                continue;
+            }
+            if more() {
+                // Caught up with a live stream: wait for the next seal.
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            // Stream ended; one last check catches batches sealed between
+            // the num_batches poll and the more() answer.
+            if next >= data.num_batches() {
+                break;
+            }
+        }
+        if next > window_start {
+            close_window(
+                next,
+                &mut window_start,
+                &mut err_rows,
+                &mut rows,
+                train_time,
+                &mut windows,
+                &mut windows_during_ingest,
+                false,
+            );
+        }
+        OnlineReport {
+            model,
+            windows,
+            consumed: next,
+            windows_during_ingest,
+            train_time,
         }
     }
 }
@@ -505,6 +661,37 @@ mod tests {
         assert_eq!(r.model.weights().len(), (6 * 4 + 4) + (4 + 1));
         let r2 = trainer.train(&spec, &provider, None);
         assert_eq!(r.model.weights(), r2.model.weights());
+    }
+
+    #[test]
+    fn online_pass_matches_offline_epoch_and_windows_tile_the_stream() {
+        let (provider, _, _) = make_provider(Scheme::Toc, 300, 8, 30, 23); // 10 batches
+        let trainer = Trainer::new(MgdConfig {
+            epochs: 1,
+            lr: 0.2,
+            ..Default::default()
+        });
+        let spec = ModelSpec::Linear(LossKind::Logistic);
+        let online = trainer.train_online(&spec, &provider, 4, &mut || false);
+        assert_eq!(online.consumed, 10);
+        assert_eq!(online.windows.len(), 3); // 4 + 4 + partial 2
+        assert_eq!(online.windows[0].start, 0);
+        assert_eq!(online.windows[0].end, 4);
+        assert_eq!(online.windows.last().unwrap().end, 10);
+        assert!(online
+            .windows
+            .iter()
+            .all(|w| (0.0..=1.0).contains(&w.error_rate)));
+        assert_eq!(online.windows_during_ingest, 0);
+        // A fixed provider consumed once in index order is exactly one
+        // unshuffled offline epoch: bit-identical weights.
+        let offline = trainer.train(&spec, &provider, None);
+        assert_eq!(online.model.weights(), offline.model.weights());
+        // Same seed, same stream: bit-identical replay.
+        let again = trainer.train_online(&spec, &provider, 4, &mut || false);
+        assert_eq!(online.model.weights(), again.model.weights());
+        let curve = |r: &OnlineReport| r.windows.iter().map(|w| w.error_rate).collect::<Vec<_>>();
+        assert_eq!(curve(&online), curve(&again));
     }
 
     #[test]
