@@ -16,6 +16,14 @@
 //!    while `Trainer::train_online` follows the same store. The trainer
 //!    must close at least one prequential window *while ingestion is
 //!    still appending*, and must end having consumed every sealed chunk.
+//! 3. **Backpressure.** With `--max-pending` set, a producer racing a
+//!    deliberately slow consumer must never hold more than the budget of
+//!    unconsumed sealed chunks (and must demonstrably have stalled);
+//!    against a consumer that keeps up, the bounded run's throughput
+//!    must stay within 10% of the unbounded run.
+//! 4. **Resume.** A checkpointing CSV→container ingest killed mid-stream
+//!    and resumed must produce a container byte-identical to the
+//!    uninterrupted run.
 //!
 //! Each run appends one dated entry to the `BENCH_ingest.json` history
 //! at the repo root (override with `--out=`).
@@ -41,7 +49,7 @@ const DISTINCT: usize = 6;
 const SEED: u64 = 42;
 const GROWTH: &[usize] = &[1, 4, 16];
 
-const HEADER: &str = "{\n  \"bench\": \"ingest_scaling\",\n  \"units\": {\n    \"peak_workspace_bytes\": \"high-water mark of the reusable encode workspace\",\n    \"peak_ratio\": \"peak at largest scale / peak at base scale (asserted <= 1.1)\",\n    \"ingest_mb_s\": \"dense payload MB/s through push_row -> seal -> append\"\n  },\n";
+const HEADER: &str = "{\n  \"bench\": \"ingest_scaling\",\n  \"units\": {\n    \"peak_workspace_bytes\": \"high-water mark of the reusable encode workspace\",\n    \"peak_ratio\": \"peak at largest scale / peak at base scale (asserted <= 1.1)\",\n    \"ingest_mb_s\": \"dense payload MB/s through push_row -> seal -> append\",\n    \"bp_peak_pending\": \"max unconsumed sealed chunks under --max-pending (asserted <= budget)\",\n    \"bp_throughput_ratio\": \"bounded/unbounded MB/s with a keeping-up consumer (asserted >= 0.9)\",\n    \"resume_bytes\": \"container size after kill+resume (asserted == uninterrupted)\"\n  },\n";
 
 struct ScalePoint {
     rows: usize,
@@ -131,6 +139,126 @@ fn run_liveness(
     )
 }
 
+/// Gate-3 helper: stream `rows` through a live store with an optional
+/// pending budget while a consumer thread drains sealed chunks in order,
+/// sleeping `consumer_lag` between visits. Returns (MB/s, peak pending,
+/// stall ns).
+fn run_backpressure(
+    rows: usize,
+    chunk_rows: usize,
+    shards: usize,
+    budget: usize,
+    consumer_lag: std::time::Duration,
+) -> (f64, usize, u64) {
+    let m = drifting_matrix(rows, COLS, DISTINCT, SEED);
+    let mut config = StoreConfig::new(Scheme::Toc, chunk_rows, 0).with_shards(shards);
+    if budget > 0 {
+        config = config.with_max_pending(budget);
+    }
+    let store = ShardedSpillStore::open_streaming(COLS, &config).expect("open streaming store");
+    let done = AtomicBool::new(false);
+    let mut mb_s = 0.0;
+    std::thread::scope(|s| {
+        let store_ref = &store;
+        let done_ref = &done;
+        let m_ref = &m;
+        let producer = s.spawn(move || {
+            let mut ing = StoreIngest::new(store_ref, chunk_rows, None, EncodeOptions::default());
+            let t0 = Instant::now();
+            for r in 0..rows {
+                ing.push_row(m_ref.row(r), (r % 2) as f64)
+                    .expect("push row");
+            }
+            ing.finish().expect("finish ingest");
+            let dt = t0.elapsed().as_secs_f64().max(1e-12);
+            done_ref.store(true, Ordering::Release);
+            (rows * COLS * 8) as f64 / 1e6 / dt
+        });
+        use toc_ml::mgd::BatchProvider;
+        let mut next = 0usize;
+        loop {
+            if next < store_ref.num_batches() {
+                store_ref.visit(next, &mut |_, _| {});
+                next += 1;
+                if !consumer_lag.is_zero() {
+                    std::thread::sleep(consumer_lag);
+                }
+            } else if done_ref.load(Ordering::Acquire) && next >= store_ref.num_batches() {
+                break;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        mb_s = producer.join().expect("producer panicked");
+    });
+    let stall = store.stats().snapshot_stable().ingest_stall_ns;
+    (mb_s, store.peak_pending_appends(), stall)
+}
+
+/// Gate-4 helper: write a CSV, ingest it uninterrupted, then kill a
+/// checkpointing run mid-stream and resume. Returns (uninterrupted
+/// bytes, resumed bytes, chunks restored from the checkpoint).
+fn run_resume_gate(rows: usize, chunk_rows: usize) -> (u64, u64, u64) {
+    use std::io::Write as _;
+    use toc_data::ingest::{ingest_csv_container_killable, KillPoint};
+    use toc_data::{ingest_csv_container, sidecar_path, CsvContainerJob};
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let csv = dir.join(format!("toc-bench-resume-{pid}.csv"));
+    let full = dir.join(format!("toc-bench-resume-full-{pid}.tocz"));
+    let killed = dir.join(format!("toc-bench-resume-killed-{pid}.tocz"));
+
+    let m = drifting_matrix(rows, COLS, DISTINCT, SEED);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&csv).expect("create csv"));
+    for r in 0..rows {
+        let line = m
+            .row(r)
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(f, "{line}").expect("write csv row");
+    }
+    f.into_inner().expect("flush csv").sync_all().ok();
+
+    let job = |out: &std::path::Path| CsvContainerJob {
+        csv: csv.clone(),
+        out: out.to_path_buf(),
+        chunk_rows,
+        scheme: None,
+        encode: EncodeOptions::default(),
+        checkpoint_every: 2,
+    };
+    let baseline = ingest_csv_container(&job(&full), false).expect("uninterrupted ingest");
+    let chunks = baseline.stats.chunks;
+    let kill_at = (chunks / 2).max(1);
+    let outcome = ingest_csv_container_killable(
+        &job(&killed),
+        false,
+        Some(KillPoint::AfterSealedChunk { chunks: kill_at }),
+    )
+    .expect("killable ingest");
+    assert!(outcome.killed.is_some(), "kill point never fired");
+    let resumed = ingest_csv_container(&job(&killed), true).expect("resumed ingest");
+    assert!(
+        !sidecar_path(&killed).exists(),
+        "sidecar survived a successful resume"
+    );
+    let full_bytes = std::fs::metadata(&full).expect("stat full").len();
+    let killed_bytes = std::fs::metadata(&killed).expect("stat resumed").len();
+    let identical =
+        std::fs::read(&full).expect("read full") == std::fs::read(&killed).expect("read resumed");
+    for p in [&csv, &full, &killed] {
+        std::fs::remove_file(p).ok();
+    }
+    assert!(
+        identical,
+        "resumed container ({killed_bytes} B) differs from uninterrupted ({full_bytes} B)"
+    );
+    (full_bytes, killed_bytes, resumed.resumed_chunks)
+}
+
 fn main() {
     let rows: usize = arg("rows", 1500);
     let chunk_rows: usize = arg("chunk-rows", 100);
@@ -200,6 +328,56 @@ fn main() {
         "trainer consumed {consumed} of {chunks} sealed chunks"
     );
 
+    // Gate 3: backpressure. Against a consumer an order of magnitude
+    // slower than the producer the pending window must be capped at the
+    // budget (with observable stall time); against a consumer that keeps
+    // up, the bound must cost < 10% throughput (best of 3 runs to damp
+    // noise).
+    let budget: usize = arg("max-pending", 4);
+    let lag = std::time::Duration::from_millis(10);
+    let (_, peak_pending, stall_ns) = run_backpressure(rows, chunk_rows, shards, budget, lag);
+    println!(
+        "gate: backpressure budget {budget} -> peak pending {peak_pending}, \
+         stalled {:.1} ms against a slow consumer",
+        stall_ns as f64 / 1e6,
+    );
+    assert!(
+        peak_pending <= budget,
+        "producer held {peak_pending} unconsumed chunks past the budget of {budget}"
+    );
+    assert!(
+        stall_ns > 0,
+        "a producer racing a 10ms/chunk consumer never stalled — the bound is not engaging"
+    );
+    let mut bp_ratio: f64 = 0.0;
+    for _ in 0..3 {
+        let (free_mb_s, _, _) =
+            run_backpressure(rows, chunk_rows, shards, 0, std::time::Duration::ZERO);
+        let (bound_mb_s, _, _) =
+            run_backpressure(rows, chunk_rows, shards, budget, std::time::Duration::ZERO);
+        bp_ratio = bp_ratio.max(bound_mb_s / free_mb_s);
+        if bp_ratio >= 0.9 {
+            break;
+        }
+    }
+    println!(
+        "gate: bounded/unbounded throughput with a keeping-up consumer -> {}",
+        fmt_ratio(bp_ratio),
+    );
+    assert!(
+        bp_ratio >= 0.9,
+        "max-pending={budget} cost {:.1}% throughput against a consumer that keeps up",
+        (1.0 - bp_ratio) * 100.0,
+    );
+
+    // Gate 4: crash-safe resume. Kill a checkpointing CSV ingest halfway
+    // and resume it; the container must be byte-identical.
+    let (resume_bytes, _, restored) = run_resume_gate(rows, chunk_rows);
+    println!(
+        "gate: kill+resume reproduced the {resume_bytes}-byte container bit-exactly \
+         ({restored} chunks restored from the checkpoint)"
+    );
+
     // Append this run to the per-PR history baseline.
     let mut sweep = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -211,8 +389,9 @@ fn main() {
         ));
     }
     let entry = format!(
-        "    {{\n      \"date\": \"{}\",\n      \"rows_base\": {rows},\n      \"cols\": {COLS},\n      \"chunk_rows\": {chunk_rows},\n      \"shards\": {shards},\n      \"peak_ratio\": {peak_ratio:.3},\n      \"liveness\": {{\"window\": {window}, \"windows\": {windows}, \"windows_during_ingest\": {during}, \"consumed\": {consumed}}},\n      \"sweep\": [\n{sweep}      ]\n    }}",
+        "    {{\n      \"date\": \"{}\",\n      \"rows_base\": {rows},\n      \"cols\": {COLS},\n      \"chunk_rows\": {chunk_rows},\n      \"shards\": {shards},\n      \"peak_ratio\": {peak_ratio:.3},\n      \"liveness\": {{\"window\": {window}, \"windows\": {windows}, \"windows_during_ingest\": {during}, \"consumed\": {consumed}}},\n      \"backpressure\": {{\"budget\": {budget}, \"peak_pending\": {peak_pending}, \"stall_ms\": {:.1}, \"throughput_ratio\": {bp_ratio:.3}}},\n      \"resume\": {{\"bytes\": {resume_bytes}, \"restored_chunks\": {restored}, \"identical\": true}},\n      \"sweep\": [\n{sweep}      ]\n    }}",
         today_utc(),
+        stall_ns as f64 / 1e6,
     );
     append_history(&out_path, HEADER, &entry)
         .unwrap_or_else(|e| panic!("append to {out_path}: {e}"));

@@ -54,12 +54,19 @@ toc — tuple-oriented compression for mini-batch SGD
 USAGE:
   toc gen --preset <census|imagenet|mnist|kdd99|rcv1|deep1b> --rows <n> <out.csv>
   toc ingest <in.csv> <out.tocz>   [--chunk-rows <n>] [--scheme <s|auto>]
+                                   [--checkpoint-every <chunks>] [--resume]
                                    (bounded-memory streaming encode: rows stream through a
                                     reusable chunk workspace — peak memory is one chunk, never
                                     the dataset — each sealed chunk becomes one v2 container
                                     segment with its scheme picked per chunk when --scheme auto
                                     (the default), and the finished stream is a valid seekable
-                                    .tocz. Prints a machine-parseable \"ingest:\" stats line)
+                                    .tocz. Prints a machine-parseable \"ingest:\" stats line.
+                                    --checkpoint-every persists a checksummed <out>.tocz.ckpt
+                                    sidecar after every N sealed chunks; --resume validates the
+                                    sidecar against the partial output, truncates any torn tail
+                                    past the checkpointed watermark, and continues the ingest to
+                                    a byte-identical container — never re-encoding a sealed
+                                    chunk. The sidecar is removed once the footer is written)
   toc compress <in.csv> <out.tocz> [--scheme <den|csr|cvi|dvi|cla|snappy|gzip|ans|toc|auto>] [--segment-rows <n>]
                                    [--container-version <1|2>]
                                    (--codec is accepted as an alias of --scheme, --batch-rows of
@@ -76,7 +83,8 @@ USAGE:
             [--budget <bytes>] [--shards <n>] [--prefetch <k>] [--mbps <f>]
             [--io <sync|pool|ring>] [--placement <stripe|pack|adaptive>] [--adaptive]
             [--pin] [--pin-map <t0,t1,...>] [--io-threads <n>] [--decode-workers <n>]
-            [--follow] [--window <batches>]
+            [--follow] [--window <batches>] [--max-pending <chunks>]
+            [--poll-ms <n>] [--idle-ms <n>]
             (the last CSV column is the ±1 label; --budget trains over the
              out-of-core sharded spill store: batches beyond the budget
              spill to --shards files and are read back through a
@@ -96,11 +104,20 @@ USAGE:
              A .tocz input trains straight off the container: with
              --budget the sharded store streams v2 segments through the
              seekable reader, one decoded segment in memory at a time.
-             --follow (requires --budget) streams the rows through the
-             bounded-memory ingest pipeline into a *live* store while a
-             single online-SGD pass trains concurrently over segments as
-             they seal, reporting prequential error once per --window
-             batches (default 8) on machine-parseable \"window:\" lines)
+             --follow (requires --budget) tails the CSV *file itself* —
+             even while another process is still appending to it —
+             through the bounded-memory ingest pipeline into a *live*
+             store while a single online-SGD pass trains concurrently
+             over segments as they seal, reporting prequential error once
+             per --window batches (default 8) on machine-parseable
+             \"window:\" lines. Only newline-terminated lines commit (a
+             torn tail mid-write is retried, never half-parsed); a
+             truncated/rotated file is re-followed from the top; the
+             stream ends after --idle-ms (default 400) with no growth,
+             polling every --poll-ms (default 10). --max-pending bounds
+             the sealed-chunks-ahead gap between ingest and trainer:
+             the producer blocks (reported on the \"backpressure:\" line)
+             instead of growing the store unboundedly)
 
   toc serve <in.csv|in.tocz> [--jobs <n>] [--script <file>] [--max-concurrent <n>]
             [--cache-budget <bytes>] [--model <lr|svm|linreg>] [--epochs <n>] [--lr <f>]
@@ -130,7 +147,7 @@ USAGE:
 
 /// Options that are plain flags (no value follows them). Everything else
 /// starting with `--` consumes the next token as its value.
-const BOOL_FLAGS: &[&str] = &["--adaptive", "--pin", "--follow"];
+const BOOL_FLAGS: &[&str] = &["--adaptive", "--pin", "--follow", "--resume"];
 
 /// Fetch `--name value` from an argument list.
 fn opt(args: &[String], name: &str) -> Option<String> {
@@ -231,12 +248,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
-    use std::fs::File;
-    use std::io::BufWriter;
-    use toc_data::ContainerIngest;
+    use toc_data::{ingest_csv_container, CsvContainerJob};
     let pos = positional(args);
     let [input, output] = pos[..] else {
-        return Err("usage: toc ingest <in.csv> <out.tocz>".into());
+        return Err(
+            "usage: toc ingest <in.csv> <out.tocz> [--resume] [--checkpoint-every <chunks>]".into(),
+        );
     };
     let chunk_rows: usize = opt(args, "--chunk-rows")
         .map(|s| s.parse().map_err(|e| format!("--chunk-rows: {e}")))
@@ -252,55 +269,71 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         Some(parse_scheme(&scheme_arg)?)
     };
     let opts = encode_options(args)?;
+    let resume = has_flag(args, "--resume");
+    // --resume implies periodic checkpointing (a resumed run must stay
+    // resumable); --checkpoint-every alone makes a fresh run resumable.
+    let checkpoint_every: u64 = opt(args, "--checkpoint-every")
+        .map(|s| s.parse().map_err(|e| format!("--checkpoint-every: {e}")))
+        .transpose()?
+        .unwrap_or(if resume { 8 } else { 0 });
+    if resume && checkpoint_every == 0 {
+        return Err("--resume needs checkpointing; --checkpoint-every must be >= 1".into());
+    }
     let out_path = Path::new(output);
     let t0 = Instant::now();
-    // The column count is only known once the first row arrives, so the
-    // encoder is created lazily inside the streaming callback; rows never
-    // materialize beyond the one-chunk workspace.
-    let mut ingest: Option<toc_data::ContainerIngest<BufWriter<File>>> = None;
-    let streamed = csv::stream_rows(Path::new(input), &mut |_, row| {
-        if ingest.is_none() {
-            let file = File::create(out_path)
-                .map_err(|e| format!("create {}: {e}", out_path.display()))?;
-            ingest = Some(ContainerIngest::new(
-                BufWriter::new(file),
-                row.len(),
-                chunk_rows,
-                scheme,
-                opts,
-            )?);
+
+    // Without checkpointing, never leave a truncated container behind —
+    // whether ingest errors *or panics*. With checkpointing, the partial
+    // output plus its sidecar IS the resume artifact and must survive.
+    struct Cleanup<'a> {
+        path: &'a Path,
+        armed: bool,
+    }
+    impl Drop for Cleanup<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                std::fs::remove_file(self.path).ok();
+            }
         }
-        ingest.as_mut().unwrap().push_row(row)
-    });
-    let finished = streamed.and_then(|(rows, cols, _header)| {
-        let ing = ingest.take().ok_or("empty CSV")?;
-        let (bytes, stats) = ing.finish()?;
-        Ok((rows, cols, bytes, stats))
-    });
-    let (rows, cols, bytes, stats) = match finished {
-        Ok(v) => v,
-        Err(e) => {
-            // Don't leave a truncated, unreadable container behind.
-            std::fs::remove_file(out_path).ok();
-            return Err(e);
-        }
+    }
+    let mut guard = Cleanup {
+        path: out_path,
+        armed: checkpoint_every == 0,
     };
+
+    let job = CsvContainerJob {
+        csv: Path::new(input).to_path_buf(),
+        out: out_path.to_path_buf(),
+        chunk_rows,
+        scheme,
+        encode: opts,
+        checkpoint_every,
+    };
+    let outcome = ingest_csv_container(&job, resume).map_err(|e| e.to_string())?;
+    guard.armed = false;
     let elapsed = t0.elapsed();
+    let stats = &outcome.stats;
     // Machine-parseable counters (the CLI smoke tests parse this line):
     // key=value pairs only.
     println!(
-        "ingest: rows={rows} cols={cols} chunks={} chunk-rows={chunk_rows} bytes={bytes} \
-         peak-workspace-bytes={} schemes={}",
+        "ingest: rows={} cols={} chunks={} chunk-rows={chunk_rows} bytes={} \
+         peak-workspace-bytes={} schemes={} resumed-chunks={}",
+        stats.rows,
+        outcome.cols,
         stats.chunks,
+        outcome.total_bytes,
         stats.peak_workspace_bytes,
         stats.scheme_summary(),
+        outcome.resumed_chunks,
     );
     println!(
-        "wrote {} in {elapsed:.1?}: {rows} rows x {cols} cols as {} segments \
+        "wrote {} in {elapsed:.1?}: {} rows x {} cols as {} segments \
          ({} KB wire, peak workspace {} KB)",
         out_path.display(),
+        stats.rows,
+        outcome.cols,
         stats.chunks,
-        bytes / 1024,
+        outcome.total_bytes / 1024,
         stats.peak_workspace_bytes / 1024,
     );
     Ok(())
@@ -613,21 +646,6 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
     // A `.tocz` input trains straight off a compressed container.
     let from_container = input.ends_with(".tocz");
-    let full = if from_container {
-        Container::read(Path::new(input))?.decode()?
-    } else {
-        csv::read_matrix(Path::new(input))?.0
-    };
-    if full.cols() < 2 {
-        return Err("need at least one feature column plus the label column".into());
-    }
-    let d = full.cols() - 1;
-    let mut x = DenseMatrix::zeros(full.rows(), d);
-    let mut y = Vec::with_capacity(full.rows());
-    for r in 0..full.rows() {
-        x.row_mut(r).copy_from_slice(&full.row(r)[..d]);
-        y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
-    }
 
     let trainer = Trainer::new(MgdConfig {
         epochs,
@@ -721,6 +739,84 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     if opt(args, "--window").is_some() && !has_flag(args, "--follow") {
         return Err("--window only applies with --follow".into());
     }
+    for f in ["--max-pending", "--poll-ms", "--idle-ms"] {
+        if opt(args, f).is_some() && !has_flag(args, "--follow") {
+            return Err(format!("{f} only applies with --follow"));
+        }
+    }
+    if has_flag(args, "--follow") {
+        // Follow mode tails the file itself (it may still be growing
+        // under a concurrent writer), so nothing is pre-read here.
+        if from_container {
+            return Err(
+                "--follow tails a growing CSV; a .tocz container is already finished".into(),
+            );
+        }
+        let window: usize = opt(args, "--window")
+            .map(|s| s.parse().map_err(|e| format!("--window: {e}")))
+            .transpose()?
+            .unwrap_or(8);
+        if window == 0 {
+            return Err("--window must be >= 1".into());
+        }
+        let max_pending: usize = opt(args, "--max-pending")
+            .map(|s| s.parse().map_err(|e| format!("--max-pending: {e}")))
+            .transpose()?
+            .unwrap_or(0);
+        let poll_ms: u64 = opt(args, "--poll-ms")
+            .map(|s| s.parse().map_err(|e| format!("--poll-ms: {e}")))
+            .transpose()?
+            .unwrap_or(10);
+        let idle_ms: u64 = opt(args, "--idle-ms")
+            .map(|s| s.parse().map_err(|e| format!("--idle-ms: {e}")))
+            .transpose()?
+            .unwrap_or(400);
+        if idle_ms == 0 {
+            return Err("--idle-ms must be >= 1".into());
+        }
+        use toc_data::store::StoreConfig;
+        let mut config = StoreConfig::new(scheme, batch_rows, budget.expect("validated above"))
+            .with_shards(shards)
+            .with_prefetch(prefetch)
+            .with_io(io)
+            .with_placement(placement)
+            .with_scheduler(scheduler)
+            .with_encode_options(encode_opts)
+            .with_max_pending(max_pending);
+        if let Some(mbps) = mbps {
+            config = config.with_disk_mbps(mbps);
+        }
+        return train_follow(
+            Path::new(input),
+            &trainer,
+            &spec,
+            &config,
+            scheme,
+            batch_rows,
+            encode_opts,
+            window,
+            &model,
+            std::time::Duration::from_millis(poll_ms),
+            std::time::Duration::from_millis(idle_ms),
+        );
+    }
+
+    let full = if from_container {
+        Container::read(Path::new(input))?.decode()?
+    } else {
+        csv::read_matrix(Path::new(input))?.0
+    };
+    if full.cols() < 2 {
+        return Err("need at least one feature column plus the label column".into());
+    }
+    let d = full.cols() - 1;
+    let mut x = DenseMatrix::zeros(full.rows(), d);
+    let mut y = Vec::with_capacity(full.rows());
+    for r in 0..full.rows() {
+        x.row_mut(r).copy_from_slice(&full.row(r)[..d]);
+        y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
+    }
+
     let (mut report, encode_time, encoded_bytes) = if let Some(budget) = budget {
         // Out-of-core path: build the sharded spill store and train over
         // it, reporting spill layout and IO statistics.
@@ -734,27 +830,6 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .with_encode_options(encode_opts);
         if let Some(mbps) = mbps {
             config = config.with_disk_mbps(mbps);
-        }
-        if has_flag(args, "--follow") {
-            let window: usize = opt(args, "--window")
-                .map(|s| s.parse().map_err(|e| format!("--window: {e}")))
-                .transpose()?
-                .unwrap_or(8);
-            if window == 0 {
-                return Err("--window must be >= 1".into());
-            }
-            return train_follow(
-                &x,
-                &y,
-                &trainer,
-                &spec,
-                &config,
-                scheme,
-                batch_rows,
-                encode_opts,
-                window,
-                &model,
-            );
         }
         let t0 = Instant::now();
         // Container inputs stream v2 segments through the seekable reader
@@ -870,16 +945,20 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `toc train --follow`: stream the rows through the bounded-memory
-/// ingest pipeline into a *live* streaming store on one thread while a
-/// single online-SGD pass ([`toc_ml::mgd::Trainer::train_online`]) runs
-/// concurrently over segments as they seal, reporting prequential error
-/// per window. The trainer consumes batches in index order, so the loss
+/// `toc train --follow`: tail the CSV *file itself* — which may still be
+/// growing under a concurrent writer — through
+/// [`toc_data::follow_rows`] into a *live* streaming store on one
+/// thread, while a single online-SGD pass
+/// ([`toc_ml::mgd::Trainer::train_online`]) runs concurrently over
+/// segments as they seal, reporting prequential error per window. The
+/// follower only commits newline-terminated lines (a torn tail mid-write
+/// is retried, never half-parsed), re-opens from the top if the file is
+/// truncated beneath it, and ends the stream once no new bytes appear
+/// for `idle`. The trainer consumes batches in index order, so the loss
 /// curve is deterministic in the seed regardless of ingest timing.
 #[allow(clippy::too_many_arguments)]
 fn train_follow(
-    x: &DenseMatrix,
-    y: &[f64],
+    input: &Path,
     trainer: &toc_ml::mgd::Trainer,
     spec: &toc_ml::mgd::ModelSpec,
     config: &toc_data::StoreConfig,
@@ -888,23 +967,59 @@ fn train_follow(
     encode_opts: EncodeOptions,
     window: usize,
     model: &str,
+    poll: std::time::Duration,
+    idle: std::time::Duration,
 ) -> Result<(), String> {
     use std::sync::atomic::{AtomicBool, Ordering};
-    use toc_data::{ShardedSpillStore, StoreIngest};
+    use toc_data::{follow_rows, CsvStream, FollowOptions, ShardedSpillStore, StoreIngest};
 
-    let store = ShardedSpillStore::open_streaming(x.cols(), config).map_err(|e| format!("{e}"))?;
+    // The store needs the feature count up front, so wait (up to the
+    // idle timeout) for the first complete row to pin the width.
+    let cols = {
+        let t0 = Instant::now();
+        loop {
+            let mut s = CsvStream::open(input).map_err(|e| e.to_string())?;
+            if let Some((_, row)) = s.next_row().map_err(|e| e.to_string())? {
+                break row.len();
+            }
+            if t0.elapsed() >= idle {
+                // True end of a writer-less file: a final unterminated
+                // line still counts as a row.
+                if let Some((_, row)) = s.finish_partial().map_err(|e| e.to_string())? {
+                    break row.len();
+                }
+                return Err(format!(
+                    "{}: no rows appeared within the idle timeout ({idle:?})",
+                    input.display()
+                ));
+            }
+            std::thread::sleep(poll);
+        }
+    };
+    if cols < 2 {
+        return Err("need at least one feature column plus the label column".into());
+    }
+    let d = cols - 1;
+
+    let store = ShardedSpillStore::open_streaming(d, config).map_err(|e| format!("{e}"))?;
     let done = AtomicBool::new(false);
     let t0 = Instant::now();
     let (mut report, ingested) = std::thread::scope(|s| {
         let store_ref = &store;
         let done_ref = &done;
         let ingest = s.spawn(move || {
-            let run = || -> std::io::Result<toc_data::IngestStats> {
+            let run = || -> Result<toc_data::IngestStats, String> {
                 let mut ing = StoreIngest::new(store_ref, batch_rows, Some(scheme), encode_opts);
-                for (r, &label) in y.iter().enumerate() {
-                    ing.push_row(x.row(r), label)?;
-                }
-                ing.finish()
+                let opts = FollowOptions {
+                    poll,
+                    idle_timeout: idle,
+                };
+                follow_rows(input, &opts, &mut || false, &mut |_, row| {
+                    let label = if row[d] >= 0.0 { 1.0 } else { -1.0 };
+                    ing.push_row(&row[..d], label).map_err(|e| e.to_string())
+                })
+                .map_err(|e| e.to_string())?;
+                ing.finish().map_err(|e| e.to_string())
             };
             let out = run();
             // Always release the trainer, success or failure — it polls
@@ -923,14 +1038,20 @@ fn train_follow(
     // Machine-parseable counters (the CLI smoke tests parse these
     // lines): key=value pairs only.
     println!(
-        "ingest: rows={} cols={} chunks={} chunk-rows={batch_rows} bytes={} \
+        "ingest: rows={} cols={cols} chunks={} chunk-rows={batch_rows} bytes={} \
          peak-workspace-bytes={} schemes={}",
         stats.rows,
-        x.cols(),
         stats.chunks,
         stats.encoded_bytes,
         stats.peak_workspace_bytes,
         stats.scheme_summary(),
+    );
+    let snap = store.stats().snapshot_stable();
+    println!(
+        "backpressure: max-pending={} peak-pending={} stall-ms={}",
+        config.max_pending,
+        store.peak_pending_appends(),
+        snap.ingest_stall_ns / 1_000_000,
     );
     for w in &report.windows {
         println!(
@@ -950,13 +1071,21 @@ fn train_follow(
         report.train_time.as_millis(),
         wall.as_millis(),
     );
-    let eval = Scheme::Den.encode(x);
-    let err = report.model.error_rate(&eval, y);
+    // The follower saw the file go idle, so it is complete now: re-read
+    // it for the final training-error evaluation over every row.
+    let (full, _) = csv::read_matrix(input)?;
+    let mut x = DenseMatrix::zeros(full.rows(), d);
+    let mut y = Vec::with_capacity(full.rows());
+    for r in 0..full.rows() {
+        x.row_mut(r).copy_from_slice(&full.row(r)[..d]);
+        y.push(if full.get(r, d) >= 0.0 { 1.0 } else { -1.0 });
+    }
+    let eval = Scheme::Den.encode(&x);
+    let err = report.model.error_rate(&eval, &y);
     println!(
-        "{model} on {} rows x {} features [{}]: streamed {} segments, online pass {:.1?} \
+        "{model} on {} rows x {d} features [{}]: streamed {} segments, online pass {:.1?} \
          ({} windows of {window}), training error {:.2}%",
         x.rows(),
-        x.cols(),
         scheme.name(),
         stats.chunks,
         report.train_time,

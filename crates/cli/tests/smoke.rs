@@ -748,6 +748,283 @@ fn ingest_rejects_malformed_csv_and_removes_partial_output() {
     std::fs::remove_file(&bad).ok();
 }
 
+/// `toc ingest --resume`: kill a checkpointing run mid-stream (via the
+/// library's kill seam — same code path the binary runs), then let the
+/// real binary resume it. The resumed container must be byte-identical
+/// to an uninterrupted binary run and the sidecar must be gone.
+#[test]
+fn ingest_resume_completes_killed_run_byte_identically() {
+    use toc_data::ingest::{ingest_csv_container_killable, KillPoint};
+    use toc_data::{sidecar_path, CsvContainerJob};
+
+    let csv = gen_csv(300);
+    let full = temp_path("full", "tocz");
+    let killed = temp_path("killed", "tocz");
+
+    assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            full.to_str().unwrap(),
+            "--chunk-rows",
+            "64",
+            "--checkpoint-every",
+            "2",
+        ]),
+        "uninterrupted checkpointing ingest",
+    );
+    assert!(!sidecar_path(&full).exists(), "sidecar survived success");
+    let expect = std::fs::read(&full).unwrap();
+
+    // Same configuration the binary derives from these flags.
+    let job = CsvContainerJob {
+        csv: csv.clone(),
+        out: killed.clone(),
+        chunk_rows: 64,
+        scheme: None,
+        encode: Default::default(),
+        checkpoint_every: 2,
+    };
+    let outcome =
+        ingest_csv_container_killable(&job, false, Some(KillPoint::AfterSealedChunk { chunks: 3 }))
+            .unwrap();
+    assert!(outcome.killed.is_some(), "kill point did not fire");
+    assert!(sidecar_path(&killed).exists(), "no sidecar to resume from");
+
+    let stdout = assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            killed.to_str().unwrap(),
+            "--chunk-rows",
+            "64",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ]),
+        "toc ingest --resume",
+    );
+    let kv = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("ingest:"))
+            .unwrap_or_else(|| panic!("no ingest: line in {stdout}")),
+    );
+    assert_eq!(kv["rows"], "300", "{stdout}");
+    assert_eq!(kv["chunks"], "5", "{stdout}");
+    let resumed: u64 = kv["resumed-chunks"].parse().expect("resumed-chunks parses");
+    // Killed after chunk 3, last checkpoint at chunk 2: two chunks survive.
+    assert_eq!(resumed, 2, "{stdout}");
+    assert_eq!(
+        std::fs::read(&killed).unwrap(),
+        expect,
+        "resumed container differs from the uninterrupted one"
+    );
+    assert!(!sidecar_path(&killed).exists(), "sidecar survived resume");
+
+    // --resume with checkpointing explicitly disabled is a flag error.
+    assert_fails(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            killed.to_str().unwrap(),
+            "--resume",
+            "--checkpoint-every",
+            "0",
+        ]),
+        "--resume with --checkpoint-every 0",
+    );
+    for p in [csv, full, killed] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// With checkpointing active, a mid-stream error must *keep* the partial
+/// output and sidecar (they are the resume artifact); fixing the source
+/// past the checkpoint and rerunning with --resume completes the
+/// container without re-reading the already-ingested prefix.
+#[test]
+fn ingest_error_with_checkpointing_leaves_resumable_state() {
+    use toc_data::sidecar_path;
+
+    let csv = temp_path("fixable", "csv");
+    let out_path = temp_path("fixable-out", "tocz");
+    let fresh = temp_path("fixable-fresh", "tocz");
+    // Rows 1–2 each seal a chunk and checkpoint; row 3 is garbage.
+    std::fs::write(&csv, "1,2\n3,4\n5,x\n7,8\n").unwrap();
+    let out = toc(&[
+        "ingest",
+        csv.to_str().unwrap(),
+        out_path.to_str().unwrap(),
+        "--chunk-rows",
+        "1",
+        "--checkpoint-every",
+        "1",
+    ]);
+    assert_fails(&out, "ingest of broken CSV with checkpointing");
+    assert!(
+        out_path.exists(),
+        "checkpointed partial output must survive the error"
+    );
+    assert!(
+        sidecar_path(&out_path).exists(),
+        "sidecar must survive the error"
+    );
+
+    // Fix the bad cell. Bytes before the checkpointed source offset are
+    // untouched, so the resume continues instead of restarting.
+    std::fs::write(&csv, "1,2\n3,4\n5,6\n7,8\n").unwrap();
+    let stdout = assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+            "--chunk-rows",
+            "1",
+            "--resume",
+            "--checkpoint-every",
+            "1",
+        ]),
+        "resume after fixing the CSV",
+    );
+    let kv = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("ingest:"))
+            .unwrap_or_else(|| panic!("no ingest: line in {stdout}")),
+    );
+    assert_eq!(kv["rows"], "4", "{stdout}");
+    let resumed: u64 = kv["resumed-chunks"].parse().expect("resumed-chunks");
+    assert_eq!(resumed, 2, "both pre-error chunks restored: {stdout}");
+    assert!(!sidecar_path(&out_path).exists());
+
+    // The repaired file matches a from-scratch ingest of the fixed CSV.
+    assert_ok(
+        &toc(&[
+            "ingest",
+            csv.to_str().unwrap(),
+            fresh.to_str().unwrap(),
+            "--chunk-rows",
+            "1",
+        ]),
+        "fresh ingest of the fixed CSV",
+    );
+    assert_eq!(
+        std::fs::read(&out_path).unwrap(),
+        std::fs::read(&fresh).unwrap(),
+        "resumed-after-fix container differs from a fresh ingest"
+    );
+    for p in [csv, out_path, fresh] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// `toc train --follow` against a file another process is appending to:
+/// the trainer tails the CSV on disk, ingests rows as they land, and the
+/// final summary covers everything that was ever written.
+#[test]
+fn train_follow_tails_a_file_grown_by_another_process() {
+    use std::io::Write as _;
+
+    let csv = temp_path("tail", "csv");
+    let total = 400usize;
+    let row = |r: usize| {
+        let y = if r.is_multiple_of(3) { 1 } else { -1 };
+        format!(
+            "{},{},{},{y}\n",
+            (r % 7) as f64 * 0.5,
+            (r % 11) as f64 - 5.0,
+            (r % 3) as f64,
+        )
+    };
+    let mut head = String::from("f0,f1,f2,y\n");
+    for r in 0..150 {
+        head.push_str(&row(r));
+    }
+    std::fs::write(&csv, &head).unwrap();
+
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_toc"))
+        .args([
+            "train",
+            csv.to_str().unwrap(),
+            "--follow",
+            "--budget",
+            "0",
+            "--shards",
+            "2",
+            "--batch-rows",
+            "50",
+            "--window",
+            "2",
+            "--max-pending",
+            "2",
+            "--poll-ms",
+            "2",
+            "--idle-ms",
+            "400",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn toc train --follow");
+
+    // Grow the file from this process while the trainer tails it.
+    let mut f = std::fs::OpenOptions::new().append(true).open(&csv).unwrap();
+    for burst in 0..5 {
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let lo = 150 + burst * 50;
+        for r in lo..lo + 50 {
+            f.write_all(row(r).as_bytes()).unwrap();
+        }
+        f.flush().unwrap();
+    }
+    drop(f);
+
+    let out = child.wait_with_output().expect("toc train --follow exits");
+    let stdout = assert_ok(&out, "toc train --follow (live tail)");
+    let ingest = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("ingest:"))
+            .unwrap_or_else(|| panic!("no ingest: line in {stdout}")),
+    );
+    assert_eq!(ingest["rows"], total.to_string(), "{stdout}");
+    assert_eq!(ingest["chunks"], "8", "{stdout}"); // 400 / 50
+    let bp = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("backpressure:"))
+            .unwrap_or_else(|| panic!("no backpressure: line in {stdout}")),
+    );
+    assert_eq!(bp["max-pending"], "2", "{stdout}");
+    let peak: usize = bp["peak-pending"].parse().expect("peak-pending parses");
+    assert!(peak <= 2, "producer outran its budget: {stdout}");
+    let _stall: u64 = bp["stall-ms"].parse().expect("stall-ms parses");
+    let online = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("online:"))
+            .unwrap_or_else(|| panic!("no online: line in {stdout}")),
+    );
+    assert_eq!(online["consumed"], "8", "{stdout}");
+    assert!(stdout.contains("training error"), "{stdout}");
+
+    // Follow-only flags are rejected without --follow, and a finished
+    // container cannot be tailed.
+    assert_fails(
+        &toc(&[
+            "train",
+            csv.to_str().unwrap(),
+            "--budget",
+            "0",
+            "--max-pending",
+            "2",
+        ]),
+        "--max-pending without --follow",
+    );
+    std::fs::remove_file(csv).ok();
+}
+
 /// `toc train --follow`: rows stream into a live store while the online
 /// pass trains concurrently; the ingest:/window:/online: lines parse and
 /// tile the stream, and the flag interacts correctly with --budget.
@@ -811,7 +1088,19 @@ fn train_follow_streams_and_reports_windows() {
         "no final summary line: {stdout}"
     );
 
-    // Flag plumbing: --follow needs --budget, --window needs --follow.
+    // The follower always reports its backpressure counters (unbounded
+    // here: max-pending=0).
+    let bp = parse_kv(
+        stdout
+            .lines()
+            .find(|l| l.starts_with("backpressure:"))
+            .unwrap_or_else(|| panic!("no backpressure: line in {stdout}")),
+    );
+    assert_eq!(bp["max-pending"], "0", "{stdout}");
+    let _peak: usize = bp["peak-pending"].parse().expect("peak-pending parses");
+
+    // Flag plumbing: --follow needs --budget, --window needs --follow,
+    // and a finished .tocz container cannot be tailed.
     assert_fails(
         &toc(&["train", csv.to_str().unwrap(), "--follow"]),
         "--follow without --budget",
@@ -827,7 +1116,18 @@ fn train_follow_streams_and_reports_windows() {
         ]),
         "--window without --follow",
     );
-    std::fs::remove_file(csv).ok();
+    let tocz = temp_path("follow", "tocz");
+    assert_ok(
+        &toc(&["compress", csv.to_str().unwrap(), tocz.to_str().unwrap()]),
+        "compress for follow rejection",
+    );
+    assert_fails(
+        &toc(&["train", tocz.to_str().unwrap(), "--follow", "--budget", "0"]),
+        "--follow on a .tocz container",
+    );
+    for p in [csv, tocz] {
+        std::fs::remove_file(p).ok();
+    }
 }
 
 /// A non-`.tocz` input to a container-reading path must be reported as

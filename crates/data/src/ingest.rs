@@ -29,13 +29,39 @@
 //! Chunking changes *where* segment boundaries fall, never what a chunk
 //! of given rows encodes to: sealing is deterministic in the staged
 //! values, which is what the ingest proptests pin down.
+//!
+//! ## Crash safety
+//!
+//! Both drivers can periodically persist an [`IngestCheckpoint`] — a
+//! checksummed sidecar recording the sealed-chunk watermark (a
+//! [`WriterState`] for containers, a [`crate::store::StoreCheckpoint`]
+//! for stores), the source byte offset the watermark corresponds to, the
+//! running [`IngestStats`], and a hash of the workspace configuration.
+//! [`ingest_csv_container`] is the resumable CSV→container driver behind
+//! `toc ingest --resume`: on restart it validates the sidecar against
+//! the partial output, truncates any torn tail past the watermark,
+//! re-opens the CSV at the recorded offset, and continues to a result
+//! **byte-identical** to an uninterrupted run — sealing is deterministic
+//! in the staged rows, and a sealed chunk is never re-emitted. The
+//! `ingest_resume` integration suite kills the driver at every
+//! [`KillPoint`] (and at fault-injected torn-write points) to pin this
+//! down.
 
-use toc_formats::container::{ContainerStreamWriter, ZoneMap};
-use toc_formats::{pick_scheme, AnyBatch, EncodeOptions, MatrixBatch, Scheme};
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use toc_formats::container::{
+    fnv1a64, parse_v2_footer, ContainerStreamWriter, WriterState, ZoneMap,
+};
+use toc_formats::{
+    pick_scheme, AnyBatch, ClaPlanner, EncodeOptions, FormatError, MatrixBatch, Scheme,
+};
 use toc_linalg::DenseMatrix;
 use toc_ml::mgd::BatchProvider;
 
-use crate::store::ShardedSpillStore;
+use crate::csv::{CsvError, CsvStream};
+use crate::store::{AppenderToken, ShardedSpillStore};
 
 /// A reusable staging-and-encode workspace: holds up to `chunk_rows`
 /// rows, seals them into one encoded segment, and takes its buffer back
@@ -134,7 +160,7 @@ impl EncodeWorkspace {
 
 /// Counters reported by both ingest drivers (the CLI prints them as the
 /// machine-parseable `ingest:` line).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct IngestStats {
     /// Rows sealed into segments.
     pub rows: u64,
@@ -171,12 +197,70 @@ impl IngestStats {
     }
 }
 
+/// Error from the resumable ingest drivers. Keeps the failure domains
+/// apart so callers can tell "the disk failed" ([`IngestError::Io`])
+/// from "the container writer refused" ([`IngestError::Format`]) from
+/// "the source CSV is garbage" ([`IngestError::Csv`]) from "the
+/// checkpoint sidecar does not match this job"
+/// ([`IngestError::Checkpoint`]) — only the last two are the operator's
+/// to fix.
+#[derive(Debug)]
+pub enum IngestError {
+    /// An underlying file operation failed (source, output, or sidecar).
+    Io(std::io::Error),
+    /// The container writer rejected or failed an operation.
+    Format(FormatError),
+    /// The source CSV stream was malformed.
+    Csv(CsvError),
+    /// The checkpoint sidecar is corrupt, stale, or inconsistent with
+    /// the job configuration or the partial output.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest IO: {e}"),
+            IngestError::Format(e) => write!(f, "container: {e}"),
+            IngestError::Csv(e) => write!(f, "csv: {e}"),
+            IngestError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<FormatError> for IngestError {
+    fn from(e: FormatError) -> Self {
+        IngestError::Format(e)
+    }
+}
+
+impl From<CsvError> for IngestError {
+    fn from(e: CsvError) -> Self {
+        IngestError::Csv(e)
+    }
+}
+
 /// Streams rows into a *live* [`ShardedSpillStore`]: every full chunk is
 /// sealed and appended ([`ShardedSpillStore::append_sealed`]), becoming
 /// visible to concurrent trainers atomically. The store must have shard
 /// files ([`ShardedSpillStore::open_streaming`]).
+///
+/// Construction claims the store's single appender slot
+/// ([`ShardedSpillStore::try_acquire_appender`]) for the ingest's
+/// lifetime, so two `StoreIngest`s can never interleave chunks into one
+/// store — [`StoreIngest::try_new`] reports the conflict, `new` panics
+/// on it.
 pub struct StoreIngest<'a> {
     store: &'a ShardedSpillStore,
+    _token: AppenderToken<'a>,
     ws: EncodeWorkspace,
     labels: Vec<f64>,
     scheme: Option<Scheme>,
@@ -185,20 +269,69 @@ pub struct StoreIngest<'a> {
 }
 
 impl<'a> StoreIngest<'a> {
+    /// Claim the store's appender slot and set up staging. Panics if
+    /// another `StoreIngest` (or raw appender token) is already live on
+    /// this store — use [`StoreIngest::try_new`] to handle that case.
     pub fn new(
         store: &'a ShardedSpillStore,
         chunk_rows: usize,
         scheme: Option<Scheme>,
         encode: EncodeOptions,
     ) -> Self {
-        Self {
+        Self::try_new(store, chunk_rows, scheme, encode)
+            .expect("another StoreIngest already owns this store's appender slot")
+    }
+
+    /// Like [`StoreIngest::new`], but returns `None` when the store's
+    /// appender slot is already taken instead of panicking.
+    pub fn try_new(
+        store: &'a ShardedSpillStore,
+        chunk_rows: usize,
+        scheme: Option<Scheme>,
+        encode: EncodeOptions,
+    ) -> Option<Self> {
+        let token = store.try_acquire_appender()?;
+        Some(Self {
             ws: EncodeWorkspace::new(store.num_features(), chunk_rows),
             store,
+            _token: token,
             labels: Vec::with_capacity(chunk_rows),
             scheme,
             encode,
             stats: IngestStats::default(),
+        })
+    }
+
+    /// Resume ingestion into a store restored with
+    /// [`ShardedSpillStore::open_streaming_resume`]: validates that the
+    /// checkpoint was written by a store ingest with this exact
+    /// workspace configuration, then continues the counters where the
+    /// checkpoint left them. The caller re-opens the row source at
+    /// [`IngestCheckpoint::source_offset`].
+    pub fn resume(
+        store: &'a ShardedSpillStore,
+        chunk_rows: usize,
+        scheme: Option<Scheme>,
+        encode: EncodeOptions,
+        ck: &IngestCheckpoint,
+    ) -> Result<Self, IngestError> {
+        if ck.kind != CheckpointKind::Store {
+            return Err(IngestError::Checkpoint(
+                "sidecar is a container checkpoint, not a store checkpoint".into(),
+            ));
         }
+        let want = ingest_config_hash(store.num_features(), chunk_rows, scheme, &encode);
+        if ck.config_hash != want {
+            return Err(IngestError::Checkpoint(format!(
+                "workspace config hash {:#018x} does not match the checkpoint's {:#018x} \
+                 (columns, chunk rows, scheme, or encode options changed)",
+                want, ck.config_hash
+            )));
+        }
+        let mut ing = Self::try_new(store, chunk_rows, scheme, encode)
+            .ok_or_else(|| IngestError::Checkpoint("store appender slot already taken".into()))?;
+        ing.stats = ck.stats.clone();
+        Ok(ing)
     }
 
     /// Stage one row (features + its ±1 label); seals and appends the
@@ -222,6 +355,39 @@ impl<'a> StoreIngest<'a> {
         self.store.append_sealed(&bytes, labels)?;
         self.stats.note(sealed.scheme, sealed.rows, bytes.len());
         Ok(())
+    }
+
+    /// Rows currently staged (not yet sealed into a chunk).
+    pub fn staged_rows(&self) -> usize {
+        self.ws.staged_rows()
+    }
+
+    /// Running counters over the chunks sealed so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Snapshot a resumable checkpoint: the store's sealed extents
+    /// ([`ShardedSpillStore::streaming_checkpoint`]) plus the running
+    /// counters and `source_offset`, the byte offset in the row source
+    /// that the sealed watermark corresponds to. Rows staged past the
+    /// watermark are *not* captured — a resume re-reads them from
+    /// `source_offset`.
+    pub fn checkpoint(&self, source_offset: u64) -> IngestCheckpoint {
+        let mut stats = self.stats.clone();
+        stats.peak_workspace_bytes = self.ws.peak_bytes();
+        IngestCheckpoint {
+            kind: CheckpointKind::Store,
+            config_hash: ingest_config_hash(
+                self.store.num_features(),
+                self.ws.chunk_rows,
+                self.scheme,
+                &self.encode,
+            ),
+            source_offset,
+            stats,
+            state: self.store.streaming_checkpoint().to_bytes(),
+        }
     }
 
     /// Seal any partial final chunk and report the ingest counters.
@@ -251,7 +417,7 @@ impl<W: std::io::Write> ContainerIngest<W> {
         chunk_rows: usize,
         scheme: Option<Scheme>,
         encode: EncodeOptions,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, FormatError> {
         Ok(Self {
             writer: ContainerStreamWriter::new(sink)?,
             ws: EncodeWorkspace::new(cols, chunk_rows),
@@ -261,9 +427,36 @@ impl<W: std::io::Write> ContainerIngest<W> {
         })
     }
 
+    /// Resume over a sink already positioned at the checkpoint's byte
+    /// watermark (the partial file truncated back to
+    /// [`WriterState::offset`]): reconstructs the stream writer from
+    /// `state` without writing anything and continues the counters from
+    /// `stats`. `state` must have at least one sealed segment (its
+    /// column count pins the staging workspace); checkpoints are only
+    /// written after a seal, so a well-formed sidecar always does.
+    pub fn resume(
+        sink: W,
+        chunk_rows: usize,
+        scheme: Option<Scheme>,
+        encode: EncodeOptions,
+        state: WriterState,
+        stats: IngestStats,
+    ) -> Result<Self, FormatError> {
+        let cols = state.cols().ok_or_else(|| {
+            FormatError::Corrupt("writer state has no sealed segments to resume from".into())
+        })? as usize;
+        Ok(Self {
+            writer: ContainerStreamWriter::resume(sink, state)?,
+            ws: EncodeWorkspace::new(cols, chunk_rows),
+            scheme,
+            encode,
+            stats,
+        })
+    }
+
     /// Stage one full-width row; seals and writes the segment when the
     /// chunk fills.
-    pub fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), FormatError> {
         self.ws.push_row(row);
         if self.ws.is_full() {
             self.seal_chunk()?;
@@ -271,7 +464,7 @@ impl<W: std::io::Write> ContainerIngest<W> {
         Ok(())
     }
 
-    fn seal_chunk(&mut self) -> Result<(), String> {
+    fn seal_chunk(&mut self) -> Result<(), FormatError> {
         let Some(sealed) = self.ws.seal(self.scheme, &self.encode) else {
             return Ok(());
         };
@@ -282,14 +475,587 @@ impl<W: std::io::Write> ContainerIngest<W> {
         Ok(())
     }
 
+    /// Rows currently staged (not yet sealed into a segment). Drops to
+    /// zero exactly when `push_row` seals a chunk — the seam the
+    /// resumable driver uses to spot seal boundaries.
+    pub fn staged_rows(&self) -> usize {
+        self.ws.staged_rows()
+    }
+
+    /// Running counters over the segments sealed so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Bytes of sealed segments written so far (the checkpoint byte
+    /// watermark — staged rows are not included).
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Flush the sink. Called before persisting a checkpoint so the
+    /// sealed bytes the sidecar's watermark points at are actually in
+    /// the file, not a userspace buffer.
+    pub fn flush(&mut self) -> Result<(), FormatError> {
+        self.writer.flush()
+    }
+
+    /// The writer's resumable state at the current sealed watermark
+    /// (see [`ContainerStreamWriter::state`]).
+    pub fn writer_state(&self) -> WriterState {
+        self.writer.state()
+    }
+
     /// Seal any partial final chunk, write the layout-tree footer and
     /// postscript, and report `(total container bytes, counters)`.
-    pub fn finish(mut self) -> Result<(u64, IngestStats), String> {
+    pub fn finish(mut self) -> Result<(u64, IngestStats), FormatError> {
         self.seal_chunk()?;
         self.stats.peak_workspace_bytes = self.ws.peak_bytes();
         let total = self.writer.finish()?;
         Ok((total, self.stats))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint sidecars.
+
+/// Which driver wrote an [`IngestCheckpoint`] — the two `state` payloads
+/// are not interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// `state` is a serialized [`WriterState`] (CSV → `.tocz` container).
+    Container,
+    /// `state` is a serialized [`crate::store::StoreCheckpoint`]
+    /// (CSV → live sharded store).
+    Store,
+}
+
+/// Hash of everything that must *not* change between the run that wrote
+/// a checkpoint and the run resuming from it: resuming with a different
+/// column count, chunk size, scheme choice, or CLA planner would splice
+/// differently-encoded chunks into one output and silently break the
+/// byte-identity guarantee. FNV-1a over the canonical little-endian
+/// serialization.
+pub fn ingest_config_hash(
+    cols: usize,
+    chunk_rows: usize,
+    scheme: Option<Scheme>,
+    encode: &EncodeOptions,
+) -> u64 {
+    let mut buf = Vec::with_capacity(27);
+    buf.extend_from_slice(&(cols as u64).to_le_bytes());
+    buf.extend_from_slice(&(chunk_rows as u64).to_le_bytes());
+    // 255 = per-chunk auto-pick (no fixed scheme); valid tags are < 12.
+    buf.push(scheme.map_or(255, Scheme::tag));
+    buf.push(match encode.cla.planner {
+        ClaPlanner::Greedy => 0,
+        ClaPlanner::SampleMerge => 1,
+    });
+    buf.extend_from_slice(&(encode.cla.sample_rows as u64).to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// The sidecar path for an ingest output: `<out>.ckpt` appended to the
+/// full file name (`data.tocz` → `data.tocz.ckpt`), so the pair travels
+/// together and a glob for the output never picks up the sidecar.
+pub fn sidecar_path(out: &Path) -> PathBuf {
+    let mut os = out.as_os_str().to_os_string();
+    os.push(".ckpt");
+    PathBuf::from(os)
+}
+
+/// `"TCKP"`.
+const SIDECAR_MAGIC: u32 = 0x5443_4B50;
+const SIDECAR_V1: u8 = 1;
+
+/// A persisted ingest checkpoint: everything a fresh process needs to
+/// continue an interrupted ingest to a byte-identical result. Serialized
+/// with a trailing FNV-1a checksum and written atomically
+/// (temp + rename), so a crash *during* a checkpoint write leaves the
+/// previous sidecar intact and a torn sidecar is detected, never acted
+/// on.
+#[derive(Clone, Debug)]
+pub struct IngestCheckpoint {
+    /// Which driver wrote this (and how to parse `state`).
+    pub kind: CheckpointKind,
+    /// [`ingest_config_hash`] of the writing run's workspace config.
+    pub config_hash: u64,
+    /// Byte offset in the row source (CSV) that the sealed watermark
+    /// corresponds to: resume re-opens the source here.
+    pub source_offset: u64,
+    /// Counters as of the watermark.
+    pub stats: IngestStats,
+    /// Sink-specific resume state ([`WriterState`] or
+    /// [`crate::store::StoreCheckpoint`] bytes).
+    pub state: Vec<u8>,
+}
+
+impl IngestCheckpoint {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.state.len());
+        out.extend_from_slice(&SIDECAR_MAGIC.to_le_bytes());
+        out.push(SIDECAR_V1);
+        out.push(match self.kind {
+            CheckpointKind::Container => 0,
+            CheckpointKind::Store => 1,
+        });
+        out.extend_from_slice(&self.config_hash.to_le_bytes());
+        out.extend_from_slice(&self.source_offset.to_le_bytes());
+        out.extend_from_slice(&self.stats.rows.to_le_bytes());
+        out.extend_from_slice(&self.stats.chunks.to_le_bytes());
+        out.extend_from_slice(&self.stats.encoded_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.stats.peak_workspace_bytes as u64).to_le_bytes());
+        debug_assert!(self.stats.scheme_counts.len() <= u8::MAX as usize);
+        out.push(self.stats.scheme_counts.len() as u8);
+        for &(scheme, count) in &self.stats.scheme_counts {
+            out.push(scheme.tag());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.state.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.state);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IngestError> {
+        let bad = |m: &str| IngestError::Checkpoint(m.to_string());
+        if bytes.len() < 8 {
+            return Err(bad("sidecar too short"));
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if fnv1a64(body) != sum {
+            return Err(bad("sidecar checksum mismatch (torn or corrupt)"));
+        }
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], IngestError> {
+            let s = body
+                .get(*at..*at + n)
+                .ok_or_else(|| bad("sidecar truncated"))?;
+            *at += n;
+            Ok(s)
+        };
+        let u64_at = |at: &mut usize| -> Result<u64, IngestError> {
+            Ok(u64::from_le_bytes(take(at, 8)?.try_into().unwrap()))
+        };
+        let magic = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+        if magic != SIDECAR_MAGIC {
+            return Err(bad("bad sidecar magic"));
+        }
+        let version = take(&mut at, 1)?[0];
+        if version != SIDECAR_V1 {
+            return Err(bad("unsupported sidecar version"));
+        }
+        let kind = match take(&mut at, 1)?[0] {
+            0 => CheckpointKind::Container,
+            1 => CheckpointKind::Store,
+            k => return Err(IngestError::Checkpoint(format!("unknown sidecar kind {k}"))),
+        };
+        let config_hash = u64_at(&mut at)?;
+        let source_offset = u64_at(&mut at)?;
+        let mut stats = IngestStats {
+            rows: u64_at(&mut at)?,
+            chunks: u64_at(&mut at)?,
+            encoded_bytes: u64_at(&mut at)?,
+            peak_workspace_bytes: u64_at(&mut at)? as usize,
+            scheme_counts: Vec::new(),
+        };
+        let n_schemes = take(&mut at, 1)?[0] as usize;
+        for _ in 0..n_schemes {
+            let tag = take(&mut at, 1)?[0];
+            let scheme = scheme_from_tag(tag)
+                .ok_or_else(|| IngestError::Checkpoint(format!("unknown scheme tag {tag}")))?;
+            let count = u64_at(&mut at)?;
+            stats.scheme_counts.push((scheme, count));
+        }
+        let state_len = u64_at(&mut at)? as usize;
+        let state = take(&mut at, state_len)?.to_vec();
+        if at != body.len() {
+            return Err(bad("trailing bytes after sidecar payload"));
+        }
+        Ok(Self {
+            kind,
+            config_hash,
+            source_offset,
+            stats,
+            state,
+        })
+    }
+
+    /// Write the sidecar atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash mid-write can only lose the *new*
+    /// checkpoint, never corrupt the previous one.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), IngestError> {
+        let mut tmp_os = path.as_os_str().to_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a sidecar from disk.
+    pub fn read(path: &Path) -> Result<Self, IngestError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+fn scheme_from_tag(tag: u8) -> Option<Scheme> {
+    Scheme::ALL.iter().copied().find(|s| s.tag() == tag)
+}
+
+// ---------------------------------------------------------------------------
+// The resumable CSV → container driver.
+
+/// Where the kill-matrix tests interrupt [`ingest_csv_container_killable`]
+/// — each variant models a distinct crash window of the real driver.
+/// When the condition fires the driver flushes its sink (the bytes a
+/// real crash would leave visible in the file after the OS writes out
+/// the page cache) and returns with [`CsvIngestOutcome::killed`] set
+/// instead of finishing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// After `staged` rows (≥ 1) are staged on top of `chunks` sealed
+    /// chunks: staged rows live only in the workspace, so a crash here
+    /// loses them from the output but not from the source.
+    AfterStagedRows { chunks: u64, staged: usize },
+    /// Immediately after the `chunks`-th chunk seals, *before* any
+    /// checkpoint write — the sidecar on disk (if any) is one or more
+    /// chunks behind the file.
+    AfterSealedChunk { chunks: u64 },
+    /// Immediately after the checkpoint following the `chunks`-th chunk
+    /// is persisted — sidecar and file agree exactly.
+    AfterCheckpoint { chunks: u64 },
+    /// After [`ContainerIngest::finish`] wrote the footer but before the
+    /// sidecar was cleaned up — the output is complete and the stale
+    /// sidecar must be recognized as such on resume.
+    AfterFooter,
+}
+
+/// One resumable CSV → `.tocz` ingest job.
+pub struct CsvContainerJob {
+    /// Source CSV (numeric, optional header line).
+    pub csv: PathBuf,
+    /// Output container path.
+    pub out: PathBuf,
+    /// Rows per sealed segment.
+    pub chunk_rows: usize,
+    /// Fixed scheme, or `None` for per-chunk auto-pick.
+    pub scheme: Option<Scheme>,
+    pub encode: EncodeOptions,
+    /// Persist a checkpoint sidecar every this many sealed chunks;
+    /// `0` disables checkpointing entirely (no sidecar is ever written).
+    pub checkpoint_every: u64,
+}
+
+/// What [`ingest_csv_container`] did.
+#[derive(Clone, Debug)]
+pub struct CsvIngestOutcome {
+    /// Total bytes in the output: the finished container size, or the
+    /// sealed watermark when `killed` is set.
+    pub total_bytes: u64,
+    /// Counters over all sealed chunks — including the ones restored
+    /// from a checkpoint, so a resumed run reports the same totals as an
+    /// uninterrupted one.
+    pub stats: IngestStats,
+    /// Chunks restored from a checkpoint (0 for a fresh or restarted
+    /// run).
+    pub resumed_chunks: u64,
+    /// Column count of the ingested rows.
+    pub cols: usize,
+    /// The test-only kill point that fired, if any.
+    pub killed: Option<KillPoint>,
+}
+
+/// Run a CSV → container ingest, optionally resuming from a checkpoint
+/// sidecar (`<out>.ckpt`).
+///
+/// With `resume` set the driver inspects the sidecar and partial output
+/// before touching the source:
+///
+/// * output already a complete v2 container (crash after the footer,
+///   before sidecar cleanup) → removed sidecar, counters reconstructed
+///   from the footer, nothing re-ingested;
+/// * valid sidecar + output at least as long as its watermark → torn
+///   tail truncated, writer and CSV re-opened at the watermark, ingest
+///   continues — never re-emitting a sealed chunk;
+/// * no sidecar (crash before the first checkpoint) → clean restart
+///   from row zero;
+/// * sidecar that fails its checksum, hashes a different workspace
+///   config, or outruns the file → [`IngestError::Checkpoint`].
+///
+/// In every resumable case the final file is byte-identical to an
+/// uninterrupted run over the same source.
+pub fn ingest_csv_container(
+    job: &CsvContainerJob,
+    resume: bool,
+) -> Result<CsvIngestOutcome, IngestError> {
+    ingest_csv_container_killable(job, resume, None)
+}
+
+/// [`ingest_csv_container`] with a test-only crash injection point; see
+/// [`KillPoint`]. Not part of the stable API.
+#[doc(hidden)]
+pub fn ingest_csv_container_killable(
+    job: &CsvContainerJob,
+    resume: bool,
+    kill: Option<KillPoint>,
+) -> Result<CsvIngestOutcome, IngestError> {
+    let sidecar = sidecar_path(&job.out);
+    let mut stream;
+    let mut ing: Option<ContainerIngest<fs::File>> = None;
+    let mut cfg_hash = 0u64;
+    let mut resumed_chunks = 0u64;
+
+    let restored = if resume {
+        load_container_checkpoint(job, &sidecar)?
+    } else {
+        None
+    };
+    match restored {
+        Some(Restored::Complete(outcome)) => return Ok(*outcome),
+        Some(Restored::At {
+            stream: s,
+            ing: i,
+            config_hash,
+            chunks,
+        }) => {
+            stream = s;
+            ing = Some(*i);
+            cfg_hash = config_hash;
+            resumed_chunks = chunks;
+        }
+        None => {
+            stream = CsvStream::open(&job.csv)?;
+        }
+    }
+
+    let kill_now = |ing: &mut ContainerIngest<fs::File>,
+                    cols: usize,
+                    kp: KillPoint|
+     -> Result<CsvIngestOutcome, IngestError> {
+        ing.flush()?;
+        Ok(CsvIngestOutcome {
+            total_bytes: ing.bytes_written(),
+            stats: ing.stats().clone(),
+            resumed_chunks,
+            cols,
+            killed: Some(kp),
+        })
+    };
+
+    let mut last_chunks = ing.as_ref().map_or(0, |i| i.stats().chunks);
+    loop {
+        let row_committed = match stream.next_row()? {
+            Some((_, row)) => {
+                push_lazy(&mut ing, &mut cfg_hash, job, row)?;
+                true
+            }
+            None => match stream.finish_partial()? {
+                Some((_, row)) => {
+                    push_lazy(&mut ing, &mut cfg_hash, job, row)?;
+                    false // true end of stream after this row
+                }
+                None => break,
+            },
+        };
+        let ing_ref = ing.as_mut().expect("ingest exists after a pushed row");
+        if ing_ref.stats().chunks != last_chunks {
+            // A chunk just sealed; stream.offset() is exactly the source
+            // watermark for it (the sealing row's line is committed).
+            last_chunks = ing_ref.stats().chunks;
+            if let Some(kp @ KillPoint::AfterSealedChunk { chunks }) = kill {
+                if last_chunks == chunks {
+                    return kill_now(ing_ref, stream.cols(), kp);
+                }
+            }
+            if job.checkpoint_every > 0 && last_chunks.is_multiple_of(job.checkpoint_every) {
+                ing_ref.flush()?;
+                let ck = IngestCheckpoint {
+                    kind: CheckpointKind::Container,
+                    config_hash: cfg_hash,
+                    source_offset: stream.offset(),
+                    stats: ing_ref.stats().clone(),
+                    state: ing_ref.writer_state().to_bytes(),
+                };
+                ck.write_atomic(&sidecar)?;
+                if let Some(kp @ KillPoint::AfterCheckpoint { chunks }) = kill {
+                    if last_chunks == chunks {
+                        return kill_now(ing_ref, stream.cols(), kp);
+                    }
+                }
+            }
+        }
+        if let Some(kp @ KillPoint::AfterStagedRows { chunks, staged }) = kill {
+            if staged > 0 && ing_ref.stats().chunks == chunks && ing_ref.staged_rows() == staged {
+                return kill_now(ing_ref, stream.cols(), kp);
+            }
+        }
+        if !row_committed {
+            break;
+        }
+    }
+
+    let Some(ing) = ing else {
+        return Err(IngestError::Csv(CsvError::Parse("empty CSV".into())));
+    };
+    let cols = stream.cols();
+    let (total_bytes, stats) = ing.finish()?;
+    if let Some(kp @ KillPoint::AfterFooter) = kill {
+        // Crash window between footer write and sidecar cleanup: the
+        // stale sidecar is intentionally left behind.
+        return Ok(CsvIngestOutcome {
+            total_bytes,
+            stats,
+            resumed_chunks,
+            cols,
+            killed: Some(kp),
+        });
+    }
+    if job.checkpoint_every > 0 {
+        match fs::remove_file(&sidecar) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(IngestError::Io(e)),
+        }
+    }
+    Ok(CsvIngestOutcome {
+        total_bytes,
+        stats,
+        resumed_chunks,
+        cols,
+        killed: None,
+    })
+}
+
+/// Lazily create the container ingest on the first committed row (which
+/// pins the column count) and push `row` into it.
+fn push_lazy(
+    ing: &mut Option<ContainerIngest<fs::File>>,
+    cfg_hash: &mut u64,
+    job: &CsvContainerJob,
+    row: &[f64],
+) -> Result<(), IngestError> {
+    if ing.is_none() {
+        let file = fs::File::create(&job.out)?;
+        *cfg_hash = ingest_config_hash(row.len(), job.chunk_rows, job.scheme, &job.encode);
+        *ing = Some(ContainerIngest::new(
+            file,
+            row.len(),
+            job.chunk_rows,
+            job.scheme,
+            job.encode,
+        )?);
+    }
+    ing.as_mut().unwrap().push_row(row)?;
+    Ok(())
+}
+
+enum Restored {
+    /// The output is already a complete container; nothing to do.
+    Complete(Box<CsvIngestOutcome>),
+    /// Writer and source re-opened at the checkpoint watermark.
+    At {
+        stream: CsvStream,
+        ing: Box<ContainerIngest<fs::File>>,
+        config_hash: u64,
+        chunks: u64,
+    },
+}
+
+/// Validate the sidecar against the partial output and reconstruct the
+/// resume state. `Ok(None)` means "no sidecar: restart from scratch"
+/// (a crash before the first checkpoint leaves exactly that).
+fn load_container_checkpoint(
+    job: &CsvContainerJob,
+    sidecar: &Path,
+) -> Result<Option<Restored>, IngestError> {
+    let ck = match IngestCheckpoint::read(sidecar) {
+        Ok(ck) => ck,
+        Err(IngestError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if ck.kind != CheckpointKind::Container {
+        return Err(IngestError::Checkpoint(
+            "sidecar is a store checkpoint, not a container checkpoint".into(),
+        ));
+    }
+    let state = WriterState::from_bytes(&ck.state)?;
+    let cols = state.cols().ok_or_else(|| {
+        IngestError::Checkpoint("sidecar has no sealed segments to resume from".into())
+    })? as usize;
+    let want = ingest_config_hash(cols, job.chunk_rows, job.scheme, &job.encode);
+    if ck.config_hash != want {
+        return Err(IngestError::Checkpoint(format!(
+            "workspace config hash {:#018x} does not match the sidecar's {:#018x} \
+             (columns, chunk rows, scheme, or encode options changed)",
+            want, ck.config_hash
+        )));
+    }
+
+    // Crash-after-footer: the output may already be complete.
+    let bytes = fs::read(&job.out)?;
+    if let Ok((footer, _)) = parse_v2_footer(&bytes) {
+        let mut stats = IngestStats::default();
+        for leaf in footer.leaves() {
+            let tag = leaf.scheme.expect("footer leaves carry scheme tags");
+            let scheme = scheme_from_tag(tag)
+                .ok_or_else(|| IngestError::Checkpoint(format!("unknown scheme tag {tag}")))?;
+            stats.note(
+                scheme,
+                (leaf.row_end - leaf.row_start) as usize,
+                (leaf.end - leaf.begin) as usize,
+            );
+        }
+        let chunks = stats.chunks;
+        match fs::remove_file(sidecar) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(IngestError::Io(e)),
+        }
+        return Ok(Some(Restored::Complete(Box::new(CsvIngestOutcome {
+            total_bytes: bytes.len() as u64,
+            stats,
+            resumed_chunks: chunks,
+            cols: footer.cols as usize,
+            killed: None,
+        }))));
+    }
+
+    let len = bytes.len() as u64;
+    drop(bytes);
+    if len < state.offset() {
+        return Err(IngestError::Checkpoint(format!(
+            "output is {len} bytes but the sidecar watermark is {} — the sidecar outran the file",
+            state.offset()
+        )));
+    }
+    // Truncate the torn tail (bytes past the last checkpointed seal) and
+    // position the writer at the watermark.
+    let mut file = fs::OpenOptions::new().write(true).open(&job.out)?;
+    file.set_len(state.offset())?;
+    file.seek(SeekFrom::End(0))?;
+    let chunks = state.num_segments() as u64;
+    let stream = CsvStream::open_at(&job.csv, ck.source_offset, cols)?;
+    let ing = ContainerIngest::resume(
+        file,
+        job.chunk_rows,
+        job.scheme,
+        job.encode,
+        state,
+        ck.stats.clone(),
+    )?;
+    Ok(Some(Restored::At {
+        stream,
+        ing: Box::new(ing),
+        config_hash: ck.config_hash,
+        chunks,
+    }))
 }
 
 #[cfg(test)]
@@ -356,6 +1122,22 @@ mod tests {
     }
 
     #[test]
+    fn second_store_ingest_is_rejected_while_first_is_live() {
+        let config = StoreConfig::new(Scheme::Toc, 50, 0).with_shards(2);
+        let store = ShardedSpillStore::open_streaming(4, &config).unwrap();
+        let ing = StoreIngest::new(&store, 16, Some(Scheme::Toc), EncodeOptions::default());
+        assert!(
+            StoreIngest::try_new(&store, 16, Some(Scheme::Toc), EncodeOptions::default()).is_none(),
+            "two live StoreIngests on one store must be rejected"
+        );
+        drop(ing);
+        // Releasing the first frees the appender slot.
+        assert!(
+            StoreIngest::try_new(&store, 16, Some(Scheme::Toc), EncodeOptions::default()).is_some()
+        );
+    }
+
+    #[test]
     fn workspace_peak_is_flat_in_total_rows() {
         let peak_for = |rows: usize| {
             let m = drifting_matrix(rows, 6, 3, 5);
@@ -377,5 +1159,64 @@ mod tests {
             (large as f64) <= 1.1 * small as f64,
             "workspace peak grew with total rows: {small} -> {large}"
         );
+    }
+
+    #[test]
+    fn sidecar_roundtrips_and_rejects_corruption() {
+        let mut stats = IngestStats::default();
+        stats.note(Scheme::Toc, 40, 321);
+        stats.note(Scheme::Den, 40, 2560);
+        stats.note(Scheme::Toc, 40, 330);
+        let ck = IngestCheckpoint {
+            kind: CheckpointKind::Container,
+            config_hash: 0xDEAD_BEEF_0BAD_CAFE,
+            source_offset: 12_345,
+            stats: stats.clone(),
+            state: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = ck.to_bytes();
+        let back = IngestCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.kind, CheckpointKind::Container);
+        assert_eq!(back.config_hash, ck.config_hash);
+        assert_eq!(back.source_offset, 12_345);
+        assert_eq!(back.stats, stats);
+        assert_eq!(back.state, vec![1, 2, 3, 4, 5]);
+
+        // One flipped bit anywhere fails the checksum.
+        let mut tampered = bytes.clone();
+        tampered[7] ^= 0x01;
+        assert!(matches!(
+            IngestCheckpoint::from_bytes(&tampered),
+            Err(IngestError::Checkpoint(_))
+        ));
+        // Truncation is detected too.
+        assert!(matches!(
+            IngestCheckpoint::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(IngestError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn config_hash_pins_every_knob() {
+        let base = ingest_config_hash(6, 40, Some(Scheme::Toc), &EncodeOptions::default());
+        assert_eq!(
+            base,
+            ingest_config_hash(6, 40, Some(Scheme::Toc), &EncodeOptions::default())
+        );
+        assert_ne!(
+            base,
+            ingest_config_hash(7, 40, Some(Scheme::Toc), &EncodeOptions::default())
+        );
+        assert_ne!(
+            base,
+            ingest_config_hash(6, 41, Some(Scheme::Toc), &EncodeOptions::default())
+        );
+        assert_ne!(
+            base,
+            ingest_config_hash(6, 40, None, &EncodeOptions::default())
+        );
+        let mut greedy = EncodeOptions::default();
+        greedy.cla = toc_formats::ClaOptions::greedy();
+        assert_ne!(base, ingest_config_hash(6, 40, Some(Scheme::Toc), &greedy));
     }
 }

@@ -484,6 +484,12 @@ pub struct IoStats {
     /// Nanoseconds tenant jobs spent blocked on per-job IO-share QoS
     /// throttling (disjoint from the device-model `throttle_ns`).
     pub qos_throttle_ns: AtomicU64,
+    /// Nanoseconds the streaming-ingest producer spent blocked on the
+    /// bounded sealed-chunk budget
+    /// ([`crate::store::StoreConfig::with_max_pending`]) waiting for a
+    /// consumer to drain appended segments — the backpressure stall
+    /// signal, disjoint from every read-side counter above.
+    pub ingest_stall_ns: AtomicU64,
     /// Submit→complete latency distribution for async requests.
     pub latency: LatencyHistogram,
 }
@@ -508,6 +514,7 @@ impl IoStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             qos_throttle_ns: self.qos_throttle_ns.load(Ordering::Relaxed),
+            ingest_stall_ns: self.ingest_stall_ns.load(Ordering::Relaxed),
             latency_us: self.latency.snapshot(),
         }
     }
@@ -558,6 +565,7 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub qos_throttle_ns: u64,
+    pub ingest_stall_ns: u64,
     pub latency_us: [u64; LATENCY_BUCKETS],
 }
 

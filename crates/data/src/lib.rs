@@ -15,6 +15,7 @@
 //! training jobs over one shared store and one heat-aware compressed
 //! batch cache.
 
+pub mod csv;
 pub mod ingest;
 pub mod io;
 pub mod serve;
@@ -22,7 +23,11 @@ pub mod store;
 pub mod synth;
 pub mod testing;
 
-pub use ingest::{ContainerIngest, EncodeWorkspace, IngestStats, StoreIngest};
+pub use csv::{follow_rows, stream_rows, CsvError, CsvStream, FollowOptions};
+pub use ingest::{
+    ingest_csv_container, sidecar_path, CheckpointKind, ContainerIngest, CsvContainerJob,
+    CsvIngestOutcome, EncodeWorkspace, IngestCheckpoint, IngestError, IngestStats, StoreIngest,
+};
 
 pub use io::{
     BandwidthProfile, DeviceProfile, IoEngineKind, IoSnapshot, IoStats, LatencyHistogram, Pinning,

@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use toc_formats::{AnyBatch, ExecScratch, MatrixBatch, Scheme};
 use toc_linalg::DenseMatrix;
@@ -147,6 +148,13 @@ pub struct StoreConfig {
     pub fault: Option<crate::testing::FaultPlan>,
     /// Per-scheme encoding knobs (CLA planner choice and sample size).
     pub encode: toc_formats::EncodeOptions,
+    /// Bounded sealed-chunk budget for streaming ingestion: when > 0,
+    /// [`ShardedSpillStore::append_sealed`] blocks while more than this
+    /// many appended segments are sealed but not yet consumed by any
+    /// visitor, accumulating the stall in
+    /// [`IoStats::ingest_stall_ns`]. `0` (default) never blocks — the
+    /// ext-entry table grows as fast as the producer can encode.
+    pub max_pending: usize,
 }
 
 impl StoreConfig {
@@ -165,7 +173,15 @@ impl StoreConfig {
             shard_profiles: Vec::new(),
             fault: None,
             encode: toc_formats::EncodeOptions::default(),
+            max_pending: 0,
         }
+    }
+
+    /// Builder-style bounded sealed-chunk budget for streaming
+    /// ingestion (`0` = unbounded, never block the producer).
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
     }
 
     /// Builder-style encoding-options override.
@@ -578,15 +594,188 @@ struct Inner {
     /// pushed, so any index below the watermark (loaded with `Acquire`)
     /// resolves to completely-written, decodable bytes.
     sealed: AtomicUsize,
-    /// Encoded bytes landed through [`ShardedSpillStore::append_sealed`].
-    appended_bytes: AtomicU64,
     shard_meta: Vec<ShardMeta>,
-    /// Per-shard append cursors (current file length). Doubles as the
-    /// placement mutation lock: rebalance and streaming-ingest appends
-    /// hold it end to end, so plans and cursor bumps never interleave.
-    append: Mutex<Vec<u64>>,
+    /// Streaming-append state (cursors, sequence, byte total). Doubles as
+    /// the placement mutation lock: rebalance and streaming-ingest
+    /// appends hold it end to end, so plans and cursor bumps never
+    /// interleave — and because the sequence number lives *inside* the
+    /// mutex, two racing appenders serialize instead of interleaving
+    /// sequence numbers (the old unsynchronized `sealed` pre-read).
+    append: Mutex<AppendState>,
+    /// Exclusive [`crate::StoreIngest`] registration: one structured
+    /// ingest driver at a time (raw `append_sealed` calls stay legal and
+    /// serialize on the append mutex).
+    appender_active: std::sync::atomic::AtomicBool,
+    /// Bounded sealed-chunk budget (`0` = unbounded).
+    max_pending: usize,
+    /// Consumed watermark for backpressure: the highest appended index
+    /// any visitor has finished reading, plus one. `append_sealed` blocks
+    /// while `sealed - consumed >= max_pending`.
+    consumed: Mutex<usize>,
+    /// Wakes a blocked producer when a visitor advances `consumed`.
+    consumed_cv: Condvar,
+    /// High-water mark of `sealed - consumed` observed at append time.
+    peak_pending: AtomicUsize,
     placement_stats: PlacementStats,
     io: Arc<IoShards>,
+}
+
+/// Exclusive structured-appender registration
+/// ([`ShardedSpillStore::try_acquire_appender`]): held by a
+/// [`crate::StoreIngest`] for its lifetime, released on drop.
+pub struct AppenderToken<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for AppenderToken<'_> {
+    fn drop(&mut self) {
+        self.inner
+            .appender_active
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// One sealed segment recorded in a [`StoreCheckpoint`]: its current
+/// shard extent and its labels.
+#[derive(Clone, Debug, PartialEq)]
+struct CheckpointEntry {
+    shard: u32,
+    offset: u64,
+    len: u64,
+    labels: Vec<f64>,
+}
+
+/// Serializable snapshot of a streaming store's append state
+/// ([`ShardedSpillStore::streaming_checkpoint`] /
+/// [`ShardedSpillStore::open_streaming_resume`]): shard file paths,
+/// per-shard cursors, and every sealed segment's extent + labels.
+/// Integrity (checksums) is the enclosing sidecar's job — see
+/// `toc_data::ingest`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreCheckpoint {
+    shard_paths: Vec<PathBuf>,
+    cursors: Vec<u64>,
+    entries: Vec<CheckpointEntry>,
+}
+
+const STORE_CKPT_V1: u8 = 1;
+
+impl StoreCheckpoint {
+    /// Segments recorded in this checkpoint.
+    pub fn num_segments(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total encoded bytes across the recorded segments.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+
+    /// The shard files this checkpoint expects to find on disk.
+    pub fn shard_paths(&self) -> &[PathBuf] {
+        &self.shard_paths
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(STORE_CKPT_V1);
+        out.extend_from_slice(&(self.shard_paths.len() as u32).to_le_bytes());
+        for (path, cursor) in self.shard_paths.iter().zip(&self.cursors) {
+            let p = path.to_string_lossy();
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p.as_bytes());
+            out.extend_from_slice(&cursor.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.shard.to_le_bytes());
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&(e.labels.len() as u64).to_le_bytes());
+            for l in &e.labels {
+                out.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if n > bytes.len() - *pos {
+                return Err("store checkpoint truncated".into());
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let u32_at = |pos: &mut usize| -> Result<u32, String> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+        let u64_at = |pos: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        if *take(&mut pos, 1)?.first().unwrap() != STORE_CKPT_V1 {
+            return Err("unknown store-checkpoint version".into());
+        }
+        let n_shards = u32_at(&mut pos)? as usize;
+        if n_shards == 0 || n_shards > 4096 {
+            return Err(format!("implausible shard count {n_shards}"));
+        }
+        let mut shard_paths = Vec::with_capacity(n_shards);
+        let mut cursors = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let plen = u32_at(&mut pos)? as usize;
+            let p = std::str::from_utf8(take(&mut pos, plen)?)
+                .map_err(|_| "bad shard path encoding".to_string())?;
+            shard_paths.push(PathBuf::from(p));
+            cursors.push(u64_at(&mut pos)?);
+        }
+        let n_entries = u64_at(&mut pos)? as usize;
+        if n_entries > bytes.len() {
+            return Err("store checkpoint claims more entries than it carries".into());
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let shard = u32_at(&mut pos)?;
+            let offset = u64_at(&mut pos)?;
+            let len = u64_at(&mut pos)?;
+            let n_labels = u64_at(&mut pos)? as usize;
+            if n_labels > bytes.len() {
+                return Err("store checkpoint claims more labels than it carries".into());
+            }
+            let mut labels = Vec::with_capacity(n_labels);
+            for _ in 0..n_labels {
+                labels.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+            }
+            entries.push(CheckpointEntry {
+                shard,
+                offset,
+                len,
+                labels,
+            });
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after store checkpoint".into());
+        }
+        Ok(Self {
+            shard_paths,
+            cursors,
+            entries,
+        })
+    }
+}
+
+/// Mutable streaming-append state, all behind one mutex so a stats
+/// snapshot can never observe `bytes` ahead of the sealed count.
+struct AppendState {
+    /// Per-shard append cursors (current file length).
+    cursors: Vec<u64>,
+    /// Segments fully appended (authoritative; `Inner::sealed` republishes
+    /// it with `Release` for the lock-free visibility check).
+    seq: usize,
+    /// Encoded bytes across those `seq` segments.
+    bytes: u64,
 }
 
 impl Inner {
@@ -1085,9 +1274,17 @@ impl ShardedSpillStore {
             visits,
             ext: RwLock::new(Vec::new()),
             sealed: AtomicUsize::new(0),
-            appended_bytes: AtomicU64::new(0),
             shard_meta,
-            append: Mutex::new(append),
+            append: Mutex::new(AppendState {
+                cursors: append,
+                seq: 0,
+                bytes: 0,
+            }),
+            appender_active: std::sync::atomic::AtomicBool::new(false),
+            max_pending: config.max_pending,
+            consumed: Mutex::new(0),
+            consumed_cv: Condvar::new(),
+            peak_pending: AtomicUsize::new(0),
             placement_stats: PlacementStats::default(),
             io: Arc::clone(&io),
         });
@@ -1211,9 +1408,17 @@ impl ShardedSpillStore {
             visits: Vec::new(),
             ext: RwLock::new(Vec::new()),
             sealed: AtomicUsize::new(0),
-            appended_bytes: AtomicU64::new(0),
             shard_meta,
-            append: Mutex::new(vec![0u64; n_shards]),
+            append: Mutex::new(AppendState {
+                cursors: vec![0u64; n_shards],
+                seq: 0,
+                bytes: 0,
+            }),
+            appender_active: std::sync::atomic::AtomicBool::new(false),
+            max_pending: config.max_pending,
+            consumed: Mutex::new(0),
+            consumed_cv: Condvar::new(),
+            peak_pending: AtomicUsize::new(0),
             placement_stats: PlacementStats::default(),
             io,
         });
@@ -1255,18 +1460,44 @@ impl ShardedSpillStore {
             "append_sealed needs shard files; open the store with \
              ShardedSpillStore::open_streaming"
         );
+        // Backpressure *before* taking the append mutex: a blocked
+        // producer must never hold the lock rebalance and stats readers
+        // need. The wait is bounded by consumption, not time — the whole
+        // point is that ingestion stalls until a visitor drains a sealed
+        // segment.
+        if inner.max_pending > 0 {
+            let t0 = Instant::now();
+            let mut consumed = lock(&inner.consumed);
+            let mut stalled = false;
+            while inner
+                .sealed
+                .load(Ordering::Acquire)
+                .saturating_sub(*consumed)
+                >= inner.max_pending
+            {
+                stalled = true;
+                consumed = wait(&inner.consumed_cv, consumed);
+            }
+            drop(consumed);
+            if stalled {
+                inner
+                    .io
+                    .stats
+                    .ingest_stall_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
         let mut append = lock(&inner.append);
-        // Only appenders and rebalance mutate `sealed`-adjacent state,
-        // and both hold the append mutex, so the relaxed load cannot race
-        // another appender.
-        let seq = inner.sealed.load(Ordering::Relaxed);
+        // The sequence number lives inside the mutex: concurrent callers
+        // serialize here and each append gets a unique, gap-free seq.
+        let seq = append.seq;
         let shard = seq % n_shards;
-        let offset = append[shard];
+        let offset = append.cursors[shard];
         match &self.ingest_fault {
             Some(plan) => plan.faulty_append(&inner.io, shard, offset, bytes, seq as u64)?,
             None => inner.io.devices[shard].file.write_all_at(bytes, offset)?,
         }
-        append[shard] = offset + bytes.len() as u64;
+        append.cursors[shard] = offset + bytes.len() as u64;
         wlock(&inner.ext).push(Arc::new(ExtEntry {
             loc: RwLock::new(DiskLoc {
                 shard,
@@ -1276,11 +1507,14 @@ impl ShardedSpillStore {
             labels,
             visits: AtomicU64::new(0),
         }));
-        inner
-            .appended_bytes
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        append.bytes += bytes.len() as u64;
+        append.seq += 1;
         let idx = inner.entries.len() + seq;
-        inner.sealed.fetch_add(1, Ordering::Release);
+        // Publish visibility last: an index below the watermark always
+        // resolves to fully-written bytes and a registered ext entry.
+        inner.sealed.store(append.seq, Ordering::Release);
+        let pending = append.seq.saturating_sub(*lock(&inner.consumed));
+        inner.peak_pending.fetch_max(pending, Ordering::Relaxed);
         drop(append);
         Ok(idx)
     }
@@ -1292,9 +1526,206 @@ impl ShardedSpillStore {
     }
 
     /// Encoded bytes landed through
-    /// [`ShardedSpillStore::append_sealed`] so far.
+    /// [`ShardedSpillStore::append_sealed`] so far. Reads under the
+    /// append lock, so the value is never ahead of — or behind — the
+    /// batches an [`ShardedSpillStore::appended_snapshot`] pairs it with.
     pub fn appended_bytes(&self) -> u64 {
-        self.inner.appended_bytes.load(Ordering::Relaxed)
+        lock(&self.inner.append).bytes
+    }
+
+    /// Consistent `(appended_batches, appended_bytes)` pair, read under
+    /// the append lock: `bytes` is exactly the sum of the first
+    /// `batches` appended segments, no matter how many appends race the
+    /// snapshot. (The lock-free [`ShardedSpillStore::appended_batches`]
+    /// may already be ahead of a just-taken snapshot; it can never be
+    /// behind it.)
+    pub fn appended_snapshot(&self) -> (usize, u64) {
+        let append = lock(&self.inner.append);
+        (append.seq, append.bytes)
+    }
+
+    /// Appended segments sealed but not yet consumed by any visitor
+    /// (the gauge [`StoreConfig::with_max_pending`] bounds).
+    pub fn pending_appends(&self) -> usize {
+        self.inner
+            .sealed
+            .load(Ordering::Acquire)
+            .saturating_sub(*lock(&self.inner.consumed))
+    }
+
+    /// High-water mark of [`ShardedSpillStore::pending_appends`]
+    /// observed at append time.
+    pub fn peak_pending_appends(&self) -> usize {
+        self.inner.peak_pending.load(Ordering::Relaxed)
+    }
+
+    /// Register an exclusive structured appender (what
+    /// [`crate::StoreIngest`] holds for its lifetime): `None` while
+    /// another token is live, so two ingest drivers can never interleave
+    /// chunks into one store unawares. Raw
+    /// [`ShardedSpillStore::append_sealed`] calls stay legal without a
+    /// token — they serialize on the append mutex.
+    pub fn try_acquire_appender(&self) -> Option<AppenderToken<'_>> {
+        self.inner
+            .appender_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            .then(|| AppenderToken { inner: &self.inner })
+    }
+
+    /// Snapshot the streaming-append state for a checkpoint sidecar:
+    /// shard file paths and cursors plus every sealed segment's current
+    /// extent and labels (post-migration locations — a checkpoint taken
+    /// after a rebalance restores the rebalanced layout). Taken under
+    /// the append lock, so it can never capture a half-appended
+    /// segment. Panics on a non-streaming store: build-time entries are
+    /// reproducible from their source and have no business in a crash
+    /// checkpoint.
+    pub fn streaming_checkpoint(&self) -> StoreCheckpoint {
+        let inner = &self.inner;
+        assert!(
+            inner.entries.is_empty() && !inner.shard_meta.is_empty(),
+            "streaming_checkpoint needs a store opened with open_streaming"
+        );
+        let append = lock(&inner.append);
+        let ext = rlock(&inner.ext);
+        let entries = ext
+            .iter()
+            .take(append.seq)
+            .map(|e| {
+                let loc = *rlock(&e.loc);
+                CheckpointEntry {
+                    shard: loc.shard as u32,
+                    offset: loc.offset,
+                    len: loc.len as u64,
+                    labels: e.labels.clone(),
+                }
+            })
+            .collect();
+        StoreCheckpoint {
+            shard_paths: inner.shard_meta.iter().map(|m| m.path.clone()).collect(),
+            cursors: append.cursors.clone(),
+            entries,
+        }
+    }
+
+    /// Re-open a streaming store from a [`StoreCheckpoint`] after a
+    /// crash: the shard files named by the checkpoint are opened in
+    /// place (never truncated below the recorded cursors — a file
+    /// shorter than its cursor means the checkpoint outran the data and
+    /// is rejected), any torn bytes past the cursors are truncated
+    /// away, and every checkpointed segment becomes visible again.
+    /// Appending continues exactly where the crashed run left off.
+    pub fn open_streaming_resume(
+        features: usize,
+        config: &StoreConfig,
+        ckpt: &StoreCheckpoint,
+    ) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let n_shards = ckpt.shard_paths.len();
+        if n_shards == 0 || ckpt.cursors.len() != n_shards {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                "checkpoint has no shards or mismatched cursor count",
+            ));
+        }
+        let mut total = 0u64;
+        for (i, e) in ckpt.entries.iter().enumerate() {
+            let s = e.shard as usize;
+            if s >= n_shards || e.offset + e.len > ckpt.cursors[s] {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("checkpoint entry {i} extends past its shard cursor"),
+                ));
+            }
+            total += e.len;
+        }
+        let profiles: &[DeviceProfile] = config
+            .fault
+            .as_ref()
+            .map(|f| f.device_profiles.as_slice())
+            .filter(|p| !p.is_empty())
+            .unwrap_or(&config.shard_profiles);
+        let mut devices = Vec::with_capacity(n_shards);
+        let mut shard_meta = Vec::with_capacity(n_shards);
+        for (s, (path, &cursor)) in ckpt.shard_paths.iter().zip(&ckpt.cursors).enumerate() {
+            let f = OpenOptions::new().write(true).read(true).open(path)?;
+            let len = f.metadata()?.len();
+            if len < cursor {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "shard {s} is {len} bytes but the checkpoint says {cursor}: \
+                         the sidecar outran the data and cannot be resumed from"
+                    ),
+                ));
+            }
+            // Drop any torn tail past the checkpointed watermark.
+            if len > cursor {
+                f.set_len(cursor)?;
+            }
+            let profile = (!profiles.is_empty()).then(|| profiles[s % profiles.len()]);
+            devices.push(SpillDevice::with_profile(f, profile));
+            shard_meta.push(ShardMeta { path: path.clone() });
+        }
+        let ext: Vec<Arc<ExtEntry>> = ckpt
+            .entries
+            .iter()
+            .map(|e| {
+                Arc::new(ExtEntry {
+                    loc: RwLock::new(DiskLoc {
+                        shard: e.shard as usize,
+                        offset: e.offset,
+                        len: e.len as usize,
+                    }),
+                    labels: e.labels.clone(),
+                    visits: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let sealed = ext.len();
+        let io = Arc::new(IoShards::new(devices, config.disk_mbps));
+        let inner = Arc::new(Inner {
+            scheme: config.scheme,
+            features,
+            entries: Vec::new(),
+            spilled_order: Vec::new(),
+            locs: RwLock::new(Vec::new()),
+            visits: Vec::new(),
+            ext: RwLock::new(ext),
+            sealed: AtomicUsize::new(sealed),
+            shard_meta,
+            append: Mutex::new(AppendState {
+                cursors: ckpt.cursors.clone(),
+                seq: sealed,
+                bytes: total,
+            }),
+            appender_active: std::sync::atomic::AtomicBool::new(false),
+            max_pending: config.max_pending,
+            consumed: Mutex::new(0),
+            consumed_cv: Condvar::new(),
+            peak_pending: AtomicUsize::new(0),
+            placement_stats: PlacementStats::default(),
+            io,
+        });
+        let sched = &config.scheduler;
+        let decode_workers = sched.resolved_decode_workers(config.prefetch, MAX_PREFETCH_WORKERS);
+        let io_threads = sched.resolved_io_threads(config.io, n_shards, config.prefetch);
+        sched
+            .ring_assignment(n_shards, io_threads)
+            .map_err(|e| Error::new(ErrorKind::InvalidInput, e))?;
+        Ok(Self {
+            inner,
+            prefetcher: None,
+            owns_dir: None,
+            memory_bytes: 0,
+            spilled_bytes: 0,
+            placement: config.placement,
+            scheduler: config.scheduler.clone(),
+            io_threads: 0,
+            decode_workers,
+            ingest_fault: config.fault.clone(),
+        })
     }
 
     /// Number of batches kept in memory.
@@ -1574,7 +2005,7 @@ impl ShardedSpillStore {
             {
                 continue; // keep the old location; the visit path surfaces IO errors
             }
-            let offset = append[target];
+            let offset = append.cursors[target];
             if inner.io.devices[target]
                 .file
                 .write_all_at(&buf, offset)
@@ -1582,7 +2013,7 @@ impl ShardedSpillStore {
             {
                 continue;
             }
-            append[target] += loc.len as u64;
+            append.cursors[target] += loc.len as u64;
             let new_loc = DiskLoc {
                 shard: target,
                 offset,
@@ -1759,6 +2190,16 @@ impl BatchProvider for ShardedSpillStore {
             let loc = *rlock(&e.loc);
             let b = self.inner.read_disk_sync(loc);
             f(&b, &e.labels);
+            // Advance the consumed watermark *after* the visitor is done
+            // with the batch and release any producer blocked on the
+            // sealed-chunk budget.
+            let ext_i = idx - base;
+            let mut consumed = lock(&self.inner.consumed);
+            if ext_i + 1 > *consumed {
+                *consumed = ext_i + 1;
+                drop(consumed);
+                self.inner.consumed_cv.notify_all();
+            }
             return;
         }
         let (slot, labels) = &self.inner.entries[idx];

@@ -850,10 +850,10 @@ pub struct ContainerStreamWriter<W: std::io::Write> {
 
 impl<W: std::io::Write> ContainerStreamWriter<W> {
     /// Start a stream: writes the 5-byte header immediately.
-    pub fn new(mut sink: W) -> Result<Self, String> {
+    pub fn new(mut sink: W) -> Result<Self, FormatError> {
         sink.write_all(&MAGIC.to_le_bytes())
             .and_then(|()| sink.write_all(&[V2]))
-            .map_err(|e| format!("write container header: {e}"))?;
+            .map_err(|e| FormatError::io("write container header", e))?;
         Ok(Self {
             sink,
             cols: None,
@@ -863,23 +863,60 @@ impl<W: std::io::Write> ContainerStreamWriter<W> {
         })
     }
 
+    /// Reconstruct a writer from a checkpointed [`WriterState`]: the
+    /// header and every sealed segment up to `state.offset()` are assumed
+    /// to already be in the file, and `sink` must be positioned exactly
+    /// at `state.offset()` (the caller truncates any torn bytes past the
+    /// watermark first). Nothing is written; the next
+    /// [`ContainerStreamWriter::append`] continues the stream as if it
+    /// had never stopped, so a resumed container is byte-identical to an
+    /// uninterrupted one.
+    pub fn resume(sink: W, state: WriterState) -> Result<Self, FormatError> {
+        state.validate()?;
+        Ok(Self {
+            sink,
+            cols: state.cols.map(|c| c as usize),
+            leaves: state.leaves,
+            offset: state.offset,
+            rows: state.rows,
+        })
+    }
+
+    /// Snapshot everything [`ContainerStreamWriter::finish`] will need —
+    /// column count, byte/row watermarks and the per-segment leaf
+    /// metadata — as a [`WriterState`] for a checkpoint sidecar. Cheap:
+    /// one leaf is ~[`LEAF_WIRE_LEN`] bytes.
+    pub fn state(&self) -> WriterState {
+        WriterState {
+            cols: self.cols.map(|c| c as u64),
+            offset: self.offset,
+            rows: self.rows,
+            leaves: self.leaves.clone(),
+        }
+    }
+
+    /// Flush the sink (checkpointing must not record a watermark the
+    /// file does not durably contain yet).
+    pub fn flush(&mut self) -> Result<(), FormatError> {
+        self.sink.flush().map_err(|e| FormatError::io("flush", e))
+    }
+
     /// Append one encoded segment with its precomputed zone map (compute
     /// it from the dense chunk *before* encoding, exactly like
     /// [`Container::encode_with`] does).
-    pub fn append(&mut self, batch: &AnyBatch, zone: ZoneMap) -> Result<(), String> {
+    pub fn append(&mut self, batch: &AnyBatch, zone: ZoneMap) -> Result<(), FormatError> {
         let cols = *self.cols.get_or_insert(batch.cols());
         if batch.cols() != cols {
             return Err(FormatError::MixedCols {
                 batch: self.leaves.len(),
                 got: batch.cols(),
                 expected: cols,
-            }
-            .to_string());
+            });
         }
         let bytes = batch.to_bytes();
         self.sink
             .write_all(&bytes)
-            .map_err(|e| format!("write segment {}: {e}", self.leaves.len()))?;
+            .map_err(|e| FormatError::io("write segment", e))?;
         self.leaves.push(LayoutNode {
             scheme: Some(bytes[0]),
             row_start: self.rows,
@@ -912,7 +949,7 @@ impl<W: std::io::Write> ContainerStreamWriter<W> {
 
     /// Seal the stream: footer tree + postscript, then flush. Returns the
     /// total container size in bytes.
-    pub fn finish(mut self) -> Result<u64, String> {
+    pub fn finish(mut self) -> Result<u64, FormatError> {
         let footer_offset = self.offset;
         let footer = Footer {
             cols: self.cols.unwrap_or(0) as u64,
@@ -929,8 +966,137 @@ impl<W: std::io::Write> ContainerStreamWriter<W> {
         self.sink
             .write_all(&tail)
             .and_then(|()| self.sink.flush())
-            .map_err(|e| format!("write container footer: {e}"))?;
+            .map_err(|e| FormatError::io("write container footer", e))?;
         Ok(footer_offset + tail.len() as u64)
+    }
+}
+
+/// The resumable state of a [`ContainerStreamWriter`], serializable for
+/// a checkpoint sidecar: the column count, the byte watermark (`offset`,
+/// everything below it is sealed segments), the row watermark, and the
+/// leaf metadata the footer will be built from. [`WriterState::to_bytes`]
+/// / [`WriterState::from_bytes`] round-trip it; parsing re-validates the
+/// structural invariants (contiguous leaf extents starting at
+/// [`HEADER_LEN`] and ending at the watermark, contiguous row ranges) so
+/// a corrupted sidecar is a structured error, never a writer that emits
+/// a misframed footer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriterState {
+    cols: Option<u64>,
+    offset: u64,
+    rows: u64,
+    leaves: Vec<LayoutNode>,
+}
+
+/// Version byte leading a serialized [`WriterState`].
+const WRITER_STATE_V1: u8 = 1;
+
+impl WriterState {
+    /// Byte watermark: the file offset one past the last sealed segment.
+    /// A resume validator truncates the partial file back to exactly this
+    /// length before reopening.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Rows sealed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Segments sealed so far.
+    pub fn num_segments(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Column count pinned by the first sealed segment (`None` until one
+    /// seals). A resume driver uses this to rebuild its staging workspace
+    /// without re-reading any source rows.
+    pub fn cols(&self) -> Option<u64> {
+        self.cols
+    }
+
+    fn validate(&self) -> Result<(), FormatError> {
+        let mut at = HEADER_LEN as u64;
+        let mut row = 0u64;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            if !leaf.is_leaf() {
+                return Err(corrupt(format!("writer state node {i} is not a leaf")));
+            }
+            if leaf.begin != at || leaf.row_start != row {
+                return Err(corrupt(format!(
+                    "writer state leaf {i} is not contiguous with its predecessor"
+                )));
+            }
+            at = leaf.end;
+            row = leaf.row_end;
+        }
+        if at != self.offset || row != self.rows {
+            return Err(corrupt(
+                "writer state watermark disagrees with its leaf extents",
+            ));
+        }
+        if self.cols.is_none() && !self.leaves.is_empty() {
+            return Err(corrupt("writer state has segments but no column count"));
+        }
+        Ok(())
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.leaves.len() * LEAF_WIRE_LEN);
+        out.push(WRITER_STATE_V1);
+        match self.cols {
+            Some(c) => {
+                out.push(1);
+                put_u64(&mut out, c);
+            }
+            None => {
+                out.push(0);
+                put_u64(&mut out, 0);
+            }
+        }
+        put_u64(&mut out, self.offset);
+        put_u64(&mut out, self.rows);
+        put_u64(&mut out, self.leaves.len() as u64);
+        for leaf in &self.leaves {
+            leaf.write_to(&mut out);
+        }
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let mut rd = Rd::new(bytes);
+        if rd.u8()? != WRITER_STATE_V1 {
+            return Err(corrupt("unknown writer-state version"));
+        }
+        let has_cols = rd.u8()?;
+        let cols_raw = rd.u64()?;
+        let cols = match has_cols {
+            0 => None,
+            1 => Some(cols_raw),
+            _ => return Err(corrupt("bad writer-state cols flag")),
+        };
+        let offset = rd.u64()?;
+        let rows = rd.u64()?;
+        let n = rd.u64()? as usize;
+        if n > rd.remaining() / LEAF_WIRE_LEN {
+            return Err(corrupt("writer state claims more leaves than it carries"));
+        }
+        let mut leaves = Vec::with_capacity(n);
+        for _ in 0..n {
+            leaves.push(LayoutNode::parse(&mut rd, 0)?);
+        }
+        if rd.remaining() != 0 {
+            return Err(corrupt("trailing bytes after writer state"));
+        }
+        let state = Self {
+            cols,
+            offset,
+            rows,
+            leaves,
+        };
+        state.validate()?;
+        Ok(state)
     }
 }
 
@@ -1167,7 +1333,71 @@ mod tests {
         let mut w = ContainerStreamWriter::new(&mut sink).unwrap();
         w.append(&a, zone).unwrap();
         let err = w.append(&b, zone).unwrap_err();
-        assert!(err.contains("cols"), "{err}");
+        assert!(
+            matches!(
+                err,
+                FormatError::MixedCols {
+                    got: 5,
+                    expected: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn writer_state_roundtrips_and_resumes_byte_identically() {
+        let m = sample();
+        let opts = EncodeOptions::default();
+        let c = Container::encode_with(&m, Scheme::Toc, 40, &opts);
+        let one_shot = c.to_bytes().unwrap();
+        let zones = c.zones().unwrap().to_vec();
+
+        // Stream the first two segments, checkpoint, and "crash".
+        let mut sink = Vec::new();
+        let mut w = ContainerStreamWriter::new(&mut sink).unwrap();
+        for (b, z) in c.batches.iter().zip(&zones).take(2) {
+            w.append(b, *z).unwrap();
+        }
+        let state_bytes = w.state().to_bytes();
+        let watermark = w.bytes_written() as usize;
+        drop(w);
+        sink.truncate(watermark); // what a resume validator does to torn bytes
+
+        // Resume from the round-tripped state and finish the stream.
+        let state = WriterState::from_bytes(&state_bytes).unwrap();
+        assert_eq!(state.offset(), watermark as u64);
+        assert_eq!(state.num_segments(), 2);
+        let mut w = ContainerStreamWriter::resume(&mut sink, state).unwrap();
+        for (b, z) in c.batches.iter().zip(&zones).skip(2) {
+            w.append(b, *z).unwrap();
+        }
+        let total = w.finish().unwrap();
+        assert_eq!(total as usize, sink.len());
+        assert_eq!(sink, one_shot);
+    }
+
+    #[test]
+    fn corrupt_writer_state_is_rejected() {
+        let m = sample();
+        let opts = EncodeOptions::default();
+        let c = Container::encode_with(&m, Scheme::Toc, 40, &opts);
+        let mut sink = Vec::new();
+        let mut w = ContainerStreamWriter::new(&mut sink).unwrap();
+        for (b, z) in c.batches.iter().zip(c.zones().unwrap()).take(2) {
+            w.append(b, *z).unwrap();
+        }
+        let good = w.state().to_bytes();
+        assert!(WriterState::from_bytes(&good).is_ok());
+        // Truncation and watermark tampering are structured errors.
+        assert!(WriterState::from_bytes(&good[..good.len() - 4]).is_err());
+        let mut tampered = good.clone();
+        tampered[10] ^= 0x40; // offset field no longer matches the leaves
+        assert!(matches!(
+            WriterState::from_bytes(&tampered),
+            Err(FormatError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -62,6 +62,30 @@ pub enum FormatError {
         got: usize,
         expected: usize,
     },
+    /// An underlying IO operation failed while streaming container
+    /// bytes. Distinct from [`FormatError::Corrupt`] so a resume
+    /// validator can tell a torn/truncated footer (resumable by
+    /// truncating back to the checkpoint watermark) from a sink that is
+    /// failing outright (not resumable until the IO fault clears).
+    Io {
+        /// What the writer was doing ("write segment", "flush", ...).
+        op: &'static str,
+        /// The OS error category.
+        kind: std::io::ErrorKind,
+        /// The formatted OS error.
+        msg: String,
+    },
+}
+
+impl FormatError {
+    /// Wrap an IO failure from a container streaming operation.
+    pub fn io(op: &'static str, e: std::io::Error) -> Self {
+        FormatError::Io {
+            op,
+            kind: e.kind(),
+            msg: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for FormatError {
@@ -84,6 +108,7 @@ impl std::fmt::Display for FormatError {
                     "container batch {batch} has {got} cols, expected {expected}"
                 )
             }
+            FormatError::Io { op, msg, .. } => write!(f, "{op}: {msg}"),
         }
     }
 }
